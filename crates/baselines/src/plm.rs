@@ -1,0 +1,225 @@
+//! Simulated PLM-based matchers: Ditto, JointBERT, RobEM.
+//!
+//! Each baseline is a logistic matcher over [`crate::features::plm_features`]
+//! with a per-baseline profile controlling the contextual dimensionality
+//! (sample complexity), regularization and class weighting. Calibrated to
+//! reproduce Figure 7's shape: all three need hundreds to thousands of
+//! labeled pairs to approach BatchER, with RobEM the most label-efficient
+//! (its contribution is robustness to data imbalance) and JointBERT the
+//! hungriest.
+
+use er_core::{BinaryConfusion, LabeledPair};
+
+use crate::features::plm_features;
+use crate::logistic::{LogisticModel, TrainConfig};
+
+/// The three PLM baselines of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlmKind {
+    /// Ditto (Li et al., VLDB 2020) — RoBERTa fine-tuning with domain
+    /// knowledge injection.
+    Ditto,
+    /// JointBERT (Peeters & Bizer, VLDB 2021) — dual-objective BERT.
+    JointBert,
+    /// RobEM (Akbarian Rastaghi et al., CIKM 2022) — robustness-focused
+    /// PLM matcher addressing data imbalance.
+    RobEm,
+}
+
+impl PlmKind {
+    /// All baselines.
+    pub const ALL: [PlmKind; 3] = [PlmKind::Ditto, PlmKind::JointBert, PlmKind::RobEm];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlmKind::Ditto => "Ditto",
+            PlmKind::JointBert => "JointBert",
+            PlmKind::RobEm => "RobEM",
+        }
+    }
+
+    /// Simulation profile: `(ctx_dim, train config, tunes threshold)`.
+    ///
+    /// * `ctx_dim` controls sample complexity — more contextual
+    ///   pseudo-dimensions mean more labeled data needed before test F1
+    ///   converges (see [`crate::features::plm_features`]).
+    fn profile(self) -> (usize, TrainConfig, bool) {
+        match self {
+            PlmKind::Ditto => (
+                560,
+                TrainConfig { epochs: 40, lr: 0.2, l2: 3e-4, positive_weight: 2.0, seed: 11 },
+                true,
+            ),
+            PlmKind::JointBert => (
+                832,
+                TrainConfig { epochs: 40, lr: 0.2, l2: 2e-4, positive_weight: 1.0, seed: 12 },
+                false,
+            ),
+            PlmKind::RobEm => (
+                416,
+                TrainConfig { epochs: 40, lr: 0.2, l2: 5e-4, positive_weight: 4.0, seed: 13 },
+                true,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for PlmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trained PLM baseline.
+#[derive(Debug)]
+pub struct PlmMatcher {
+    kind: PlmKind,
+    model: LogisticModel,
+    ctx_dim: usize,
+    model_seed: u64,
+}
+
+/// Result of a train + evaluate run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOutcome {
+    /// Test-set confusion counts.
+    pub confusion: BinaryConfusion,
+    /// Number of training pairs actually used.
+    pub train_size: usize,
+}
+
+impl PlmMatcher {
+    /// Fine-tunes the baseline on `train` (optionally tuning its decision
+    /// threshold on `valid`).
+    ///
+    /// # Panics
+    /// Panics when `train` is empty.
+    pub fn train(kind: PlmKind, train: &[&LabeledPair], valid: &[&LabeledPair]) -> Self {
+        assert!(!train.is_empty(), "PLM fine-tuning requires labeled pairs");
+        let (ctx_dim, config, tune) = kind.profile();
+        let model_seed = config.seed;
+        let xs: Vec<Vec<f64>> = train
+            .iter()
+            .map(|p| plm_features(&p.pair, ctx_dim, model_seed))
+            .collect();
+        let ys: Vec<bool> = train.iter().map(|p| p.label.is_match()).collect();
+        let mut model = LogisticModel::train(&xs, &ys, config);
+        if tune && !valid.is_empty() {
+            let vxs: Vec<Vec<f64>> = valid
+                .iter()
+                .map(|p| plm_features(&p.pair, ctx_dim, model_seed))
+                .collect();
+            let vys: Vec<bool> = valid.iter().map(|p| p.label.is_match()).collect();
+            model.tune_threshold(&vxs, &vys);
+        }
+        Self { kind, model, ctx_dim, model_seed }
+    }
+
+    /// Which baseline this is.
+    pub fn kind(&self) -> PlmKind {
+        self.kind
+    }
+
+    /// Predicts a single pair.
+    pub fn predict(&self, pair: &LabeledPair) -> bool {
+        self.model
+            .predict(&plm_features(&pair.pair, self.ctx_dim, self.model_seed))
+    }
+
+    /// Evaluates on a test set.
+    pub fn evaluate(&self, test: &[&LabeledPair]) -> BinaryConfusion {
+        let mut confusion = BinaryConfusion::new();
+        for pair in test {
+            let predicted = er_core::MatchLabel::from_bool(self.predict(pair));
+            confusion.observe(pair.label, predicted);
+        }
+        confusion
+    }
+
+    /// Trains on the first `train_size` pairs of `train` and evaluates on
+    /// `test` — one point of a Figure 7 learning curve.
+    pub fn learning_curve_point(
+        kind: PlmKind,
+        train: &[&LabeledPair],
+        valid: &[&LabeledPair],
+        test: &[&LabeledPair],
+        train_size: usize,
+    ) -> TrainOutcome {
+        let used = &train[..train_size.min(train.len())];
+        let matcher = Self::train(kind, used, valid);
+        TrainOutcome { confusion: matcher.evaluate(test), train_size: used.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, DatasetKind};
+
+    fn split(kind: DatasetKind) -> (Vec<LabeledPair>, ()) {
+        let d = generate(kind, 21);
+        (d.pairs().to_vec(), ())
+    }
+
+    #[test]
+    fn more_data_helps() {
+        let (pairs, ()) = split(DatasetKind::DblpAcm);
+        let train: Vec<&LabeledPair> = pairs[..6000].iter().collect();
+        let valid: Vec<&LabeledPair> = pairs[6000..7000].iter().collect();
+        let test: Vec<&LabeledPair> = pairs[7000..9000].iter().collect();
+        let small =
+            PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 50);
+        let large =
+            PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 4000);
+        assert!(
+            large.confusion.f1() > small.confusion.f1() + 0.03,
+            "no learning-curve growth: {} -> {}",
+            small.confusion.f1(),
+            large.confusion.f1()
+        );
+        assert!(large.confusion.f1() > 0.75, "converged F1 too low: {}", large.confusion.f1());
+    }
+
+    #[test]
+    fn robem_beats_jointbert_on_small_data() {
+        // RobEM's contribution is label efficiency under imbalance; with 100
+        // training pairs it should not be behind JointBERT.
+        let (pairs, ()) = split(DatasetKind::WalmartAmazon);
+        let train: Vec<&LabeledPair> = pairs[..4000].iter().collect();
+        let valid: Vec<&LabeledPair> = pairs[4000..4800].iter().collect();
+        let test: Vec<&LabeledPair> = pairs[4800..6800].iter().collect();
+        let robem =
+            PlmMatcher::learning_curve_point(PlmKind::RobEm, &train, &valid, &test, 100);
+        let jointbert =
+            PlmMatcher::learning_curve_point(PlmKind::JointBert, &train, &valid, &test, 100);
+        assert!(
+            robem.confusion.f1() + 0.02 >= jointbert.confusion.f1(),
+            "RobEM {} vs JointBERT {}",
+            robem.confusion.f1(),
+            jointbert.confusion.f1()
+        );
+    }
+
+    #[test]
+    fn evaluation_counts_every_pair() {
+        let (pairs, ()) = split(DatasetKind::Beer);
+        let train: Vec<&LabeledPair> = pairs[..300].iter().collect();
+        let test: Vec<&LabeledPair> = pairs[300..].iter().collect();
+        let matcher = PlmMatcher::train(PlmKind::Ditto, &train, &[]);
+        let confusion = matcher.evaluate(&test);
+        assert_eq!(confusion.total() as usize, test.len());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(PlmKind::Ditto.to_string(), "Ditto");
+        assert_eq!(PlmKind::ALL.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled pairs")]
+    fn empty_training_panics() {
+        let _ = PlmMatcher::train(PlmKind::Ditto, &[], &[]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Microbenchmarks of the hot kernels: string similarity, tokenization,
+//! embedding, clustering, greedy set cover and prompt handling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_string_kernels(c: &mut Criterion) {
+    let a = "samsung galaxy s21 ultra smartphone 256gb phantom black";
+    let b = "samsung galxy s21 ultra smart phone 256 gb black phantom";
+    let mut group = c.benchmark_group("string_kernels");
+    group.bench_function("levenshtein", |bench| {
+        bench.iter(|| text_sim::levenshtein(black_box(a), black_box(b)))
+    });
+    group.bench_function("levenshtein_ratio", |bench| {
+        bench.iter(|| text_sim::levenshtein_ratio(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaccard_tokens", |bench| {
+        bench.iter(|| text_sim::jaccard_tokens(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| text_sim::jaro_winkler(black_box(a), black_box(b)))
+    });
+    group.bench_function("qgram_cosine_q3", |bench| {
+        bench.iter(|| text_sim::qgram_cosine(black_box(a), black_box(b), 3))
+    });
+    group.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let prompt = "This is an entity resolution task. ".repeat(50);
+    c.bench_function("llm_count_tokens_1750_chars", |bench| {
+        bench.iter(|| llm::count_tokens(black_box(&prompt)))
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let embedder = embed::Embedder::new(embed::EmbedderConfig::default());
+    let text = "title: canon eos r5 mirrorless camera body, brand: canon, price: 3899.00";
+    c.bench_function("embed_256d", |bench| {
+        bench.iter(|| embedder.embed(black_box(text)))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // 400 points in 4-d, three latent blobs — the scale of a small
+    // question set.
+    let points: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            let blob = (i % 3) as f64 * 3.0;
+            vec![
+                blob + (i as f64 * 0.017) % 0.5,
+                blob + (i as f64 * 0.031) % 0.5,
+                (i as f64 * 0.013) % 0.5,
+                (i as f64 * 0.029) % 0.5,
+            ]
+        })
+        .collect();
+    let mut group = c.benchmark_group("clustering_400x4");
+    group.bench_function("dbscan", |bench| {
+        bench.iter(|| {
+            cluster::dbscan(
+                black_box(&points),
+                cluster::DbscanParams { eps: 0.6, min_pts: 3 },
+                cluster::euclidean,
+            )
+        })
+    });
+    group.bench_function("kmeans_k50", |bench| {
+        bench.iter(|| {
+            cluster::kmeans(
+                black_box(&points),
+                cluster::KMeansParams { k: 50, max_iters: 30, seed: 1 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_greedy_cover(c: &mut Criterion) {
+    // 2000 elements, 300 candidates with arithmetic-progression coverage —
+    // the scale of demonstration-set generation on a mid-size benchmark.
+    let coverage: Vec<Vec<u32>> = (1..=300usize)
+        .map(|step| (0..2000u32).step_by(step).collect())
+        .collect();
+    c.bench_function("greedy_cover_2000x300", |bench| {
+        bench.iter(|| {
+            batcher_core::greedy_weighted_cover(2000, black_box(&coverage), |d| {
+                1.0 + d as f64 * 0.001
+            })
+        })
+    });
+}
+
+fn bench_prompt_roundtrip(c: &mut Criterion) {
+    let d = datagen::generate(datagen::DatasetKind::Beer, 1);
+    let demos: Vec<&er_core::LabeledPair> = d.pairs().iter().take(8).collect();
+    let questions: Vec<String> = d.pairs()[8..16]
+        .iter()
+        .map(|p| p.pair.serialize())
+        .collect();
+    let desc = batcher_core::task_description("Beer");
+    let mut group = c.benchmark_group("prompt");
+    group.bench_function("build_batch_prompt_8x8", |bench| {
+        bench.iter(|| {
+            batcher_core::build_batch_prompt(
+                black_box(&desc),
+                black_box(&demos),
+                black_box(&questions),
+            )
+        })
+    });
+    let prompt = batcher_core::build_batch_prompt(&desc, &demos, &questions);
+    group.bench_function("llm_parse_prompt_8x8", |bench| {
+        bench.iter(|| llm::parse::parse_prompt(black_box(&prompt)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_string_kernels,
+    bench_tokenizer,
+    bench_embedding,
+    bench_clustering,
+    bench_greedy_cover,
+    bench_prompt_roundtrip
+);
+criterion_main!(benches);

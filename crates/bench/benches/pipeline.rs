@@ -1,0 +1,60 @@
+//! End-to-end pipeline benchmarks: one full BatchER run per design cell on
+//! a small benchmark, plus the simulated-LLM call path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use batcher_core::{BatchingStrategy, RunConfig, SelectionStrategy};
+use llm::{ChatApi, ChatRequest, ModelKind, SimLlm};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let dataset = datagen::generate(datagen::DatasetKind::Beer, 1);
+    let api = SimLlm::new();
+    let mut group = c.benchmark_group("end_to_end_beer");
+    group.sample_size(10);
+    for (name, config) in [
+        ("best_design", RunConfig::best_design()),
+        ("standard_prompting", RunConfig::standard_prompting()),
+        (
+            "random_topk_batch",
+            RunConfig {
+                batching: BatchingStrategy::Random,
+                selection: SelectionStrategy::TopKBatch,
+                ..RunConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| batcher_core::run(black_box(&dataset), &api, config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_llm_call(c: &mut Criterion) {
+    let api = SimLlm::new();
+    let d = datagen::generate(datagen::DatasetKind::Beer, 1);
+    let demos: Vec<&er_core::LabeledPair> = d.pairs().iter().take(8).collect();
+    let questions: Vec<String> = d.pairs()[8..16]
+        .iter()
+        .map(|p| p.pair.serialize())
+        .collect();
+    let prompt = batcher_core::build_batch_prompt(
+        &batcher_core::task_description("Beer"),
+        &demos,
+        &questions,
+    );
+    c.bench_function("sim_llm_batch8_completion", |bench| {
+        bench.iter(|| {
+            api.complete(&ChatRequest::new(
+                ModelKind::Gpt35Turbo0301,
+                black_box(prompt.clone()),
+                9,
+            ))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_runs, bench_llm_call);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (precision/recall/F1 on WA and AB).
+fn main() {
+    bench::tables::figure6(&bench::all_datasets());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (PLM learning curves vs BatchER).
+fn main() {
+    bench::tables::figure7(&bench::all_datasets());
+}

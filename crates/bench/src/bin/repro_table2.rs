@@ -1,0 +1,4 @@
+//! Regenerates Table II (dataset statistics).
+fn main() {
+    bench::tables::table2(&bench::all_datasets());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (standard vs batch prompting).
+fn main() {
+    bench::tables::table3(&bench::all_datasets());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV (the 3x4 design space grid).
+fn main() {
+    bench::tables::table4(&bench::all_datasets());
+}

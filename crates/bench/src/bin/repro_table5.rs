@@ -1,0 +1,4 @@
+//! Regenerates Table V (ManualPrompt vs BatchER).
+fn main() {
+    bench::tables::table5(&bench::all_datasets());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table VI (underlying LLMs).
+fn main() {
+    bench::tables::table6(&bench::all_datasets());
+}

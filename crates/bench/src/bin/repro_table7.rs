@@ -1,0 +1,4 @@
+//! Regenerates Table VII (feature extractors).
+fn main() {
+    bench::tables::table7(&bench::all_datasets());
+}

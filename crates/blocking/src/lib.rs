@@ -1,0 +1,342 @@
+//! Candidate pair generation (blocking) for entity resolution.
+//!
+//! An end-to-end ER system runs a *blocker* before the matcher (§II-A):
+//! instead of scoring all `|T_A| × |T_B|` pairs, the blocker emits a much
+//! smaller candidate set that still contains (almost) all true matches.
+//! The paper treats blocking as a solved upstream step; this crate provides
+//! the standard token-overlap blocker so the workspace's examples can run
+//! the full pipeline from raw tables.
+//!
+//! Two components:
+//!
+//! * [`TokenBlocker`] — inverted index over normalized word tokens of
+//!   selected attributes; candidates are pairs sharing at least
+//!   `min_shared_tokens` tokens, optionally ranked/filtered by TF-IDF
+//!   cosine similarity.
+//! * [`BlockingReport`] — recall/reduction metrics against gold matches,
+//!   the two numbers every blocking paper reports.
+
+use std::collections::HashMap;
+
+use er_core::{EntityPair, PairId, Record};
+use text_sim::{word_tokens, TfIdfModel};
+
+/// Configuration of the token-overlap blocker.
+#[derive(Debug, Clone)]
+pub struct BlockerConfig {
+    /// Attribute indices to index (e.g. just the title). Empty = all.
+    pub attributes: Vec<usize>,
+    /// Minimum number of shared tokens for a candidate.
+    pub min_shared_tokens: usize,
+    /// Optional TF-IDF cosine floor applied after token overlap.
+    pub min_cosine: Option<f64>,
+    /// Tokens appearing in more than this fraction of records are treated
+    /// as stop words and not indexed (guards against quadratic blowup on
+    /// ubiquitous tokens like "the").
+    pub stopword_df: f64,
+}
+
+impl Default for BlockerConfig {
+    fn default() -> Self {
+        Self {
+            attributes: vec![0],
+            min_shared_tokens: 2,
+            min_cosine: None,
+            stopword_df: 0.2,
+        }
+    }
+}
+
+/// Token-overlap blocker over two record collections.
+#[derive(Debug)]
+pub struct TokenBlocker {
+    config: BlockerConfig,
+}
+
+impl TokenBlocker {
+    /// A blocker with the given configuration.
+    pub fn new(config: BlockerConfig) -> Self {
+        Self { config }
+    }
+
+    /// A blocker with the default configuration (title attribute,
+    /// ≥2 shared tokens).
+    pub fn default_blocker() -> Self {
+        Self::new(BlockerConfig::default())
+    }
+
+    /// Emits candidate `(a_index, b_index)` pairs between two tables.
+    pub fn candidates(&self, table_a: &[Record], table_b: &[Record]) -> Vec<(usize, usize)> {
+        let tokens_of = |r: &Record| -> Vec<String> {
+            let mut toks = Vec::new();
+            let attrs: Vec<usize> = if self.config.attributes.is_empty() {
+                (0..r.schema().arity()).collect()
+            } else {
+                self.config.attributes.clone()
+            };
+            for &i in &attrs {
+                toks.extend(word_tokens(r.value(i).unwrap_or("")));
+            }
+            toks.sort_unstable();
+            toks.dedup();
+            toks
+        };
+
+        // Document frequency over both tables for the stop-word filter.
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let all_tokens_a: Vec<Vec<String>> = table_a.iter().map(tokens_of).collect();
+        let all_tokens_b: Vec<Vec<String>> = table_b.iter().map(tokens_of).collect();
+        for toks in all_tokens_a.iter().chain(&all_tokens_b) {
+            for t in toks {
+                *df.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let n_records = (table_a.len() + table_b.len()).max(1);
+        let max_df = (self.config.stopword_df * n_records as f64).ceil() as usize;
+
+        // Inverted index over table B.
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (j, toks) in all_tokens_b.iter().enumerate() {
+            for t in toks {
+                if df.get(t).copied().unwrap_or(0) <= max_df {
+                    index.entry(t.as_str()).or_default().push(j);
+                }
+            }
+        }
+
+        // Probe with table A; count shared tokens per B-record.
+        let mut out = Vec::new();
+        let mut overlap: HashMap<usize, usize> = HashMap::new();
+        for (i, toks) in all_tokens_a.iter().enumerate() {
+            overlap.clear();
+            for t in toks {
+                if df.get(t).copied().unwrap_or(0) > max_df {
+                    continue;
+                }
+                if let Some(postings) = index.get(t.as_str()) {
+                    for &j in postings {
+                        *overlap.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut hits: Vec<usize> = overlap
+                .iter()
+                .filter(|&(_, &c)| c >= self.config.min_shared_tokens)
+                .map(|(&j, _)| j)
+                .collect();
+            hits.sort_unstable();
+            out.extend(hits.into_iter().map(|j| (i, j)));
+        }
+
+        // Optional TF-IDF cosine refinement.
+        if let Some(floor) = self.config.min_cosine {
+            let corpus: Vec<String> = table_a
+                .iter()
+                .chain(table_b.iter())
+                .map(|r| r.values().join(" "))
+                .collect();
+            let model = TfIdfModel::fit(corpus.iter().map(String::as_str));
+            out.retain(|&(i, j)| {
+                let sa = table_a[i].values().join(" ");
+                let sb = table_b[j].values().join(" ");
+                model.cosine(&sa, &sb) >= floor
+            });
+        }
+        out
+    }
+
+    /// Materializes candidate index pairs into [`EntityPair`]s.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds or schemas differ — both are
+    /// caller bugs, not data conditions.
+    pub fn materialize(
+        table_a: &[std::sync::Arc<Record>],
+        table_b: &[std::sync::Arc<Record>],
+        candidates: &[(usize, usize)],
+    ) -> Vec<EntityPair> {
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(k, &(i, j))| {
+                EntityPair::new(
+                    PairId(k as u32),
+                    std::sync::Arc::clone(&table_a[i]),
+                    std::sync::Arc::clone(&table_b[j]),
+                )
+                .expect("blocking inputs share a schema")
+            })
+            .collect()
+    }
+}
+
+/// Recall / reduction metrics of a blocking run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingReport {
+    /// Fraction of gold matching pairs retained by the candidate set.
+    pub recall: f64,
+    /// `1 − |candidates| / (|T_A| · |T_B|)`: fraction of the cross product
+    /// pruned away.
+    pub reduction_ratio: f64,
+    /// Number of candidates emitted.
+    pub candidates: usize,
+}
+
+impl BlockingReport {
+    /// Evaluates a candidate set against gold matches (pairs of indices
+    /// into the two tables).
+    pub fn evaluate(
+        candidates: &[(usize, usize)],
+        gold_matches: &[(usize, usize)],
+        table_a_len: usize,
+        table_b_len: usize,
+    ) -> Self {
+        let cand_set: std::collections::HashSet<(usize, usize)> =
+            candidates.iter().copied().collect();
+        let found = gold_matches
+            .iter()
+            .filter(|&&pair| cand_set.contains(&pair))
+            .count();
+        let recall = if gold_matches.is_empty() {
+            1.0
+        } else {
+            found as f64 / gold_matches.len() as f64
+        };
+        let cross = (table_a_len as f64 * table_b_len as f64).max(1.0);
+        Self {
+            recall,
+            reduction_ratio: 1.0 - candidates.len() as f64 / cross,
+            candidates: candidates.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{RecordId, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(["title", "brand"]).unwrap())
+    }
+
+    fn rec(table: char, row: u32, title: &str, brand: &str) -> Record {
+        let id = if table == 'a' { RecordId::a(row) } else { RecordId::b(row) };
+        Record::new(id, schema(), vec![title.into(), brand.into()]).unwrap()
+    }
+
+    fn tables() -> (Vec<Record>, Vec<Record>) {
+        let a = vec![
+            rec('a', 0, "samsung galaxy s21 phone", "samsung"),
+            rec('a', 1, "canon eos r5 camera", "canon"),
+            rec('a', 2, "lenovo thinkpad x1 laptop", "lenovo"),
+        ];
+        let b = vec![
+            rec('b', 0, "galaxy s21 by samsung", "samsung"),
+            rec('b', 1, "eos r5 mirrorless canon", "canon"),
+            rec('b', 2, "dell xps 13 laptop", "dell"),
+        ];
+        (a, b)
+    }
+
+    #[test]
+    fn finds_true_matches() {
+        let (a, b) = tables();
+        let cands = TokenBlocker::default_blocker().candidates(&a, &b);
+        assert!(cands.contains(&(0, 0)), "missed samsung match: {cands:?}");
+        assert!(cands.contains(&(1, 1)), "missed canon match: {cands:?}");
+    }
+
+    #[test]
+    fn prunes_unrelated_pairs() {
+        let (a, b) = tables();
+        let cands = TokenBlocker::default_blocker().candidates(&a, &b);
+        assert!(!cands.contains(&(0, 2)), "samsung phone vs dell laptop survived");
+        assert!(!cands.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn min_shared_tokens_controls_looseness() {
+        let (a, b) = tables();
+        let loose = TokenBlocker::new(BlockerConfig {
+            min_shared_tokens: 1,
+            ..Default::default()
+        })
+        .candidates(&a, &b);
+        let strict = TokenBlocker::new(BlockerConfig {
+            min_shared_tokens: 3,
+            ..Default::default()
+        })
+        .candidates(&a, &b);
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn cosine_floor_tightens() {
+        let (a, b) = tables();
+        let base = TokenBlocker::new(BlockerConfig {
+            min_shared_tokens: 1,
+            ..Default::default()
+        })
+        .candidates(&a, &b);
+        let refined = TokenBlocker::new(BlockerConfig {
+            min_shared_tokens: 1,
+            min_cosine: Some(0.5),
+            ..Default::default()
+        })
+        .candidates(&a, &b);
+        assert!(refined.len() <= base.len());
+        assert!(refined.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn stopwords_do_not_explode_candidates() {
+        // Every record shares the token "laptop": with a low stopword
+        // threshold it must not connect everything to everything.
+        let a: Vec<Record> = (0..20)
+            .map(|i| rec('a', i, &format!("laptop model {i}"), "x"))
+            .collect();
+        let b: Vec<Record> = (0..20)
+            .map(|i| rec('b', i, &format!("laptop unit {i}"), "x"))
+            .collect();
+        let cands = TokenBlocker::new(BlockerConfig {
+            min_shared_tokens: 1,
+            stopword_df: 0.1,
+            ..Default::default()
+        })
+        .candidates(&a, &b);
+        assert!(cands.len() < 100, "stop word flooded candidates: {}", cands.len());
+    }
+
+    #[test]
+    fn report_metrics() {
+        let report = BlockingReport::evaluate(&[(0, 0), (1, 1), (2, 2)], &[(0, 0), (1, 2)], 10, 10);
+        assert!((report.recall - 0.5).abs() < 1e-12);
+        assert!((report.reduction_ratio - 0.97).abs() < 1e-12);
+        assert_eq!(report.candidates, 3);
+    }
+
+    #[test]
+    fn empty_gold_recall_is_one() {
+        let report = BlockingReport::evaluate(&[(0, 0)], &[], 2, 2);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    #[test]
+    fn materialize_builds_pairs() {
+        let (a, b) = tables();
+        let a: Vec<Arc<Record>> = a.into_iter().map(Arc::new).collect();
+        let b: Vec<Arc<Record>> = b.into_iter().map(Arc::new).collect();
+        let pairs = TokenBlocker::materialize(&a, &b, &[(0, 0), (2, 2)]);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].a().id(), RecordId::a(0));
+        assert_eq!(pairs[1].b().id(), RecordId::b(2));
+    }
+
+    #[test]
+    fn empty_tables_yield_nothing() {
+        let cands = TokenBlocker::default_blocker().candidates(&[], &[]);
+        assert!(cands.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! DBSCAN (Ester et al., KDD 1996) — the paper's default question
+//! clustering algorithm.
+
+use crate::Clustering;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanParams {
+    /// Neighborhood radius ε.
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        Self { eps: 0.5, min_pts: 4 }
+    }
+}
+
+/// Runs DBSCAN over `points` with distance function `dist`.
+///
+/// Noise points are **not** discarded: each becomes its own singleton
+/// cluster, appended after the density clusters. The batching stage must
+/// place every question in some batch, so a total assignment is part of
+/// this function's contract.
+pub fn dbscan<D>(points: &[Vec<f64>], params: DbscanParams, dist: D) -> Clustering
+where
+    D: Fn(&[f64], &[f64]) -> f64,
+{
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+
+    let n = points.len();
+    let mut labels = vec![UNVISITED; n];
+    let mut next_cluster = 0usize;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| dist(&points[i], &points[j]) <= params.eps)
+            .collect()
+    };
+
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let seeds = neighbors(i);
+        if seeds.len() < params.min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        // i is a core point: start a new cluster and expand.
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[i] = cid;
+        let mut queue: Vec<usize> = seeds;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let p = queue[qi];
+            qi += 1;
+            if labels[p] == NOISE {
+                // Border point reachable from a core point.
+                labels[p] = cid;
+            }
+            if labels[p] != UNVISITED {
+                continue;
+            }
+            labels[p] = cid;
+            let p_neighbors = neighbors(p);
+            if p_neighbors.len() >= params.min_pts {
+                queue.extend(p_neighbors);
+            }
+        }
+    }
+
+    // Promote remaining noise points to singleton clusters.
+    for label in labels.iter_mut() {
+        if *label == NOISE || *label == UNVISITED {
+            *label = next_cluster;
+            next_cluster += 1;
+        }
+    }
+
+    Clustering { assignment: labels, n_clusters: next_cluster }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean;
+
+    /// Two tight blobs far apart plus one outlier.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            pts.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        pts.push(vec![100.0, -100.0]); // outlier
+        pts
+    }
+
+    #[test]
+    fn separates_blobs_and_isolates_outlier() {
+        let c = dbscan(&blobs(), DbscanParams { eps: 0.5, min_pts: 3 }, euclidean);
+        assert!(c.is_consistent());
+        assert_eq!(c.n_clusters, 3);
+        // First five together, next five together, outlier alone.
+        assert!(c.assignment[..5].iter().all(|&x| x == c.assignment[0]));
+        assert!(c.assignment[5..10].iter().all(|&x| x == c.assignment[5]));
+        assert_ne!(c.assignment[0], c.assignment[5]);
+        assert_ne!(c.assignment[10], c.assignment[0]);
+        assert_ne!(c.assignment[10], c.assignment[5]);
+    }
+
+    #[test]
+    fn everything_noise_when_eps_tiny() {
+        let c = dbscan(&blobs(), DbscanParams { eps: 1e-9, min_pts: 2 }, euclidean);
+        assert!(c.is_consistent());
+        assert_eq!(c.n_clusters, blobs().len());
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let c = dbscan(&blobs(), DbscanParams { eps: 1e6, min_pts: 2 }, euclidean);
+        assert!(c.is_consistent());
+        assert_eq!(c.n_clusters, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan(&[], DbscanParams::default(), euclidean);
+        assert_eq!(c.n_clusters, 0);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_singleton() {
+        let c = dbscan(&[vec![1.0, 2.0]], DbscanParams::default(), euclidean);
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.assignment, vec![0]);
+    }
+
+    #[test]
+    fn border_points_join_cluster() {
+        // A line of points each 0.4 apart: with eps=0.5, min_pts=3, interior
+        // points are core; the chain should form one cluster.
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.4]).collect();
+        let c = dbscan(&pts, DbscanParams { eps: 0.5, min_pts: 3 }, euclidean);
+        assert!(c.is_consistent());
+        assert_eq!(c.n_clusters, 1);
+    }
+
+    #[test]
+    fn total_assignment_always() {
+        // Every point receives a valid cluster id, whatever the params.
+        for min_pts in [1usize, 2, 5, 20] {
+            for eps in [0.01, 0.5, 3.0] {
+                let c = dbscan(&blobs(), DbscanParams { eps, min_pts }, euclidean);
+                assert!(c.is_consistent(), "eps={eps} min_pts={min_pts}");
+                assert_eq!(c.assignment.len(), blobs().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! K-Means with kmeans++ initialization (ablation alternative to DBSCAN).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{euclidean, Clustering};
+
+/// K-Means parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansParams {
+    /// Number of clusters `k` (clamped to the number of points).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for kmeans++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 50, seed: 42 }
+    }
+}
+
+/// Runs K-Means (Lloyd's algorithm, kmeans++ seeding, Euclidean metric).
+///
+/// Clusters that become empty during iteration are re-seeded with the
+/// point farthest from its assigned centroid, so the output always has
+/// exactly `min(k, n)` non-empty clusters.
+pub fn kmeans(points: &[Vec<f64>], params: KMeansParams) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering { assignment: vec![], n_clusters: 0 };
+    }
+    let k = params.k.clamp(1, n);
+    let dim = points[0].len();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut centroids = init_plus_plus(points, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..params.max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest_centroid(p, &centroids);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (d, &x) in p.iter().enumerate() {
+                sums[assignment[i]][d] += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fitted point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = euclidean(&points[a], &centroids[assignment[a]]);
+                        let db = euclidean(&points[b], &centroids[assignment[b]]);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n > 0");
+                centroids[c] = points[far].clone();
+                assignment[far] = c;
+                changed = true;
+            } else {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    compact(assignment, k)
+}
+
+/// kmeans++ seeding: each next centroid is sampled proportionally to the
+/// squared distance from the nearest already-chosen centroid.
+fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| {
+                        let d = euclidean(p, c);
+                        d * d
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let choice = if total <= 0.0 {
+            // All points coincide with existing centroids; any index works.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.push(points[choice].clone());
+    }
+    centroids
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = euclidean(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Renumbers cluster ids densely (some may be empty after convergence on
+/// degenerate data).
+fn compact(assignment: Vec<usize>, k: usize) -> Clustering {
+    let mut remap = vec![usize::MAX; k];
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(assignment.len());
+    for cid in assignment {
+        if remap[cid] == usize::MAX {
+            remap[cid] = next;
+            next += 1;
+        }
+        out.push(remap[cid]);
+    }
+    Clustering { assignment: out, n_clusters: next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.1, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![50.0 + i as f64 * 0.1, 50.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let c = kmeans(&blobs(), KMeansParams { k: 2, max_iters: 100, seed: 1 });
+        assert!(c.is_consistent());
+        assert_eq!(c.n_clusters, 2);
+        assert!(c.assignment[..10].iter().all(|&x| x == c.assignment[0]));
+        assert!(c.assignment[10..].iter().all(|&x| x == c.assignment[10]));
+        assert_ne!(c.assignment[0], c.assignment[10]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let c = kmeans(&pts, KMeansParams { k: 10, max_iters: 10, seed: 3 });
+        assert!(c.is_consistent());
+        assert!(c.n_clusters <= 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = kmeans(&blobs(), KMeansParams { k: 4, max_iters: 50, seed: 9 });
+        let b = kmeans(&blobs(), KMeansParams { k: 4, max_iters: 50, seed: 9 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = kmeans(&[], KMeansParams::default());
+        assert_eq!(c.n_clusters, 0);
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let pts = vec![vec![5.0, 5.0]; 12];
+        let c = kmeans(&pts, KMeansParams { k: 3, max_iters: 20, seed: 7 });
+        assert!(c.is_consistent());
+        // All points identical: ids must be valid whatever the cluster count.
+        assert_eq!(c.assignment.len(), 12);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let c = kmeans(&blobs(), KMeansParams { k: 1, max_iters: 10, seed: 2 });
+        assert_eq!(c.n_clusters, 1);
+        assert!(c.assignment.iter().all(|&x| x == 0));
+    }
+}

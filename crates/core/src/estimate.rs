@@ -1,0 +1,167 @@
+//! Pre-run cost estimation.
+//!
+//! The paper's motivation is budgeting (§I walks through a $1,800 quote
+//! for naive standard prompting). This module produces that quote *before*
+//! spending anything: given a dataset and a run configuration, it predicts
+//! API calls, prompt tokens and dollar cost from sampled token statistics,
+//! without contacting any endpoint.
+
+use er_core::{Dataset, Money, TokenCount};
+use llm::{count_tokens, PriceTable};
+
+use crate::prompt::task_description;
+use crate::runner::RunConfig;
+use crate::selection::SelectionStrategy;
+
+/// A pre-run quote for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted number of API calls (batches).
+    pub calls: u64,
+    /// Predicted total prompt tokens.
+    pub prompt_tokens: TokenCount,
+    /// Predicted API cost (input side; completions add the output rate on
+    /// ~15 tokens per question).
+    pub api: Money,
+    /// Labeling cost bounds `(low, high)`: exact for fixed selection,
+    /// a range for relevance-driven strategies whose final demo count
+    /// depends on the data.
+    pub labeling: (Money, Money),
+}
+
+impl CostEstimate {
+    /// Quotes a run of `config` over `dataset` without executing anything.
+    ///
+    /// Token statistics come from averaging the serialized length of up to
+    /// 256 pairs; the question count follows the 3:1:1 split the runner
+    /// will use.
+    pub fn quote(dataset: &Dataset, config: &RunConfig) -> Self {
+        let n = dataset.len();
+        let test_n = (n / 5).max(1) as u64; // the 3:1:1 test share
+        let batch = config.batch_size.max(1) as u64;
+        let calls = test_n.div_ceil(batch);
+
+        // Average serialized-pair tokens over a deterministic sample.
+        let sample = dataset.pairs().iter().take(256);
+        let (mut total, mut count) = (0u64, 0u64);
+        for p in sample {
+            total += count_tokens(&p.pair.serialize());
+            count += 1;
+        }
+        let avg_pair = if count == 0 { 90 } else { total / count };
+
+        // Demos per prompt: k for fixed/top-k; covering prompts carry
+        // roughly one covering demo per distinct question pattern — we
+        // bound it by k and estimate half.
+        let demos_per_prompt = match config.selection {
+            SelectionStrategy::Covering => (config.k as u64).div_ceil(2),
+            _ => config.k as u64,
+        };
+        let desc_tokens = count_tokens(&task_description(dataset.domain())) + 30;
+        let per_call =
+            desc_tokens + demos_per_prompt * (avg_pair + 4) + batch * (avg_pair + 4);
+        let prompt_tokens = TokenCount(per_call * calls);
+
+        let price = PriceTable::for_model(config.model);
+        // ~15 completion tokens per question (verdict + short rationale).
+        let completion = TokenCount(15 * test_n);
+        let api = price.cost(prompt_tokens, completion);
+
+        let labeling = match config.selection {
+            SelectionStrategy::Fixed => {
+                let exact = er_core::LABEL_COST_PER_PAIR * config.k as u64;
+                (exact, exact)
+            }
+            SelectionStrategy::Covering => (
+                // Covers observed across the benchmark suite label between
+                // ~0.3% and ~4% of the question set.
+                er_core::LABEL_COST_PER_PAIR * (test_n / 300).max(4),
+                er_core::LABEL_COST_PER_PAIR * (test_n / 25).max(40),
+            ),
+            SelectionStrategy::TopKBatch | SelectionStrategy::TopKQuestion => (
+                // Between one demo per batch and saturation at one per
+                // question.
+                er_core::LABEL_COST_PER_PAIR * calls,
+                er_core::LABEL_COST_PER_PAIR * test_n,
+            ),
+        };
+
+        Self { calls, prompt_tokens, api, labeling }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, DatasetKind};
+    use llm::SimLlm;
+
+    #[test]
+    fn quote_brackets_actual_run() {
+        let dataset = generate(DatasetKind::Beer, 5);
+        let config = RunConfig { seed: 1, ..RunConfig::best_design() };
+        let quote = CostEstimate::quote(&dataset, &config);
+        let actual = crate::runner::run(&dataset, &SimLlm::new(), config);
+
+        // Call count: exact up to end-game batch splitting.
+        let diff = quote.calls.abs_diff(actual.ledger.api_calls);
+        assert!(diff <= 2, "calls {} vs actual {}", quote.calls, actual.ledger.api_calls);
+
+        // API cost within 2x either way — a usable budget quote.
+        let ratio = quote.api.ratio(actual.ledger.api);
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "quote {} vs actual {} (ratio {ratio:.2})",
+            quote.api,
+            actual.ledger.api
+        );
+
+        // Labeling bracket contains the actual cost.
+        assert!(
+            quote.labeling.0 <= actual.ledger.labeling
+                && actual.ledger.labeling <= quote.labeling.1,
+            "labeling {} outside [{}, {}]",
+            actual.ledger.labeling,
+            quote.labeling.0,
+            quote.labeling.1
+        );
+    }
+
+    #[test]
+    fn fixed_selection_quote_is_exact_on_labeling() {
+        let dataset = generate(DatasetKind::Beer, 5);
+        let config = RunConfig { seed: 1, ..RunConfig::batch_prompting_fixed() };
+        let quote = CostEstimate::quote(&dataset, &config);
+        assert_eq!(quote.labeling.0, quote.labeling.1);
+        let actual = crate::runner::run(&dataset, &SimLlm::new(), config);
+        assert_eq!(actual.ledger.labeling, quote.labeling.0);
+    }
+
+    #[test]
+    fn standard_prompting_quotes_more_calls_and_cost() {
+        let dataset = generate(DatasetKind::FodorsZagats, 5);
+        let std_quote =
+            CostEstimate::quote(&dataset, &RunConfig::standard_prompting());
+        let batch_quote =
+            CostEstimate::quote(&dataset, &RunConfig::batch_prompting_fixed());
+        assert!(std_quote.calls > batch_quote.calls * 7);
+        assert!(
+            std_quote.api.ratio(batch_quote.api) > 3.0,
+            "std {} vs batch {}",
+            std_quote.api,
+            batch_quote.api
+        );
+    }
+
+    #[test]
+    fn gpt4_quotes_ten_x() {
+        let dataset = generate(DatasetKind::Beer, 5);
+        let base = RunConfig::best_design();
+        let g35 = CostEstimate::quote(&dataset, &base);
+        let g4 = CostEstimate::quote(
+            &dataset,
+            &RunConfig { model: llm::ModelKind::Gpt4, ..base },
+        );
+        assert!(g4.api.ratio(g35.api) > 8.0);
+    }
+}

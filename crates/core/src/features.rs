@@ -1,0 +1,320 @@
+//! Feature extractors (§III-B): structure-aware and semantics-based.
+
+use embed::{Embedder, EmbedderConfig};
+use er_core::EntityPair;
+use text_sim::{jaccard_tokens, levenshtein_ratio, normalize};
+
+/// Which feature extractor to use (Table VII's three variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtractorKind {
+    /// Structure-aware with per-attribute Levenshtein ratio (Eq. 5) —
+    /// BATCHER-LR, the paper's best.
+    LevenshteinRatio,
+    /// Structure-aware with per-attribute Jaccard (Eq. 4) — BATCHER-JAC.
+    Jaccard,
+    /// Semantics-based: embedding of the serialized pair — BATCHER-SEM.
+    Semantic,
+}
+
+impl ExtractorKind {
+    /// All extractors in Table VII order.
+    pub const ALL: [ExtractorKind; 3] = [
+        ExtractorKind::LevenshteinRatio,
+        ExtractorKind::Jaccard,
+        ExtractorKind::Semantic,
+    ];
+
+    /// Display name used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtractorKind::LevenshteinRatio => "BATCHER-LR",
+            ExtractorKind::Jaccard => "BATCHER-JAC",
+            ExtractorKind::Semantic => "BATCHER-SEM",
+        }
+    }
+}
+
+/// Distance function over feature vectors. The paper uses Euclidean
+/// ("achieves the best performance among others", §III-B); cosine is
+/// provided for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Euclidean (L2) distance — the paper's default.
+    Euclidean,
+    /// Cosine distance `1 − cos`.
+    Cosine,
+}
+
+impl DistanceKind {
+    /// Distance between two equal-length vectors.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceKind::Euclidean => embed::euclidean_distance(a, b),
+            DistanceKind::Cosine => embed::cosine_distance(a, b),
+        }
+    }
+}
+
+/// A materialized feature space: one vector per pair, plus the distance
+/// function to compare them.
+#[derive(Debug, Clone)]
+pub struct FeatureSpace {
+    vectors: Vec<Vec<f64>>,
+    distance: DistanceKind,
+}
+
+impl FeatureSpace {
+    /// Extracts features for `pairs` with the given extractor.
+    ///
+    /// The semantic embedder runs at 64 dimensions — enough for lexical
+    /// clustering while keeping the O(|pool|·|questions|) covering
+    /// distance sweep tractable on the largest benchmark (DBLP-Scholar).
+    pub fn extract<'p, I>(pairs: I, extractor: ExtractorKind, distance: DistanceKind) -> Self
+    where
+        I: IntoIterator<Item = &'p EntityPair>,
+    {
+        let vectors = match extractor {
+            ExtractorKind::LevenshteinRatio => pairs
+                .into_iter()
+                .map(|p| structure_vector(p, levenshtein_ratio))
+                .collect(),
+            ExtractorKind::Jaccard => pairs
+                .into_iter()
+                .map(|p| structure_vector(p, jaccard_tokens))
+                .collect(),
+            ExtractorKind::Semantic => {
+                let embedder = Embedder::new(EmbedderConfig { dim: 64, ..Default::default() });
+                pairs
+                    .into_iter()
+                    .map(|p| embedder.embed(&p.serialize()))
+                    .collect()
+            }
+        };
+        Self { vectors, distance }
+    }
+
+    /// Builds a feature space from precomputed vectors (used by tests and
+    /// the ablation benches).
+    pub fn from_vectors(vectors: Vec<Vec<f64>>, distance: DistanceKind) -> Self {
+        Self { vectors, distance }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no vectors are present.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The feature vector of item `i`.
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.vectors[i]
+    }
+
+    /// All vectors.
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// Distance between items `i` and `j` of this space.
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.distance.distance(&self.vectors[i], &self.vectors[j])
+    }
+
+    /// Distance between item `i` of this space and item `j` of `other`
+    /// (e.g. question ↔ demonstration). Spaces must share an extractor.
+    pub fn cross_dist(&self, i: usize, other: &FeatureSpace, j: usize) -> f64 {
+        self.distance.distance(&self.vectors[i], &other.vectors[j])
+    }
+
+    /// The `pct`-th percentile (0–100) of pairwise distances, estimated on
+    /// at most `max_samples` deterministic index pairs. Used to derive the
+    /// covering threshold `t` (§VI-A: the 8th percentile).
+    pub fn distance_percentile(&self, pct: f64, max_samples: usize, seed: u64) -> f64 {
+        let n = self.vectors.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let total = n * (n - 1) / 2;
+        let mut samples: Vec<f64> = Vec::new();
+        if total <= max_samples {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    samples.push(self.dist(i, j));
+                }
+            }
+        } else {
+            // Deterministic xorshift stream over index pairs.
+            let mut state = seed | 1;
+            let mut step = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..max_samples {
+                let i = (step() % n as u64) as usize;
+                let mut j = (step() % n as u64) as usize;
+                if i == j {
+                    j = (j + 1) % n;
+                }
+                samples.push(self.dist(i, j));
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let rank = ((pct / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[rank.min(samples.len() - 1)]
+    }
+}
+
+/// Structure-aware vector: one similarity per aligned attribute
+/// (Example 5: `v1 = [1, 0.73, 0.42]`).
+fn structure_vector<F>(pair: &EntityPair, sim: F) -> Vec<f64>
+where
+    F: Fn(&str, &str) -> f64,
+{
+    let m = pair.a().schema().arity();
+    (0..m)
+        .map(|i| {
+            let va = normalize(pair.a().value(i).unwrap_or(""));
+            let vb = normalize(pair.b().value(i).unwrap_or(""));
+            if va.is_empty() && vb.is_empty() {
+                // Jointly missing: no evidence either way.
+                0.5
+            } else if va.is_empty() || vb.is_empty() {
+                0.0
+            } else {
+                sim(&va, &vb)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, DatasetKind};
+
+    fn pairs() -> Vec<er_core::LabeledPair> {
+        generate(DatasetKind::Beer, 5).pairs().to_vec()
+    }
+
+    #[test]
+    fn structure_vectors_have_schema_arity() {
+        let ps = pairs();
+        let space = FeatureSpace::extract(
+            ps.iter().map(|p| &p.pair),
+            ExtractorKind::LevenshteinRatio,
+            DistanceKind::Euclidean,
+        );
+        assert_eq!(space.len(), ps.len());
+        assert_eq!(space.vector(0).len(), 4); // Beer has 4 attributes
+        for v in space.vectors() {
+            for &x in v {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_vectors_are_embeddings() {
+        let ps = pairs();
+        let space = FeatureSpace::extract(
+            ps.iter().take(10).map(|p| &p.pair),
+            ExtractorKind::Semantic,
+            DistanceKind::Cosine,
+        );
+        assert_eq!(space.vector(0).len(), 64);
+    }
+
+    #[test]
+    fn matches_have_higher_structure_sims() {
+        let ps = pairs();
+        let space = FeatureSpace::extract(
+            ps.iter().map(|p| &p.pair),
+            ExtractorKind::LevenshteinRatio,
+            DistanceKind::Euclidean,
+        );
+        let mean = |idx: Vec<usize>| -> f64 {
+            let s: f64 = idx
+                .iter()
+                .map(|&i| space.vector(i).iter().sum::<f64>() / space.vector(i).len() as f64)
+                .sum();
+            s / idx.len() as f64
+        };
+        let match_idx: Vec<usize> = ps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.label.is_match())
+            .map(|(i, _)| i)
+            .collect();
+        let non_idx: Vec<usize> = ps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.label.is_match())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(mean(match_idx) > mean(non_idx) + 0.1);
+    }
+
+    #[test]
+    fn distance_kinds_differ() {
+        let space = FeatureSpace::from_vectors(
+            vec![vec![1.0, 0.0], vec![2.0, 0.0]],
+            DistanceKind::Euclidean,
+        );
+        assert!((space.dist(0, 1) - 1.0).abs() < 1e-12);
+        let cos = FeatureSpace::from_vectors(
+            vec![vec![1.0, 0.0], vec![2.0, 0.0]],
+            DistanceKind::Cosine,
+        );
+        assert!(cos.dist(0, 1).abs() < 1e-12); // parallel vectors
+    }
+
+    #[test]
+    fn percentile_monotone_and_bounded() {
+        let ps = pairs();
+        let space = FeatureSpace::extract(
+            ps.iter().map(|p| &p.pair),
+            ExtractorKind::LevenshteinRatio,
+            DistanceKind::Euclidean,
+        );
+        let p8 = space.distance_percentile(8.0, 50_000, 1);
+        let p50 = space.distance_percentile(50.0, 50_000, 1);
+        let p100 = space.distance_percentile(100.0, 50_000, 1);
+        assert!(p8 <= p50 && p50 <= p100);
+        assert!(p8 >= 0.0);
+    }
+
+    #[test]
+    fn percentile_deterministic() {
+        let ps = pairs();
+        let space = FeatureSpace::extract(
+            ps.iter().map(|p| &p.pair),
+            ExtractorKind::Jaccard,
+            DistanceKind::Euclidean,
+        );
+        assert_eq!(
+            space.distance_percentile(8.0, 1000, 9),
+            space.distance_percentile(8.0, 1000, 9)
+        );
+    }
+
+    #[test]
+    fn degenerate_spaces() {
+        let empty = FeatureSpace::from_vectors(vec![], DistanceKind::Euclidean);
+        assert!(empty.is_empty());
+        let single =
+            FeatureSpace::from_vectors(vec![vec![1.0]], DistanceKind::Euclidean);
+        assert_eq!(single.distance_percentile(8.0, 100, 1), 0.0);
+    }
+
+    #[test]
+    fn extractor_names() {
+        assert_eq!(ExtractorKind::LevenshteinRatio.name(), "BATCHER-LR");
+        assert_eq!(ExtractorKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,454 @@
+//! Demonstration selection (§IV): fixed, top-k-batch, top-k-question and
+//! covering-based strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cover::{batch_covering, demonstration_set_generation};
+use crate::features::FeatureSpace;
+
+/// The four selection strategies of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// `k` random demonstrations shared by every batch (§IV-A).
+    Fixed,
+    /// `k` nearest demonstrations per batch under
+    /// `dist*(B, d) = min_{q∈B} dist(q, d)` (Eq. 6, §IV-B).
+    TopKBatch,
+    /// Nearest demonstrations per *question*, unioned per batch (§IV-C).
+    TopKQuestion,
+    /// The paper's covering-based strategy (§IV-D, §V).
+    Covering,
+}
+
+impl SelectionStrategy {
+    /// All strategies in Table IV column order.
+    pub const ALL: [SelectionStrategy; 4] = [
+        SelectionStrategy::Fixed,
+        SelectionStrategy::TopKBatch,
+        SelectionStrategy::TopKQuestion,
+        SelectionStrategy::Covering,
+    ];
+
+    /// Display name used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionStrategy::Fixed => "Fix",
+            SelectionStrategy::TopKBatch => "Topk-batch",
+            SelectionStrategy::TopKQuestion => "Topk-question",
+            SelectionStrategy::Covering => "Cover",
+        }
+    }
+}
+
+/// The output of demonstration selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionPlan {
+    /// Pool indices to include in each batch's prompt, in prompt order.
+    pub per_batch: Vec<Vec<usize>>,
+    /// Unique pool indices that must be human-labeled (drives labeling
+    /// cost). For covering this is the full generated demonstration set,
+    /// which phase 2 then allocates per batch.
+    pub labeled: Vec<usize>,
+    /// The covering threshold `t` actually used (None for non-covering
+    /// strategies) — surfaced for diagnostics and the ablation bench.
+    pub threshold: Option<f64>,
+}
+
+/// Parameters shared by all selection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionParams {
+    /// Demonstrations per batch for fixed / top-k-batch; for
+    /// top-k-question, `max(1, k / batch_size)` per question.
+    pub k: usize,
+    /// Percentile (0–100) of pairwise question distances defining the
+    /// covering threshold `t` (§VI-A uses the 8th percentile).
+    pub cover_percentile: f64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for SelectionParams {
+    fn default() -> Self {
+        Self { k: 8, cover_percentile: 8.0, seed: 42 }
+    }
+}
+
+/// Selects demonstrations for every batch.
+///
+/// * `questions` / `pool` — feature spaces over the question set and the
+///   unlabeled demonstration pool (same extractor).
+/// * `batches` — question indices per batch, from
+///   [`crate::batching::make_batches`].
+/// * `demo_tokens(d)` — token count of pool demo `d`, the weight used by
+///   batch covering.
+pub fn select_demonstrations<W>(
+    strategy: SelectionStrategy,
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    params: SelectionParams,
+    demo_tokens: W,
+) -> SelectionPlan
+where
+    W: Fn(usize) -> f64,
+{
+    assert!(params.k > 0, "k must be positive");
+    match strategy {
+        SelectionStrategy::Fixed => fixed(pool, batches, params),
+        SelectionStrategy::TopKBatch => topk_batch(questions, pool, batches, params),
+        SelectionStrategy::TopKQuestion => topk_question(questions, pool, batches, params),
+        SelectionStrategy::Covering => {
+            covering(questions, pool, batches, params, demo_tokens)
+        }
+    }
+}
+
+fn fixed(pool: &FeatureSpace, batches: &[Vec<usize>], params: SelectionParams) -> SelectionPlan {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let k = params.k.min(pool.len());
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    // Partial Fisher-Yates: the first k slots become the sample.
+    for i in 0..k {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    let demos: Vec<usize> = indices[..k].to_vec();
+    SelectionPlan {
+        per_batch: vec![demos.clone(); batches.len()],
+        labeled: demos,
+        threshold: None,
+    }
+}
+
+fn topk_batch(
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    params: SelectionParams,
+) -> SelectionPlan {
+    let k = params.k.min(pool.len());
+    let mut per_batch = Vec::with_capacity(batches.len());
+    let mut labeled: Vec<usize> = Vec::new();
+    for batch in batches {
+        // dist*(B, d) = min over questions in the batch (Eq. 6).
+        let mut scored: Vec<(f64, usize)> = (0..pool.len())
+            .map(|d| {
+                let dist = batch
+                    .iter()
+                    .map(|&q| questions.cross_dist(q, pool, d))
+                    .fold(f64::INFINITY, f64::min);
+                (dist, d)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let demos: Vec<usize> = scored[..k].iter().map(|&(_, d)| d).collect();
+        labeled.extend(&demos);
+        per_batch.push(demos);
+    }
+    labeled.sort_unstable();
+    labeled.dedup();
+    SelectionPlan { per_batch, labeled, threshold: None }
+}
+
+fn topk_question(
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    params: SelectionParams,
+) -> SelectionPlan {
+    let mut per_batch = Vec::with_capacity(batches.len());
+    let mut labeled: Vec<usize> = Vec::new();
+    for batch in batches {
+        // k per question so the per-batch total stays comparable to the
+        // other strategies (Fig. 5 uses k = 1 at batch size 8).
+        let k_q = (params.k / batch.len().max(1)).max(1).min(pool.len());
+        let mut demos: Vec<usize> = Vec::new();
+        for &q in batch {
+            let mut scored: Vec<(f64, usize)> = (0..pool.len())
+                .map(|d| (questions.cross_dist(q, pool, d), d))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(_, d) in &scored[..k_q] {
+                if !demos.contains(&d) {
+                    demos.push(d);
+                }
+            }
+        }
+        labeled.extend(&demos);
+        per_batch.push(demos);
+    }
+    labeled.sort_unstable();
+    labeled.dedup();
+    SelectionPlan { per_batch, labeled, threshold: None }
+}
+
+fn covering<W>(
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    params: SelectionParams,
+    demo_tokens: W,
+) -> SelectionPlan
+where
+    W: Fn(usize) -> f64,
+{
+    // t = the configured percentile of pairwise question distances
+    // (§VI-A: 8th percentile balances labeling cost against accuracy).
+    let t = questions
+        .distance_percentile(params.cover_percentile, 200_000, params.seed)
+        .max(1e-9);
+
+    // Phase 1: one demonstration set covering all questions.
+    let demo_set = demonstration_set_generation(questions.len(), pool.len(), |d, q| {
+        questions.cross_dist(q, pool, d) < t
+    });
+
+    // Phase 2: per batch, the cheapest (token-weighted) covering subset.
+    let mut per_batch = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let picked = batch_covering(
+            batch.len(),
+            &demo_set,
+            |d, qi| questions.cross_dist(batch[qi], pool, d) < t,
+            &demo_tokens,
+        );
+        let mut demos: Vec<usize> = picked.iter().map(|&i| demo_set[i]).collect();
+        if demos.is_empty() && !demo_set.is_empty() {
+            // Uncoverable batch (all its questions beyond t from every
+            // demo): fall back to the nearest labeled demo so the prompt
+            // still carries one worked example.
+            let nearest = demo_set
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = batch
+                        .iter()
+                        .map(|&q| questions.cross_dist(q, pool, a))
+                        .fold(f64::INFINITY, f64::min);
+                    let db = batch
+                        .iter()
+                        .map(|&q| questions.cross_dist(q, pool, b))
+                        .fold(f64::INFINITY, f64::min);
+                    da.total_cmp(&db)
+                })
+                .expect("demo_set checked non-empty");
+            demos.push(nearest);
+        }
+        per_batch.push(demos);
+    }
+    SelectionPlan { per_batch, labeled: demo_set, threshold: Some(t) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::DistanceKind;
+
+    /// Questions at 0..6 on a line; pool demos at 0.2, 1.1, 3.9, 5.2, 40.
+    fn spaces() -> (FeatureSpace, FeatureSpace) {
+        let questions = FeatureSpace::from_vectors(
+            (0..6).map(|q| vec![q as f64]).collect(),
+            DistanceKind::Euclidean,
+        );
+        let pool = FeatureSpace::from_vectors(
+            vec![vec![0.2], vec![1.1], vec![3.9], vec![5.2], vec![40.0]],
+            DistanceKind::Euclidean,
+        );
+        (questions, pool)
+    }
+
+    fn batches() -> Vec<Vec<usize>> {
+        vec![vec![0, 1, 2], vec![3, 4, 5]]
+    }
+
+    const PARAMS: SelectionParams = SelectionParams { k: 2, cover_percentile: 30.0, seed: 7 };
+
+    #[test]
+    fn fixed_uses_same_demos_everywhere() {
+        let (q, p) = spaces();
+        let plan = select_demonstrations(
+            SelectionStrategy::Fixed,
+            &q,
+            &p,
+            &batches(),
+            PARAMS,
+            |_| 1.0,
+        );
+        assert_eq!(plan.per_batch.len(), 2);
+        assert_eq!(plan.per_batch[0], plan.per_batch[1]);
+        assert_eq!(plan.labeled.len(), 2);
+        assert!(plan.threshold.is_none());
+    }
+
+    #[test]
+    fn topk_batch_picks_nearest_by_min_distance() {
+        let (q, p) = spaces();
+        let plan = select_demonstrations(
+            SelectionStrategy::TopKBatch,
+            &q,
+            &p,
+            &batches(),
+            PARAMS,
+            |_| 1.0,
+        );
+        // Batch {0,1,2}: nearest demos under dist* are 0 (0.2 from q0) and
+        // 1 (0.1 from q1); selection order follows increasing distance.
+        let sorted = |v: &[usize]| {
+            let mut v = v.to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&plan.per_batch[0]), vec![0, 1]);
+        // Batch {3,4,5}: nearest are 2 (3.9) and 3 (5.2).
+        assert_eq!(sorted(&plan.per_batch[1]), vec![2, 3]);
+        // The far demo (40.0) is never labeled.
+        assert!(!plan.labeled.contains(&4));
+    }
+
+    #[test]
+    fn topk_question_covers_each_question() {
+        let (q, p) = spaces();
+        let plan = select_demonstrations(
+            SelectionStrategy::TopKQuestion,
+            &q,
+            &p,
+            &batches(),
+            SelectionParams { k: 3, ..PARAMS },
+            |_| 1.0,
+        );
+        // k_q = max(1, 3/3) = 1: each question contributes its nearest demo.
+        // Questions 0,1 -> demo 0 or 1; question 2 -> demo 2 (|2-1.1|=0.9
+        // vs |2-3.9|=1.9 -> actually demo 1). Just assert structure:
+        for (batch, demos) in batches().iter().zip(&plan.per_batch) {
+            assert!(!demos.is_empty());
+            assert!(demos.len() <= batch.len());
+            // No duplicates within a batch's demo list.
+            let mut d = demos.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), demos.len());
+        }
+    }
+
+    #[test]
+    fn covering_labels_fewer_than_topk_question() {
+        let (q, p) = spaces();
+        let topk = select_demonstrations(
+            SelectionStrategy::TopKQuestion,
+            &q,
+            &p,
+            &batches(),
+            SelectionParams { k: 6, ..PARAMS },
+            |_| 1.0,
+        );
+        let cover = select_demonstrations(
+            SelectionStrategy::Covering,
+            &q,
+            &p,
+            &batches(),
+            SelectionParams { cover_percentile: 40.0, ..PARAMS },
+            |_| 1.0,
+        );
+        assert!(
+            cover.labeled.len() <= topk.labeled.len(),
+            "cover labeled {} > topk {}",
+            cover.labeled.len(),
+            topk.labeled.len()
+        );
+        assert!(cover.threshold.is_some());
+    }
+
+    #[test]
+    fn covering_prefers_cheap_demos_in_batches() {
+        // Phase 1 must keep both demos (each uniquely covers an outer
+        // question); phase 2 must then allocate the cheaper one for the
+        // middle question both demos cover.
+        let questions = FeatureSpace::from_vectors(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            DistanceKind::Euclidean,
+        );
+        let pool = FeatureSpace::from_vectors(
+            vec![vec![0.5], vec![1.5]],
+            DistanceKind::Euclidean,
+        );
+        // Question pairwise distances [1,1,2]; the 30th percentile is 1.0,
+        // so "covers" means distance < 1.0: demo 0 ↔ {q0, q1}, demo 1 ↔
+        // {q1, q2}.
+        let plan = select_demonstrations(
+            SelectionStrategy::Covering,
+            &questions,
+            &pool,
+            &[vec![1]],
+            SelectionParams { cover_percentile: 30.0, ..PARAMS },
+            |d| if d == 0 { 100.0 } else { 10.0 },
+        );
+        assert_eq!(plan.labeled.len(), 2, "phase 1 should need both demos");
+        // Phase 2 allocates the cheaper covering demo for the batch {q1}.
+        assert_eq!(plan.per_batch[0], vec![1]);
+    }
+
+    #[test]
+    fn covering_falls_back_for_uncoverable_batches() {
+        // Question 5 sits far from every demo at a tiny threshold; its
+        // batch still gets the nearest labeled demo.
+        let questions = FeatureSpace::from_vectors(
+            vec![vec![0.0], vec![100.0]],
+            DistanceKind::Euclidean,
+        );
+        let pool = FeatureSpace::from_vectors(
+            vec![vec![0.001], vec![50.0]],
+            DistanceKind::Euclidean,
+        );
+        let plan = select_demonstrations(
+            SelectionStrategy::Covering,
+            &questions,
+            &pool,
+            &[vec![0], vec![1]],
+            SelectionParams { cover_percentile: 5.0, ..PARAMS },
+            |_| 1.0,
+        );
+        assert!(
+            !plan.per_batch[1].is_empty(),
+            "uncoverable batch left without demonstrations"
+        );
+    }
+
+    #[test]
+    fn k_clamped_to_pool_size() {
+        let (q, p) = spaces();
+        let plan = select_demonstrations(
+            SelectionStrategy::Fixed,
+            &q,
+            &p,
+            &batches(),
+            SelectionParams { k: 999, ..PARAMS },
+            |_| 1.0,
+        );
+        assert_eq!(plan.labeled.len(), p.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (q, p) = spaces();
+        for strategy in SelectionStrategy::ALL {
+            let a = select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0);
+            let b = select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0);
+            assert_eq!(a, b, "{strategy:?} not deterministic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let (q, p) = spaces();
+        let _ = select_demonstrations(
+            SelectionStrategy::Fixed,
+            &q,
+            &p,
+            &batches(),
+            SelectionParams { k: 0, ..PARAMS },
+            |_| 1.0,
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! CSV import/export of labeled pair datasets.
+//!
+//! Format: header `label,a_<attr1>,...,a_<attrm>,b_<attr1>,...,b_<attrm>`,
+//! then one row per pair with RFC-4180 quoting. Lets generated benchmarks
+//! be inspected, diffed and re-imported (or real Magellan CSVs be loaded
+//! when available).
+
+use std::sync::Arc;
+
+use er_core::{
+    Dataset, EntityPair, ErError, LabeledPair, MatchLabel, PairId, Record, RecordId, Schema,
+};
+
+/// Serializes a dataset to CSV text.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let schema = dataset.schema();
+    let mut out = String::new();
+    out.push_str("label");
+    for side in ["a", "b"] {
+        for attr in schema.attributes() {
+            out.push(',');
+            out.push_str(&format!("{side}_{attr}"));
+        }
+    }
+    out.push('\n');
+    for pair in dataset.pairs() {
+        out.push_str(if pair.label.is_match() { "1" } else { "0" });
+        for rec in [pair.pair.a(), pair.pair.b()] {
+            for v in rec.values() {
+                out.push(',');
+                out.push_str(&quote(v));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors raised while reading CSV datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header row is missing or malformed.
+    BadHeader(String),
+    /// A data row has the wrong number of fields.
+    BadRow {
+        /// 1-based row number (header = row 1).
+        row: usize,
+        /// Expected field count.
+        expected: usize,
+        /// Found field count.
+        got: usize,
+    },
+    /// A label field was not `0` or `1`.
+    BadLabel {
+        /// 1-based row number.
+        row: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// The reassembled dataset failed validation.
+    Model(ErError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader(h) => write!(f, "malformed CSV header: {h:?}"),
+            CsvError::BadRow { row, expected, got } => {
+                write!(f, "row {row}: expected {expected} fields, got {got}")
+            }
+            CsvError::BadLabel { row, text } => {
+                write!(f, "row {row}: label must be 0 or 1, got {text:?}")
+            }
+            CsvError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text produced by [`to_csv`] back into a dataset.
+pub fn from_csv(name: &str, domain: &str, text: &str) -> Result<Dataset, CsvError> {
+    let mut rows = text.lines().enumerate();
+    let (_, header) = rows
+        .next()
+        .ok_or_else(|| CsvError::BadHeader("empty input".into()))?;
+    let columns = split_row(header);
+    if columns.len() < 3 || columns[0] != "label" || !(columns.len() - 1).is_multiple_of(2) {
+        return Err(CsvError::BadHeader(header.to_owned()));
+    }
+    let arity = (columns.len() - 1) / 2;
+    let attr_names: Vec<String> = columns[1..=arity]
+        .iter()
+        .map(|c| c.strip_prefix("a_").unwrap_or(c).to_owned())
+        .collect();
+    let schema = Arc::new(Schema::new(attr_names).map_err(CsvError::Model)?);
+
+    let mut pairs = Vec::new();
+    for (line_idx, line) in rows {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row_no = line_idx + 1;
+        let fields = split_row(line);
+        if fields.len() != 1 + 2 * arity {
+            return Err(CsvError::BadRow {
+                row: row_no,
+                expected: 1 + 2 * arity,
+                got: fields.len(),
+            });
+        }
+        let label = match fields[0].as_str() {
+            "1" => MatchLabel::Matching,
+            "0" => MatchLabel::NonMatching,
+            other => {
+                return Err(CsvError::BadLabel { row: row_no, text: other.to_owned() })
+            }
+        };
+        let idx = pairs.len() as u32;
+        let a = Arc::new(
+            Record::new(
+                RecordId::a(idx),
+                Arc::clone(&schema),
+                fields[1..=arity].to_vec(),
+            )
+            .map_err(CsvError::Model)?,
+        );
+        let b = Arc::new(
+            Record::new(
+                RecordId::b(idx),
+                Arc::clone(&schema),
+                fields[1 + arity..].to_vec(),
+            )
+            .map_err(CsvError::Model)?,
+        );
+        pairs.push(LabeledPair::new(
+            EntityPair::new(PairId(idx), a, b).map_err(CsvError::Model)?,
+            label,
+        ));
+    }
+    Dataset::new(name, domain, schema, pairs).map_err(CsvError::Model)
+}
+
+/// RFC-4180 quoting: wrap in quotes when the value contains a comma,
+/// quote or newline; double interior quotes.
+fn quote(v: &str) -> String {
+    if v.contains(',') || v.contains('"') || v.contains('\n') {
+        format!("\"{}\"", v.replace('"', "\"\""))
+    } else {
+        v.to_owned()
+    }
+}
+
+/// Splits one CSV row honoring quotes.
+fn split_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetKind};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = generate(DatasetKind::Beer, 3);
+        let csv = to_csv(&d);
+        let back = from_csv("Beer", "Beer", &csv).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.stats().matches, d.stats().matches);
+        for (orig, parsed) in d.pairs().iter().zip(back.pairs()) {
+            assert_eq!(orig.pair.a().values(), parsed.pair.a().values());
+            assert_eq!(orig.pair.b().values(), parsed.pair.b().values());
+            assert_eq!(orig.label, parsed.label);
+        }
+    }
+
+    #[test]
+    fn quoting_handles_commas_and_quotes() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(split_row("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(split_row("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            from_csv("X", "d", "not,a,header\n"),
+            Err(CsvError::BadHeader(_))
+        ));
+        assert!(matches!(from_csv("X", "d", ""), Err(CsvError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_row_rejected() {
+        let csv = "label,a_t,b_t\n1,only_two\n";
+        assert!(matches!(
+            from_csv("X", "d", csv),
+            Err(CsvError::BadRow { row: 2, expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let csv = "label,a_t,b_t\nmaybe,x,y\n";
+        assert!(matches!(
+            from_csv("X", "d", csv),
+            Err(CsvError::BadLabel { row: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "label,a_t,b_t\n1,x,y\n\n0,p,q\n";
+        let d = from_csv("X", "d", csv).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

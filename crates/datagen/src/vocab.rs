@@ -1,0 +1,185 @@
+//! Domain vocabularies for the synthetic benchmark generators.
+//!
+//! Each Magellan dataset covers a distinct domain (Table II); the word
+//! pools below give the generators enough lexical texture that string
+//! similarity behaves like it does on the real data: titles share brand
+//! and family tokens, citations share venue names, and so on.
+
+/// Electronics / product brands (WA, AB, AG).
+pub const BRANDS: &[&str] = &[
+    "samsung", "sony", "apple", "lenovo", "dell", "asus", "acer", "canon", "nikon", "logitech",
+    "panasonic", "toshiba", "philips", "sharp", "jvc", "garmin", "netgear", "belkin", "sandisk",
+    "kingston", "hp", "epson", "brother", "intel", "corsair", "msi", "gigabyte", "vizio",
+];
+
+/// Product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "laptop", "monitor", "keyboard", "mouse", "printer", "router", "camera", "lens", "speaker",
+    "headphones", "charger", "adapter", "tablet", "projector", "scanner", "webcam", "microphone",
+    "dock", "drive", "enclosure", "switch", "console", "soundbar", "tripod",
+];
+
+/// Product qualifiers.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "wireless", "portable", "compact", "ultra", "pro", "slim", "gaming", "professional",
+    "digital", "premium", "essential", "advanced", "classic", "smart", "dual", "mini",
+];
+
+/// Product categories (WA `category` attribute).
+pub const CATEGORIES: &[&str] = &[
+    "computers", "electronics", "accessories", "office products", "photography",
+    "audio", "networking", "storage", "printers", "displays",
+];
+
+/// Software product nouns (AG).
+pub const SOFTWARE_NOUNS: &[&str] = &[
+    "photoshop elements", "quickbooks premier", "antivirus suite", "office standard",
+    "creative studio", "backup utility", "video editor", "tax preparation", "language pack",
+    "encyclopedia deluxe", "typing tutor", "web designer", "pdf converter", "music studio",
+    "security essentials", "drawing suite", "project planner", "database manager",
+];
+
+/// Software manufacturers (AG `manufacturer`).
+pub const SOFTWARE_MAKERS: &[&str] = &[
+    "adobe", "intuit", "microsoft", "symantec", "corel", "mcafee", "autodesk", "roxio",
+    "nuance", "broderbund", "encore", "topics entertainment", "individual software",
+];
+
+/// Research topic words (DS, DA titles).
+pub const PAPER_TOPICS: &[&str] = &[
+    "query optimization", "data integration", "entity resolution", "schema matching",
+    "stream processing", "index structures", "transaction management", "view maintenance",
+    "data mining", "information extraction", "web search", "xml processing",
+    "sensor networks", "distributed joins", "approximate counting", "graph partitioning",
+    "spatial indexing", "concurrency control", "materialized views", "data warehousing",
+];
+
+/// Title patterns for papers.
+pub const PAPER_FRAMES: &[&str] = &[
+    "efficient {} in relational databases",
+    "a survey of {}",
+    "scalable {} for large datasets",
+    "on the complexity of {}",
+    "adaptive {} revisited",
+    "towards practical {}",
+    "{}: models and algorithms",
+    "parallel {} over shared memory",
+];
+
+/// Author surnames for citations.
+pub const SURNAMES: &[&str] = &[
+    "chen", "smith", "garcia", "kumar", "johnson", "mueller", "tanaka", "rossi", "ivanov",
+    "martin", "lee", "wang", "brown", "davis", "wilson", "lopez", "gonzalez", "silva",
+    "fischer", "weber", "yamamoto", "sato", "kim", "park", "nguyen", "patel", "singh",
+];
+
+/// Author first initials.
+pub const INITIALS: &[&str] = &[
+    "a", "b", "c", "d", "e", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w",
+];
+
+/// Publication venues (DS uses scruffy Scholar-style strings, DA clean ACM
+/// strings — the generators vary the formatting).
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "pods", "www", "icdm", "sdm",
+];
+
+/// Restaurant name stems (FZ).
+pub const RESTAURANT_STEMS: &[&str] = &[
+    "golden dragon", "la petite maison", "blue bayou", "the capital grille", "casa vega",
+    "trattoria romana", "spice garden", "harbor house", "el charro", "maple diner",
+    "lotus pavilion", "old mill tavern", "sunset bistro", "river cafe", "the olive branch",
+    "bangkok palace", "copper kettle", "stone hearth", "villa toscana", "pearl oyster bar",
+];
+
+/// Cities (FZ).
+pub const CITIES: &[&str] = &[
+    "los angeles", "new york", "san francisco", "chicago", "atlanta", "new orleans",
+    "las vegas", "boston", "seattle", "houston",
+];
+
+/// Cuisine types (FZ `type`).
+pub const CUISINES: &[&str] = &[
+    "american", "italian", "chinese", "french", "mexican", "thai", "seafood", "steakhouses",
+    "cajun", "japanese",
+];
+
+/// Street names (FZ `addr`).
+pub const STREETS: &[&str] = &[
+    "sunset blvd", "main st", "broadway", "market st", "peachtree rd", "canal st",
+    "ocean ave", "fifth ave", "lake shore dr", "mission st",
+];
+
+/// Song title words (IA).
+pub const SONG_WORDS: &[&str] = &[
+    "midnight", "summer", "heart", "fire", "golden", "river", "echo", "shadow", "diamond",
+    "thunder", "velvet", "neon", "paper", "wild", "broken", "silver", "crimson", "hollow",
+];
+
+/// Artist names (IA).
+pub const ARTISTS: &[&str] = &[
+    "the wandering lights", "nova reyes", "cedar & pine", "dj altitude", "marlowe quartet",
+    "violet skyline", "the brass foxes", "luna madre", "static bloom", "harbor kids",
+];
+
+/// Music genres (IA `genre`).
+pub const GENRES: &[&str] = &[
+    "pop", "rock", "hip-hop/rap", "country", "dance", "r&b/soul", "alternative", "electronic",
+];
+
+/// Beer name stems (Beer).
+pub const BEER_STEMS: &[&str] = &[
+    "hoppy trails", "midnight stout", "amber wave", "citrus haze", "old growler",
+    "golden prairie", "iron anchor", "smoked porter", "river bend", "snow cap",
+    "red barn", "cascade crush", "honey badger", "black canyon", "summer squall",
+];
+
+/// Breweries (Beer `brew_factory_name`).
+pub const BREWERIES: &[&str] = &[
+    "granite peak brewing", "blue heron ales", "founders of the valley", "twin pines brewery",
+    "salt flat brewing co", "harbor light brewing", "timberline brewworks", "prairie fire ales",
+];
+
+/// Beer styles (Beer `style`).
+pub const BEER_STYLES: &[&str] = &[
+    "american ipa", "imperial stout", "pale ale", "pilsner", "amber lager", "hefeweizen",
+    "porter", "saison", "brown ale", "double ipa",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        let pools: [&[&str]; 19] = [
+            BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS, CATEGORIES, SOFTWARE_NOUNS,
+            SOFTWARE_MAKERS, PAPER_TOPICS, PAPER_FRAMES, SURNAMES, INITIALS, VENUES,
+            RESTAURANT_STEMS, CITIES, CUISINES, STREETS, SONG_WORDS, ARTISTS, BEER_STEMS,
+            BREWERIES,
+        ];
+        for pool in pools {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "vocab should be lowercase: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_frames_have_placeholder() {
+        for f in PAPER_FRAMES {
+            assert!(f.contains("{}"), "frame missing placeholder: {f}");
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [BRANDS, SURNAMES, VENUES, GENRES, BEER_STYLES] {
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len());
+        }
+    }
+}

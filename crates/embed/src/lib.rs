@@ -1,0 +1,191 @@
+//! Semantics-based sentence embeddings — offline SBERT substitute.
+//!
+//! The BatchER paper's semantics-based feature extractor (§III-B) encodes
+//! the serialized question `S(q)` with a pre-trained sentence encoder
+//! (SBERT / RoBERTa) and measures relevance as Euclidean distance between
+//! embeddings. No pre-trained model is available offline, so this crate
+//! provides a deterministic **hashed n-gram embedding**: word tokens and
+//! character trigrams are feature-hashed into a fixed-dimension vector with
+//! signed hashing, then L2-normalized.
+//!
+//! The substitution is behaviour-preserving for the paper's purposes:
+//! textually related strings land close together (embedding distance tracks
+//! lexical-semantic overlap), while the vector carries no ER-task-specific
+//! signal — exactly the weakness of semantics-based extraction the paper
+//! reports in Table VII (structure-aware features win).
+
+pub mod vecmath;
+
+pub use vecmath::{cosine_distance, cosine_similarity, euclidean_distance, l2_normalize};
+
+use text_sim::{qgrams, word_tokens};
+
+/// Configuration of the hashed n-gram embedder.
+#[derive(Debug, Clone)]
+pub struct EmbedderConfig {
+    /// Embedding dimension (default 256).
+    pub dim: usize,
+    /// Include word-token features.
+    pub use_words: bool,
+    /// Include character q-gram features.
+    pub use_qgrams: bool,
+    /// q-gram width (default 3).
+    pub q: usize,
+    /// Hash seed; two embedders with different seeds produce incompatible
+    /// spaces by design.
+    pub seed: u64,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        Self { dim: 256, use_words: true, use_qgrams: true, q: 3, seed: 0x5EED_u64 }
+    }
+}
+
+/// Deterministic hashed n-gram sentence embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    config: EmbedderConfig,
+}
+
+impl Embedder {
+    /// Builds an embedder.
+    ///
+    /// # Panics
+    /// Panics if `config.dim < 2` — an embedder that cannot separate any
+    /// two strings is a construction bug.
+    pub fn new(config: EmbedderConfig) -> Self {
+        assert!(config.dim >= 2, "embedding dimension must be at least 2");
+        Self { config }
+    }
+
+    /// The embedder configuration.
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.config
+    }
+
+    /// Embeds a string into an L2-normalized `dim`-vector.
+    ///
+    /// The empty string embeds to the zero vector (the only non-unit
+    /// output); cosine similarity against it is defined as 0.
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.config.dim];
+        if self.config.use_words {
+            for tok in word_tokens(text) {
+                // Whole tokens are more discriminative than their
+                // constituent grams, hence the double weight.
+                self.scatter(&mut v, &tok, 2.0);
+            }
+        }
+        if self.config.use_qgrams {
+            for g in qgrams(text, self.config.q) {
+                self.scatter(&mut v, &g, 1.0);
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embeds many strings.
+    pub fn embed_batch<'a, I>(&self, texts: I) -> Vec<Vec<f64>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        texts.into_iter().map(|t| self.embed(t)).collect()
+    }
+
+    /// Adds a signed feature-hash contribution for one feature string.
+    fn scatter(&self, v: &mut [f64], feature: &str, weight: f64) {
+        let h = fnv1a64(feature.as_bytes(), self.config.seed);
+        let idx = (h % v.len() as u64) as usize;
+        // An independent high bit decides the sign, keeping hashed features
+        // approximately unbiased (standard signed feature hashing).
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        v[idx] += sign * weight;
+    }
+}
+
+/// FNV-1a 64-bit hash with a seed mixed into the offset basis.
+fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb() -> Embedder {
+        Embedder::new(EmbedderConfig::default())
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = emb();
+        assert_eq!(e.embed("hello world"), e.embed("hello world"));
+    }
+
+    #[test]
+    fn unit_norm_for_nonempty() {
+        let v = emb().embed("title: iphone 13, brand: apple");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_string_is_zero_vector() {
+        let v = emb().embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn related_strings_closer_than_unrelated() {
+        let e = emb();
+        let a = e.embed("apple iphone 13 smartphone 128gb");
+        let b = e.embed("apple iphone 13 smartphone 256gb");
+        let c = e.embed("quantum chromodynamics lattice simulation");
+        assert!(euclidean_distance(&a, &b) < euclidean_distance(&a, &c));
+        assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_spaces() {
+        let e1 = Embedder::new(EmbedderConfig { seed: 1, ..Default::default() });
+        let e2 = Embedder::new(EmbedderConfig { seed: 2, ..Default::default() });
+        assert_ne!(e1.embed("same text"), e2.embed("same text"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_degenerate_dim() {
+        let _ = Embedder::new(EmbedderConfig { dim: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = emb();
+        let batch = e.embed_batch(["a b", "c d"]);
+        assert_eq!(batch[0], e.embed("a b"));
+        assert_eq!(batch[1], e.embed("c d"));
+    }
+
+    #[test]
+    fn word_order_invariant_without_qgrams() {
+        let e = Embedder::new(EmbedderConfig { use_qgrams: false, ..Default::default() });
+        // Same multiset of words -> identical embedding when only word
+        // features are active.
+        assert_eq!(e.embed("alpha beta"), e.embed("beta   alpha"));
+    }
+
+    #[test]
+    fn qgrams_make_order_matter() {
+        let e = emb();
+        assert_ne!(e.embed("alpha beta"), e.embed("beta alpha"));
+    }
+}

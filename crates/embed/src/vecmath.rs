@@ -1,0 +1,93 @@
+//! Dense-vector helpers shared by the embedder and its consumers.
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics on length mismatch — comparing vectors from different embedding
+/// spaces is always a caller bug.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 when either vector is all-zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Cosine distance `1 − cosine_similarity`, in `[0, 2]`.
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// Normalizes `v` to unit L2 norm in place; leaves the zero vector
+/// untouched.
+pub fn l2_normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn euclidean_rejects_mismatch() {
+        let _ = euclidean_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_convention() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn normalize_in_place() {
+        let mut v = vec![3.0, 4.0];
+        l2_normalize(&mut v);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+
+        let mut z = vec![0.0, 0.0];
+        l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_invariance_of_cosine() {
+        let a = [0.2, 0.5, 0.9];
+        let b: Vec<f64> = a.iter().map(|x| x * 7.5).collect();
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the ER data-model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating ER data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// A schema must have at least one attribute.
+    EmptySchema,
+    /// Attribute names within a schema must be unique.
+    DuplicateAttribute(String),
+    /// A record's value count does not match its schema arity.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// The two records of a pair use different schemas.
+    SchemaMismatch,
+    /// A dataset split ratio does not cover the whole dataset.
+    BadSplit(String),
+    /// A dataset was empty where at least one labeled pair was required.
+    EmptyDataset,
+}
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::EmptySchema => write!(f, "schema must contain at least one attribute"),
+            ErError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name in schema: {name:?}")
+            }
+            ErError::ArityMismatch { expected, got } => write!(
+                f,
+                "record arity mismatch: schema has {expected} attributes, got {got} values"
+            ),
+            ErError::SchemaMismatch => {
+                write!(f, "both records of an entity pair must share one schema")
+            }
+            ErError::BadSplit(why) => write!(f, "invalid dataset split: {why}"),
+            ErError::EmptyDataset => write!(f, "dataset contains no labeled pairs"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            ErError::EmptySchema.to_string(),
+            ErError::DuplicateAttribute("title".into()).to_string(),
+            ErError::ArityMismatch { expected: 3, got: 1 }.to_string(),
+            ErError::SchemaMismatch.to_string(),
+            ErError::BadSplit("zero parts".into()).to_string(),
+            ErError::EmptyDataset.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(ErError::ArityMismatch { expected: 3, got: 1 }
+            .to_string()
+            .contains("3"));
+    }
+}

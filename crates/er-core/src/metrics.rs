@@ -1,0 +1,229 @@
+//! Matching-accuracy metrics: precision, recall, F1 (§VI-A), and
+//! mean/std aggregation over repeated runs (the paper reports mean ± std
+//! over three runs in Table III).
+
+use serde::{Deserialize, Serialize};
+
+use crate::pair::MatchLabel;
+
+/// Confusion counts for the binary matching task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Matching pairs correctly identified.
+    pub tp: u64,
+    /// Non-matching pairs incorrectly identified as matching.
+    pub fp: u64,
+    /// Matching pairs incorrectly omitted.
+    pub fn_: u64,
+    /// Non-matching pairs correctly identified.
+    pub tn: u64,
+}
+
+impl BinaryConfusion {
+    /// A zeroed confusion table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (gold, predicted) observation.
+    pub fn observe(&mut self, gold: MatchLabel, predicted: MatchLabel) {
+        match (gold.is_match(), predicted.is_match()) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Builds a confusion table from parallel gold/predicted slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths — that is always a
+    /// harness bug, not a data condition.
+    pub fn from_slices(gold: &[MatchLabel], predicted: &[MatchLabel]) -> Self {
+        assert_eq!(
+            gold.len(),
+            predicted.len(),
+            "gold and predicted label slices must be parallel"
+        );
+        let mut c = Self::new();
+        for (&g, &p) in gold.iter().zip(predicted) {
+            c.observe(g, p);
+        }
+        c
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when the denominator is 0.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `TP / (TP + FN)`; 0 when the denominator is 0.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Packages the three scores (as percentages, matching the paper's
+    /// tables).
+    pub fn scores(&self) -> PrfScores {
+        PrfScores {
+            precision: self.precision() * 100.0,
+            recall: self.recall() * 100.0,
+            f1: self.f1() * 100.0,
+        }
+    }
+
+    /// Merges another confusion table into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Precision / recall / F1 as percentages in `[0, 100]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrfScores {
+    /// Precision × 100.
+    pub precision: f64,
+    /// Recall × 100.
+    pub recall: f64,
+    /// F1 × 100.
+    pub f1: f64,
+}
+
+/// Mean ± population standard deviation of F1 over repeated runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F1Summary {
+    /// Mean F1 (percentage).
+    pub mean: f64,
+    /// Population standard deviation of F1 (percentage points).
+    pub std: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl F1Summary {
+    /// Aggregates F1 percentages from repeated runs.
+    ///
+    /// Returns `None` for an empty slice (no runs to summarize).
+    pub fn from_runs(f1s: &[f64]) -> Option<Self> {
+        if f1s.is_empty() {
+            return None;
+        }
+        let n = f1s.len() as f64;
+        let mean = f1s.iter().sum::<f64>() / n;
+        let var = f1s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Some(Self { mean, std: var.sqrt(), runs: f1s.len() })
+    }
+}
+
+impl std::fmt::Display for F1Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MatchLabel::{Matching as M, NonMatching as N};
+
+    #[test]
+    fn perfect_prediction_scores_100() {
+        let c = BinaryConfusion::from_slices(&[M, N, M, N], &[M, N, M, N]);
+        let s = c.scores();
+        assert_eq!(s.precision, 100.0);
+        assert_eq!(s.recall, 100.0);
+        assert_eq!(s.f1, 100.0);
+    }
+
+    #[test]
+    fn all_wrong_scores_zero() {
+        let c = BinaryConfusion::from_slices(&[M, N], &[N, M]);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.tp, 0);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+    }
+
+    #[test]
+    fn textbook_f1() {
+        // TP=8, FP=2 -> P=0.8; FN=2 -> R=0.8; F1=0.8.
+        let mut c = BinaryConfusion::new();
+        for _ in 0..8 {
+            c.observe(M, M);
+        }
+        for _ in 0..2 {
+            c.observe(N, M);
+        }
+        for _ in 0..2 {
+            c.observe(M, N);
+        }
+        for _ in 0..5 {
+            c.observe(N, N);
+        }
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert_eq!(c.total(), 17);
+    }
+
+    #[test]
+    fn empty_confusion_is_zero_not_nan() {
+        let c = BinaryConfusion::new();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn from_slices_panics_on_length_mismatch() {
+        let _ = BinaryConfusion::from_slices(&[M], &[M, N]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BinaryConfusion::from_slices(&[M], &[M]);
+        let b = BinaryConfusion::from_slices(&[N], &[M]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fp, 1);
+    }
+
+    #[test]
+    fn f1_summary_mean_and_std() {
+        let s = F1Summary::from_runs(&[70.0, 80.0, 90.0]).unwrap();
+        assert!((s.mean - 80.0).abs() < 1e-12);
+        assert!((s.std - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.runs, 3);
+        assert!(F1Summary::from_runs(&[]).is_none());
+        assert_eq!(F1Summary::from_runs(&[50.0]).unwrap().std, 0.0);
+    }
+}

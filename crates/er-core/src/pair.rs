@@ -1,0 +1,204 @@
+//! Entity pairs, match labels and the serialization function of Eq. 1.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ErError;
+use crate::record::Record;
+use crate::SEP;
+
+/// Identifier of a candidate pair within a dataset (index into the pair
+/// list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairId(pub u32);
+
+impl fmt::Display for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Gold label of a pair: do the two records refer to the same real-world
+/// entity?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchLabel {
+    /// The records refer to the same entity.
+    Matching,
+    /// The records refer to different entities.
+    NonMatching,
+}
+
+impl MatchLabel {
+    /// True for [`MatchLabel::Matching`].
+    pub fn is_match(self) -> bool {
+        matches!(self, MatchLabel::Matching)
+    }
+
+    /// Builds a label from a boolean (`true` = matching).
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            MatchLabel::Matching
+        } else {
+            MatchLabel::NonMatching
+        }
+    }
+}
+
+impl fmt::Display for MatchLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchLabel::Matching => write!(f, "matching"),
+            MatchLabel::NonMatching => write!(f, "non-matching"),
+        }
+    }
+}
+
+/// A candidate pair `(a, b)` produced by the blocker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityPair {
+    id: PairId,
+    a: Arc<Record>,
+    b: Arc<Record>,
+}
+
+impl EntityPair {
+    /// Builds a pair; both records must share one schema.
+    pub fn new(id: PairId, a: Arc<Record>, b: Arc<Record>) -> Result<Self, ErError> {
+        if a.schema() != b.schema() {
+            return Err(ErError::SchemaMismatch);
+        }
+        Ok(Self { id, a, b })
+    }
+
+    /// The pair identifier.
+    pub fn id(&self) -> PairId {
+        self.id
+    }
+
+    /// The left record (from `T_A`).
+    pub fn a(&self) -> &Record {
+        &self.a
+    }
+
+    /// The right record (from `T_B`).
+    pub fn b(&self) -> &Record {
+        &self.b
+    }
+
+    /// Serializes this pair per Eq. 1: `S(a)[SEP]S(b)`.
+    pub fn serialize(&self) -> String {
+        serialize_pair(&self.a, &self.b)
+    }
+}
+
+/// A pair together with its gold label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// The candidate pair.
+    pub pair: EntityPair,
+    /// Its gold label.
+    pub label: MatchLabel,
+}
+
+impl LabeledPair {
+    /// Convenience constructor.
+    pub fn new(pair: EntityPair, label: MatchLabel) -> Self {
+        Self { pair, label }
+    }
+}
+
+/// Serializes a single record per Eq. 1: `attr1: val1, attr2: val2, ...`.
+///
+/// The comma-space separator between attributes and the colon-space between
+/// name and value mirror the prompt layout in Fig. 1 / Example 5 of the
+/// paper. Missing values render as an empty string after the colon, which
+/// lets the LLM (and its simulator) observe missingness.
+pub fn serialize_record(record: &Record) -> String {
+    let mut out = String::with_capacity(64);
+    for (i, name) in record.schema().attributes().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(record.value(i).unwrap_or(""));
+    }
+    out
+}
+
+/// Serializes a pair per Eq. 1: `S(a)[SEP]S(b)`.
+pub fn serialize_pair(a: &Record, b: &Record) -> String {
+    let sa = serialize_record(a);
+    let sb = serialize_record(b);
+    let mut out = String::with_capacity(sa.len() + sb.len() + SEP.len() + 2);
+    out.push_str(&sa);
+    out.push(' ');
+    out.push_str(SEP);
+    out.push(' ');
+    out.push_str(&sb);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordId, Schema};
+
+    fn pair() -> EntityPair {
+        let schema = Arc::new(Schema::new(["title", "id"]).unwrap());
+        let a = Arc::new(
+            Record::new(
+                RecordId::a(0),
+                Arc::clone(&schema),
+                vec!["iphone-13".into(), "0256".into()],
+            )
+            .unwrap(),
+        );
+        let b = Arc::new(
+            Record::new(
+                RecordId::b(0),
+                Arc::clone(&schema),
+                vec!["iphone-14".into(), String::new()],
+            )
+            .unwrap(),
+        );
+        EntityPair::new(PairId(0), a, b).unwrap()
+    }
+
+    #[test]
+    fn serialization_follows_eq1() {
+        let p = pair();
+        assert_eq!(
+            p.serialize(),
+            "title: iphone-13, id: 0256 [SEP] title: iphone-14, id: "
+        );
+    }
+
+    #[test]
+    fn pair_rejects_schema_mismatch() {
+        let s1 = Arc::new(Schema::new(["title"]).unwrap());
+        let s2 = Arc::new(Schema::new(["name"]).unwrap());
+        let a = Arc::new(Record::new(RecordId::a(0), s1, vec!["x".into()]).unwrap());
+        let b = Arc::new(Record::new(RecordId::b(0), s2, vec!["y".into()]).unwrap());
+        assert_eq!(
+            EntityPair::new(PairId(1), a, b).unwrap_err(),
+            ErError::SchemaMismatch
+        );
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        assert!(MatchLabel::from_bool(true).is_match());
+        assert!(!MatchLabel::from_bool(false).is_match());
+        assert_eq!(MatchLabel::Matching.to_string(), "matching");
+    }
+
+    #[test]
+    fn serialized_pair_contains_sep_exactly_once_for_clean_values() {
+        let p = pair();
+        let s = p.serialize();
+        assert_eq!(s.matches(SEP).count(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the ER data model invariants.
+
+use std::sync::Arc;
+
+use er_core::{
+    BinaryConfusion, Dataset, EntityPair, F1Summary, LabeledPair, MatchLabel, Money, PairId,
+    Record, RecordId, Schema, ThreeWaySplit, TokenCount,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = MatchLabel> {
+    prop::bool::ANY.prop_map(MatchLabel::from_bool)
+}
+
+fn make_pairs(values: &[String]) -> Vec<LabeledPair> {
+    let schema = Arc::new(Schema::new(["v"]).unwrap());
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let a = Arc::new(
+                Record::new(RecordId::a(i as u32), Arc::clone(&schema), vec![v.clone()]).unwrap(),
+            );
+            let b = Arc::new(
+                Record::new(RecordId::b(i as u32), Arc::clone(&schema), vec![v.clone()]).unwrap(),
+            );
+            LabeledPair::new(
+                EntityPair::new(PairId(i as u32), a, b).unwrap(),
+                MatchLabel::from_bool(i % 2 == 0),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// F1 is always within [0, 1] and precision/recall denominators never
+    /// produce NaN.
+    #[test]
+    fn f1_bounded(gold in prop::collection::vec(arb_label(), 1..200),
+                  flips in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let n = gold.len().min(flips.len());
+        let predicted: Vec<MatchLabel> = gold[..n]
+            .iter()
+            .zip(&flips[..n])
+            .map(|(&g, &flip)| if flip { MatchLabel::from_bool(!g.is_match()) } else { g })
+            .collect();
+        let c = BinaryConfusion::from_slices(&gold[..n], &predicted);
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert_eq!(c.total(), n as u64);
+    }
+
+    /// Perfect prediction always yields F1 = recall = 1 when at least one
+    /// positive exists.
+    #[test]
+    fn perfect_prediction_is_perfect(gold in prop::collection::vec(arb_label(), 1..100)) {
+        let c = BinaryConfusion::from_slices(&gold, &gold);
+        if gold.iter().any(|l| l.is_match()) {
+            prop_assert!((c.f1() - 1.0).abs() < 1e-12);
+        }
+        prop_assert_eq!(c.fp, 0);
+        prop_assert_eq!(c.fn_, 0);
+    }
+
+    /// Money addition is associative and commutative on realistic ranges.
+    #[test]
+    fn money_arithmetic(a in -1_000_000_000i64..1_000_000_000,
+                        b in -1_000_000_000i64..1_000_000_000,
+                        c in -1_000_000_000i64..1_000_000_000) {
+        let (ma, mb, mc) = (Money::from_micros(a), Money::from_micros(b), Money::from_micros(c));
+        prop_assert_eq!(ma + mb, mb + ma);
+        prop_assert_eq!((ma + mb) + mc, ma + (mb + mc));
+        prop_assert_eq!(ma + Money::ZERO, ma);
+        prop_assert_eq!(ma - ma, Money::ZERO);
+    }
+
+    /// Token pricing is linear: price(n + m) = price(n) + price(m).
+    #[test]
+    fn token_pricing_linear(per_tok in 0i64..100, n in 0u64..1_000_000, m in 0u64..1_000_000) {
+        let p = Money::from_micros(per_tok);
+        let lhs = p.per_token_times(TokenCount(n + m));
+        let rhs = p.per_token_times(TokenCount(n)) + p.per_token_times(TokenCount(m));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Any 3:1:1 split partitions the dataset exactly: disjoint and
+    /// complete, sizes within one bucket of the ideal ratio.
+    #[test]
+    fn split_partitions(n in 5usize..500, seed in any::<u64>()) {
+        let values: Vec<String> = (0..n).map(|i| format!("rec {i}")).collect();
+        let pairs = make_pairs(&values);
+        let split = ThreeWaySplit::new(&pairs, 3, 1, 1, seed).unwrap();
+        let mut ids: Vec<u32> = split.train.iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .map(|p| p.pair.id().0)
+            .collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(ids, expect);
+        prop_assert_eq!(split.valid.len(), n / 5);
+        prop_assert_eq!(split.test.len(), n / 5);
+    }
+
+    /// Serialization of a pair always contains every attribute name and the
+    /// `[SEP]` marker.
+    #[test]
+    fn serialization_total(vals in prop::collection::vec("[a-z0-9 ]{0,20}", 1..6)) {
+        let names: Vec<String> = (0..vals.len()).map(|i| format!("attr{i}")).collect();
+        let schema = Arc::new(Schema::new(names.clone()).unwrap());
+        let a = Arc::new(Record::new(RecordId::a(0), Arc::clone(&schema), vals.clone()).unwrap());
+        let b = Arc::new(Record::new(RecordId::b(0), Arc::clone(&schema), vals).unwrap());
+        let pair = EntityPair::new(PairId(0), a, b).unwrap();
+        let s = pair.serialize();
+        prop_assert!(s.contains(er_core::SEP));
+        for name in &names {
+            prop_assert!(s.contains(name.as_str()));
+        }
+    }
+
+    /// F1Summary mean lies within [min, max] of its inputs and std is
+    /// non-negative.
+    #[test]
+    fn f1_summary_sane(f1s in prop::collection::vec(0.0f64..100.0, 1..20)) {
+        let s = F1Summary::from_runs(&f1s).unwrap();
+        let lo = f1s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.runs, f1s.len());
+    }
+}
+
+#[test]
+fn dataset_stats_match_table_ii_shape() {
+    let values: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
+    let pairs = make_pairs(&values);
+    let schema = pairs[0].pair.a().schema().clone();
+    let d = Dataset::new("WA", "Electronics", Arc::new(schema), pairs).unwrap();
+    let stats = d.stats();
+    assert_eq!(stats.name, "WA");
+    assert_eq!(stats.domain, "Electronics");
+    assert_eq!(stats.pairs, 20);
+    assert_eq!(stats.matches, 10);
+}

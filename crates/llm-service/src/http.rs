@@ -1,0 +1,212 @@
+//! Minimal HTTP/1.1 message reading and writing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request (the subset this service needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, e.g. `/v1/chat/completions`.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Body bytes; `Content-Type: application/json` is always sent.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, body: body.into() }
+    }
+}
+
+/// Upper bound on accepted body size (16 MiB) — guards the loopback
+/// service against unbounded allocation from a buggy client.
+pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Reads one HTTP/1.1 request from a stream.
+pub fn read_request<R: Read>(stream: R) -> std::io::Result<HttpRequest> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+
+    let mut content_length = 0u64;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "bad content-length",
+                    )
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body)?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Writes an HTTP/1.1 response with `Connection: close` semantics.
+pub fn write_response<W: Write>(mut stream: W, response: &HttpResponse) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.body.len()
+    )?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Reads one HTTP/1.1 response (client side). Returns `(status, body)`.
+pub fn read_response<R: Read>(stream: R) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+
+    let mut content_length: Option<u64> = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) if n <= MAX_BODY_BYTES => {
+            let mut buf = vec![0u8; n as usize];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        Some(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "body too large",
+            ))
+        }
+        // Connection-close delimited body.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let raw = b"POST /v1/chat/completions HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/chat/completions");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn request_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        assert!(read_request(&b"\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GARBAGE\r\n\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_write_then_read() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &HttpResponse::json(200, br#"{"ok":true}"#.to_vec())).unwrap();
+        let (status, body) = read_response(&buf[..]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn error_statuses_have_reasons() {
+        for status in [400u16, 404, 405, 429, 500] {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &HttpResponse::json(status, b"{}".to_vec())).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.starts_with(&format!("HTTP/1.1 {status} ")));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_content_length() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nab";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.body, b"ab");
+    }
+}

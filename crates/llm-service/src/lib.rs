@@ -1,0 +1,24 @@
+//! OpenAI-style HTTP loopback service around the LLM simulator.
+//!
+//! The paper's framework talks to LLMs over an HTTP JSON API; this crate
+//! reproduces that deployment seam so the client stack (request encoding,
+//! transport errors, status-code mapping, retries) is exercised for real:
+//!
+//! * [`LlmServer`] — a minimal HTTP/1.1 server on `127.0.0.1` that serves
+//!   `POST /v1/chat/completions` from a [`llm::SimLlm`].
+//! * [`HttpChatClient`] — a [`llm::ChatApi`] implementation speaking that
+//!   protocol over `std::net::TcpStream`.
+//!
+//! The HTTP implementation is intentionally small (HTTP/1.1,
+//! `Content-Length` bodies, one request per connection) — enough to be a
+//! faithful stand-in for the production seam without pulling a web stack
+//! into an offline reproduction. TLS and authentication are out of scope;
+//! a production client would implement [`llm::ChatApi`] against the real
+//! endpoint instead.
+
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use http::{HttpRequest, HttpResponse};
+pub use server::{HttpChatClient, LlmServer, RunningServer};

@@ -1,0 +1,328 @@
+//! The loopback server and its HTTP client.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use llm::{ChatApi, ChatRequest, ChatResponse, LlmError, SimLlm, SimLlmConfig};
+
+use crate::http::{read_request, read_response, write_response, HttpResponse};
+use crate::wire::{
+    error_to_wire, from_chat_response, to_chat_request, to_chat_response, wire_to_error,
+    WireError, WireErrorBody, WireMessage, WireRequest, WireResponse,
+};
+
+/// Factory for loopback LLM services.
+#[derive(Debug, Default)]
+pub struct LlmServer {
+    config: SimLlmConfig,
+}
+
+impl LlmServer {
+    /// A server backed by a fault-free simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A server with fault injection enabled on the underlying simulator.
+    pub fn with_config(config: SimLlmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Binds to an ephemeral port on `127.0.0.1` and starts serving on a
+    /// background thread. The returned handle stops the server on drop.
+    pub fn start(self) -> std::io::Result<RunningServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let llm = Arc::new(SimLlm::with_config(self.config));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_llm = Arc::clone(&llm);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let llm = Arc::clone(&accept_llm);
+                // One thread per connection: the loopback service exists to
+                // exercise the protocol, not to win throughput contests.
+                std::thread::spawn(move || handle_connection(stream, &llm));
+            }
+        });
+
+        Ok(RunningServer { addr, stop, handle: Some(handle) })
+    }
+}
+
+/// A running loopback service. Dropping it shuts the server down.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound address, e.g. `127.0.0.1:49213`.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A client connected to this server.
+    pub fn client(&self) -> HttpChatClient {
+        HttpChatClient::new(self.addr)
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, llm: &SimLlm) {
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(req, llm),
+        Err(e) => bad_request(&format!("unreadable request: {e}")),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+fn route(req: crate::http::HttpRequest, llm: &SimLlm) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/chat/completions") => {
+            let wire: WireRequest = match serde_json::from_slice(&req.body) {
+                Ok(w) => w,
+                Err(e) => return bad_request(&format!("invalid JSON body: {e}")),
+            };
+            let chat_req = match to_chat_request(&wire) {
+                Ok(r) => r,
+                Err(err) => return error_response(&err),
+            };
+            match llm.complete(&chat_req) {
+                Ok(resp) => {
+                    let body = serde_json::to_vec(&from_chat_response(&resp))
+                        .expect("wire response serializes");
+                    HttpResponse::json(200, body)
+                }
+                Err(err) => error_response(&err),
+            }
+        }
+        ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
+        ("POST", _) | ("GET", _) => HttpResponse::json(
+            404,
+            serde_json::to_vec(&WireError {
+                error: WireErrorBody {
+                    message: format!("no such route: {}", req.path),
+                    code: "not_found".into(),
+                },
+            })
+            .expect("error serializes"),
+        ),
+        _ => HttpResponse::json(
+            405,
+            br#"{"error":{"message":"method not allowed","code":"method_not_allowed"}}"#.to_vec(),
+        ),
+    }
+}
+
+fn error_response(err: &LlmError) -> HttpResponse {
+    let (status, wire) = error_to_wire(err);
+    HttpResponse::json(status, serde_json::to_vec(&wire).expect("error serializes"))
+}
+
+fn bad_request(message: &str) -> HttpResponse {
+    HttpResponse::json(
+        400,
+        serde_json::to_vec(&WireError {
+            error: WireErrorBody { message: message.to_owned(), code: "invalid_request_error".into() },
+        })
+        .expect("error serializes"),
+    )
+}
+
+/// A [`ChatApi`] implementation speaking the wire protocol over TCP.
+///
+/// Opens one connection per request (`Connection: close`), matching the
+/// server's lifecycle and keeping the client trivially `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct HttpChatClient {
+    addr: std::net::SocketAddr,
+}
+
+impl HttpChatClient {
+    /// A client for the service at `addr`.
+    pub fn new(addr: std::net::SocketAddr) -> Self {
+        Self { addr }
+    }
+}
+
+impl ChatApi for HttpChatClient {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let wire = WireRequest {
+            model: request.model.id().to_owned(),
+            messages: vec![WireMessage { role: "user".into(), content: request.prompt.clone() }],
+            temperature: request.temperature,
+            seed: request.seed,
+        };
+        let body = serde_json::to_vec(&wire)
+            .map_err(|e| LlmError::Protocol(format!("request encoding failed: {e}")))?;
+
+        let mut stream = TcpStream::connect(self.addr)
+            .map_err(|e| LlmError::Transport(format!("connect {}: {e}", self.addr)))?;
+        let header = format!(
+            "POST /v1/chat/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        use std::io::Write;
+        stream
+            .write_all(header.as_bytes())
+            .and_then(|_| stream.write_all(&body))
+            .map_err(|e| LlmError::Transport(format!("send: {e}")))?;
+
+        let (status, resp_body) =
+            read_response(&mut stream).map_err(|e| LlmError::Transport(format!("recv: {e}")))?;
+        if status != 200 {
+            return Err(wire_to_error(status, &resp_body));
+        }
+        let wire_resp: WireResponse = serde_json::from_slice(&resp_body)
+            .map_err(|e| LlmError::Protocol(format!("response decoding failed: {e}")))?;
+        to_chat_response(&wire_resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::{parse_answers, ModelKind};
+
+    fn prompt() -> String {
+        "Decide whether the entities match.\n\
+         Q1: title: acoustic guitar, id: 7 [SEP] title: acoustic guitar, id: 7\n\
+         Q2: title: acoustic guitar, id: 7 [SEP] title: drum kit, id: 2\n\
+         Answer each question with yes or no."
+            .to_owned()
+    }
+
+    #[test]
+    fn end_to_end_over_loopback() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        let resp = client
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 5))
+            .unwrap();
+        let labels = parse_answers(&resp.content, 2).unwrap();
+        assert!(labels[0].is_match());
+        assert!(!labels[1].is_match());
+        assert!(resp.usage.prompt_tokens.get() > 0);
+    }
+
+    #[test]
+    fn http_client_matches_in_process_simulator() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        let sim = SimLlm::new();
+        let req = ChatRequest::new(ModelKind::Gpt35Turbo0301, prompt(), 11);
+        let over_http = client.complete(&req).unwrap();
+        let in_process = sim.complete(&req).unwrap();
+        assert_eq!(over_http.content, in_process.content);
+        assert_eq!(over_http.usage, in_process.usage);
+        assert_eq!(over_http.cost, in_process.cost);
+    }
+
+    #[test]
+    fn unknown_model_maps_to_error() {
+        let server = LlmServer::new().start().unwrap();
+        // Hand-roll a request with a bogus model id.
+        let body = br#"{"model":"gpt-99","messages":[{"role":"user","content":"Q1: a [SEP] b"}]}"#;
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        write!(
+            stream,
+            "POST /v1/chat/completions HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        stream.write_all(body).unwrap();
+        let (status, _) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn invalid_json_is_400() {
+        let server = LlmServer::new().start().unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        write!(stream, "POST /v1/chat/completions HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot").unwrap();
+        let (status, _) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let server = LlmServer::new().start().unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn rate_limit_surfaces_as_429() {
+        let server = LlmServer::with_config(SimLlmConfig {
+            rate_limit_rate: 1.0,
+            ..Default::default()
+        })
+        .start()
+        .unwrap();
+        let err = server
+            .client()
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 1))
+            .unwrap_err();
+        assert_eq!(err, LlmError::RateLimited);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|seed| {
+                    let client = client.clone();
+                    scope.spawn(move || {
+                        client
+                            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), seed))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let resp = h.join().unwrap();
+                assert!(parse_answers(&resp.content, 2).is_ok());
+            }
+        });
+    }
+
+    #[test]
+    fn server_shuts_down_on_drop() {
+        let server = LlmServer::new().start().unwrap();
+        let addr = server.addr();
+        drop(server);
+        // Subsequent requests must fail (connection refused or reset).
+        let client = HttpChatClient::new(addr);
+        let result = client.complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 1));
+        assert!(matches!(result, Err(LlmError::Transport(_))));
+    }
+}

@@ -1,0 +1,261 @@
+//! JSON wire format — the OpenAI chat-completions dialect this service
+//! speaks.
+
+use llm::{ChatRequest, ChatResponse, FinishReason, LlmError, ModelKind, Usage};
+use serde::{Deserialize, Serialize};
+
+/// One chat message on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireMessage {
+    /// `"system"` / `"user"` / `"assistant"`.
+    pub role: String,
+    /// Message text.
+    pub content: String,
+}
+
+/// `POST /v1/chat/completions` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Model id, e.g. `"gpt-3.5-turbo-0301"`.
+    pub model: String,
+    /// Conversation messages; contents are concatenated into one prompt.
+    pub messages: Vec<WireMessage>,
+    /// Sampling temperature (defaults to the paper's 0.01).
+    #[serde(default = "default_temperature")]
+    pub temperature: f64,
+    /// Reproducibility seed (OpenAI's `seed` parameter).
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_temperature() -> f64 {
+    0.01
+}
+
+/// Successful response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Answer choices (always exactly one).
+    pub choices: Vec<WireChoice>,
+    /// Token usage.
+    pub usage: WireUsage,
+    /// Cost of this call in micro-dollars (simulator extension; the real
+    /// API leaves cost computation to the client).
+    pub cost_micros: i64,
+}
+
+/// One choice in a response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireChoice {
+    /// The assistant message.
+    pub message: WireMessage,
+    /// `"stop"` or `"length"`.
+    pub finish_reason: String,
+}
+
+/// Usage block.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WireUsage {
+    /// Prompt tokens.
+    pub prompt_tokens: u64,
+    /// Completion tokens.
+    pub completion_tokens: u64,
+}
+
+/// Error body: `{"error": {"message": ..., "code": ...}}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireError {
+    /// The error payload.
+    pub error: WireErrorBody,
+}
+
+/// Error payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireErrorBody {
+    /// Human-readable message.
+    pub message: String,
+    /// Machine-readable code, e.g. `"context_length_exceeded"`.
+    pub code: String,
+}
+
+/// Converts a wire request into the simulator's [`ChatRequest`].
+pub fn to_chat_request(wire: &WireRequest) -> Result<ChatRequest, LlmError> {
+    let model = ModelKind::from_id(&wire.model)
+        .ok_or_else(|| LlmError::UnknownModel(wire.model.clone()))?;
+    let prompt = wire
+        .messages
+        .iter()
+        .map(|m| m.content.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    Ok(ChatRequest { model, prompt, temperature: wire.temperature, seed: wire.seed })
+}
+
+/// Converts a simulator response into the wire shape.
+pub fn from_chat_response(resp: &ChatResponse) -> WireResponse {
+    WireResponse {
+        choices: vec![WireChoice {
+            message: WireMessage { role: "assistant".into(), content: resp.content.clone() },
+            finish_reason: match resp.finish_reason {
+                FinishReason::Stop => "stop".into(),
+                FinishReason::Length => "length".into(),
+            },
+        }],
+        usage: WireUsage {
+            prompt_tokens: resp.usage.prompt_tokens.get(),
+            completion_tokens: resp.usage.completion_tokens.get(),
+        },
+        cost_micros: resp.cost.micros(),
+    }
+}
+
+/// Reassembles a [`ChatResponse`] from the wire shape (client side).
+pub fn to_chat_response(wire: &WireResponse) -> Result<ChatResponse, LlmError> {
+    let choice = wire
+        .choices
+        .first()
+        .ok_or_else(|| LlmError::Protocol("response carried no choices".into()))?;
+    Ok(ChatResponse {
+        content: choice.message.content.clone(),
+        finish_reason: match choice.finish_reason.as_str() {
+            "length" => FinishReason::Length,
+            _ => FinishReason::Stop,
+        },
+        usage: Usage {
+            prompt_tokens: er_core_token(wire.usage.prompt_tokens),
+            completion_tokens: er_core_token(wire.usage.completion_tokens),
+        },
+        cost: er_core::Money::from_micros(wire.cost_micros),
+    })
+}
+
+fn er_core_token(n: u64) -> er_core::TokenCount {
+    er_core::TokenCount(n)
+}
+
+/// Maps an [`LlmError`] to `(HTTP status, error body)`.
+pub fn error_to_wire(err: &LlmError) -> (u16, WireError) {
+    let (status, code) = match err {
+        LlmError::ContextLengthExceeded { .. } => (400, "context_length_exceeded"),
+        LlmError::RateLimited => (429, "rate_limit_exceeded"),
+        LlmError::UnknownModel(_) => (404, "model_not_found"),
+        LlmError::Protocol(_) => (400, "invalid_request_error"),
+        LlmError::Transport(_) => (500, "transport_error"),
+    };
+    (
+        status,
+        WireError {
+            error: WireErrorBody { message: err.to_string(), code: code.to_owned() },
+        },
+    )
+}
+
+/// Maps `(HTTP status, error body)` back to an [`LlmError`] (client side).
+pub fn wire_to_error(status: u16, body: &[u8]) -> LlmError {
+    let parsed: Option<WireError> = serde_json::from_slice(body).ok();
+    let code = parsed
+        .as_ref()
+        .map(|e| e.error.code.as_str())
+        .unwrap_or("");
+    match (status, code) {
+        (429, _) => LlmError::RateLimited,
+        (400, "context_length_exceeded") => {
+            // Token counts are not carried back over the wire; clients
+            // treat any context overflow identically.
+            LlmError::ContextLengthExceeded { prompt_tokens: 0, limit: 0 }
+        }
+        (404, _) => LlmError::UnknownModel(
+            parsed
+                .map(|e| e.error.message)
+                .unwrap_or_else(|| "unknown".into()),
+        ),
+        _ => LlmError::Protocol(format!(
+            "HTTP {status}: {}",
+            String::from_utf8_lossy(body)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Money, TokenCount};
+
+    #[test]
+    fn request_conversion() {
+        let wire = WireRequest {
+            model: "gpt-4-1106-preview".into(),
+            messages: vec![
+                WireMessage { role: "system".into(), content: "task".into() },
+                WireMessage { role: "user".into(), content: "Q1: a [SEP] b".into() },
+            ],
+            temperature: 0.01,
+            seed: 9,
+        };
+        let req = to_chat_request(&wire).unwrap();
+        assert_eq!(req.model, ModelKind::Gpt4);
+        assert_eq!(req.prompt, "task\nQ1: a [SEP] b");
+        assert_eq!(req.seed, 9);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let wire = WireRequest {
+            model: "gpt-99".into(),
+            messages: vec![],
+            temperature: 0.01,
+            seed: 0,
+        };
+        assert!(matches!(
+            to_chat_request(&wire),
+            Err(LlmError::UnknownModel(m)) if m == "gpt-99"
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = ChatResponse {
+            content: "Q1: yes — same.".into(),
+            finish_reason: FinishReason::Stop,
+            usage: Usage {
+                prompt_tokens: TokenCount(100),
+                completion_tokens: TokenCount(10),
+            },
+            cost: Money::from_micros(120),
+        };
+        let wire = from_chat_response(&resp);
+        let back = to_chat_response(&wire).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_mapping_roundtrips() {
+        for err in [
+            LlmError::RateLimited,
+            LlmError::ContextLengthExceeded { prompt_tokens: 1, limit: 2 },
+            LlmError::UnknownModel("x".into()),
+        ] {
+            let (status, wire) = error_to_wire(&err);
+            let body = serde_json::to_vec(&wire).unwrap();
+            let back = wire_to_error(status, &body);
+            match err {
+                LlmError::RateLimited => assert_eq!(back, LlmError::RateLimited),
+                LlmError::ContextLengthExceeded { .. } => {
+                    assert!(matches!(back, LlmError::ContextLengthExceeded { .. }))
+                }
+                LlmError::UnknownModel(_) => {
+                    assert!(matches!(back, LlmError::UnknownModel(_)))
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn default_temperature_applied() {
+        let json = br#"{"model":"gpt-4-1106-preview","messages":[]}"#;
+        let wire: WireRequest = serde_json::from_slice(json).unwrap();
+        assert_eq!(wire.temperature, 0.01);
+        assert_eq!(wire.seed, 0);
+    }
+}

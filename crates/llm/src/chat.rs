@@ -1,0 +1,146 @@
+//! Chat-completion request/response types and errors.
+//!
+//! Deliberately shaped like the OpenAI chat-completions contract so the
+//! HTTP service in `llm-service` can expose the simulator without an
+//! adaptation layer, and so a real client could implement [`crate::ChatApi`]
+//! against the production API.
+
+use er_core::{Money, TokenCount};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ModelKind;
+
+/// A chat-completion request: one prompt to one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatRequest {
+    /// Target model.
+    pub model: ModelKind,
+    /// The full rendered prompt (system + user content concatenated; the
+    /// ER prompts in this workspace are single-message).
+    pub prompt: String,
+    /// Sampling temperature. The paper sets 0.01 (§VI-A); the simulator
+    /// scales its noise by `temperature / 0.01`, so higher temperatures
+    /// produce noisier answers just like a real model.
+    pub temperature: f64,
+    /// Per-request seed for reproducible runs. Two identical requests with
+    /// the same seed produce identical responses.
+    pub seed: u64,
+}
+
+impl ChatRequest {
+    /// A request with the paper's default temperature (0.01).
+    pub fn new(model: ModelKind, prompt: impl Into<String>, seed: u64) -> Self {
+        Self { model, prompt: prompt.into(), temperature: 0.01, seed }
+    }
+}
+
+/// Why the model stopped generating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinishReason {
+    /// Natural end of answer.
+    Stop,
+    /// Output cut at the token limit.
+    Length,
+}
+
+/// Token usage of one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Usage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: TokenCount,
+    /// Tokens in the completion.
+    pub completion_tokens: TokenCount,
+}
+
+impl Usage {
+    /// Prompt + completion tokens.
+    pub fn total(&self) -> TokenCount {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// A successful chat completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatResponse {
+    /// The generated text.
+    pub content: String,
+    /// Why generation stopped.
+    pub finish_reason: FinishReason,
+    /// Token usage.
+    pub usage: Usage,
+    /// Cost of this call at the model's price table.
+    pub cost: Money,
+}
+
+/// Errors surfaced by a chat API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt exceeded the model's context window.
+    ContextLengthExceeded {
+        /// Tokens in the offending prompt.
+        prompt_tokens: u64,
+        /// The model's limit.
+        limit: u64,
+    },
+    /// The service rejected the call due to rate limiting; retry later.
+    RateLimited,
+    /// Transport-level failure (used by the HTTP client).
+    Transport(String),
+    /// The service answered with a malformed or unparseable payload.
+    Protocol(String),
+    /// The requested model is unknown to the endpoint.
+    UnknownModel(String),
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::ContextLengthExceeded { prompt_tokens, limit } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds the {limit}-token context window"
+            ),
+            LlmError::RateLimited => write!(f, "rate limited; retry with backoff"),
+            LlmError::Transport(msg) => write!(f, "transport error: {msg}"),
+            LlmError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            LlmError::UnknownModel(id) => write!(f, "unknown model id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_to_paper_temperature() {
+        let r = ChatRequest::new(ModelKind::Gpt4, "hello", 1);
+        assert_eq!(r.temperature, 0.01);
+        assert_eq!(r.seed, 1);
+    }
+
+    #[test]
+    fn usage_total() {
+        let u = Usage { prompt_tokens: TokenCount(10), completion_tokens: TokenCount(5) };
+        assert_eq!(u.total(), TokenCount(15));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = LlmError::ContextLengthExceeded { prompt_tokens: 9000, limit: 4096 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4096"));
+        assert!(!LlmError::RateLimited.to_string().is_empty());
+    }
+
+    #[test]
+    fn request_and_response_are_serializable() {
+        // The wire format lives in llm-service; here we only pin that the
+        // serde impls exist (compile-time check via trait bounds).
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ChatRequest>();
+        assert_serde::<ChatResponse>();
+        assert_serde::<Usage>();
+    }
+}

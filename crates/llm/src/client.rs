@@ -1,0 +1,271 @@
+//! The [`ChatApi`] trait and the in-process simulated client.
+
+use er_core::TokenCount;
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::chat::{ChatRequest, ChatResponse, FinishReason, LlmError, Usage};
+use crate::engine::{call_rng, decide};
+use crate::parse::parse_prompt;
+use crate::pricing::PriceTable;
+use crate::respond::render_answers;
+use crate::tokenizer::count_tokens;
+
+/// A chat-completion endpoint.
+///
+/// Implemented by [`SimLlm`] (in-process simulator) and by
+/// `llm_service::HttpChatClient` (HTTP loopback); a production OpenAI
+/// client would implement it too. `Send + Sync` so executors can fan out
+/// calls across threads.
+pub trait ChatApi: Send + Sync {
+    /// Performs one chat completion.
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
+}
+
+/// Fault-injection knobs for resilience testing. All rates are
+/// probabilities in `[0, 1]`, evaluated deterministically per request from
+/// the request seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimLlmConfig {
+    /// Probability of returning garbled, unparseable output.
+    pub malformed_rate: f64,
+    /// Probability of cutting the completion in half with
+    /// [`FinishReason::Length`].
+    pub truncation_rate: f64,
+    /// Probability of a [`LlmError::RateLimited`] rejection.
+    pub rate_limit_rate: f64,
+}
+
+/// Aggregate statistics of a [`SimLlm`] endpoint (observability surface
+/// for tests and harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimLlmStats {
+    /// Successful completions served.
+    pub completions: u64,
+    /// Requests rejected with rate limiting.
+    pub rate_limited: u64,
+    /// Requests rejected for context overflow.
+    pub context_overflows: u64,
+    /// Total prompt tokens processed.
+    pub prompt_tokens: u64,
+    /// Total completion tokens generated.
+    pub completion_tokens: u64,
+}
+
+/// The simulated LLM endpoint.
+///
+/// Stateless per call (all randomness derives from the request seed and
+/// prompt text), so a single instance can serve concurrent callers.
+#[derive(Debug, Default)]
+pub struct SimLlm {
+    config: SimLlmConfig,
+    stats: Mutex<SimLlmStats>,
+}
+
+impl SimLlm {
+    /// An endpoint with no fault injection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An endpoint with the given fault-injection configuration.
+    pub fn with_config(config: SimLlmConfig) -> Self {
+        Self { config, stats: Mutex::new(SimLlmStats::default()) }
+    }
+
+    /// Snapshot of the endpoint statistics.
+    pub fn stats(&self) -> SimLlmStats {
+        *self.stats.lock()
+    }
+}
+
+impl ChatApi for SimLlm {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let profile = request.model.profile();
+        let prompt_tokens = count_tokens(&request.prompt);
+
+        if prompt_tokens > profile.max_context_tokens {
+            self.stats.lock().context_overflows += 1;
+            return Err(LlmError::ContextLengthExceeded {
+                prompt_tokens,
+                limit: profile.max_context_tokens,
+            });
+        }
+
+        let mut rng = call_rng(request.seed, &request.prompt);
+        if rng.gen::<f64>() < self.config.rate_limit_rate {
+            self.stats.lock().rate_limited += 1;
+            return Err(LlmError::RateLimited);
+        }
+
+        let parsed = parse_prompt(&request.prompt);
+
+        // Llama2 fails to produce usable output for multi-question prompts
+        // (§VI-F); emulated as an empty completion the client cannot parse.
+        let mut content = if !profile.batch_capable && parsed.questions.len() > 1 {
+            String::new()
+        } else if parsed.questions.is_empty() {
+            "I could not find any questions to answer in the prompt.".to_owned()
+        } else {
+            // Temperature scales noise relative to the paper's 0.01 setting.
+            let noise_scale = (request.temperature / 0.01).clamp(0.0, 100.0);
+            let decisions = decide(&parsed, &profile, noise_scale, &mut rng);
+            render_answers(&decisions)
+        };
+
+        let mut finish_reason = FinishReason::Stop;
+        if rng.gen::<f64>() < self.config.truncation_rate {
+            // Cut at the nearest char boundary at or below the midpoint.
+            let mut cut = content.len() / 2;
+            while cut > 0 && !content.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            content.truncate(cut);
+            finish_reason = FinishReason::Length;
+        }
+        if rng.gen::<f64>() < self.config.malformed_rate {
+            // Garble: strip the line structure the client's parser needs.
+            content = content.replace(['Q', 'q'], "#").replace(':', ";");
+        }
+
+        let completion_tokens = count_tokens(&content);
+        let usage = Usage {
+            prompt_tokens: TokenCount(prompt_tokens),
+            completion_tokens: TokenCount(completion_tokens),
+        };
+        let cost = PriceTable::for_model(request.model)
+            .cost(usage.prompt_tokens, usage.completion_tokens);
+
+        let mut stats = self.stats.lock();
+        stats.completions += 1;
+        stats.prompt_tokens += prompt_tokens;
+        stats.completion_tokens += completion_tokens;
+        drop(stats);
+
+        Ok(ChatResponse { content, finish_reason, usage, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelKind;
+    use crate::respond::parse_answers;
+    use er_core::{MatchLabel, Money};
+
+    fn simple_prompt() -> String {
+        "Decide whether the entities match.\n\
+         D1: title: acme widget, id: 1 [SEP] title: acme widget, id: 1 => yes\n\
+         D2: title: acme widget, id: 1 [SEP] title: zeta gadget, id: 9 => no\n\
+         Q1: title: blue phone, id: 5 [SEP] title: blue phone, id: 5\n\
+         Q2: title: blue phone, id: 5 [SEP] title: green rake, id: 8\n\
+         Answer each question with yes or no."
+            .to_owned()
+    }
+
+    #[test]
+    fn answers_are_parseable_and_sensible() {
+        let llm = SimLlm::new();
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), 3))
+            .unwrap();
+        let labels = parse_answers(&resp.content, 2).unwrap();
+        assert_eq!(labels[0], MatchLabel::Matching);
+        assert_eq!(labels[1], MatchLabel::NonMatching);
+        assert_eq!(resp.finish_reason, FinishReason::Stop);
+        assert!(resp.usage.prompt_tokens.get() > 20);
+        assert!(resp.cost > Money::ZERO);
+    }
+
+    #[test]
+    fn identical_requests_identical_responses() {
+        let llm = SimLlm::new();
+        let req = ChatRequest::new(ModelKind::Gpt35Turbo0301, simple_prompt(), 42);
+        let a = llm.complete(&req).unwrap();
+        let b = llm.complete(&req).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_overflow_rejected() {
+        let llm = SimLlm::new();
+        let huge = format!("Q1: title: {} [SEP] title: x", "word ".repeat(10_000));
+        let err = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt35Turbo0301, huge, 1))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::ContextLengthExceeded { .. }));
+        assert_eq!(llm.stats().context_overflows, 1);
+    }
+
+    #[test]
+    fn llama_fails_on_batches_but_answers_singles() {
+        let llm = SimLlm::new();
+        let batch = llm
+            .complete(&ChatRequest::new(ModelKind::Llama2Chat70b, simple_prompt(), 1))
+            .unwrap();
+        assert!(parse_answers(&batch.content, 2).is_err());
+
+        let single = "Q1: title: same thing, id: 1 [SEP] title: same thing, id: 1";
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Llama2Chat70b, single, 1))
+            .unwrap();
+        assert!(parse_answers(&resp.content, 1).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_injection() {
+        let llm = SimLlm::with_config(SimLlmConfig { rate_limit_rate: 1.0, ..Default::default() });
+        let err = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), 1))
+            .unwrap_err();
+        assert_eq!(err, LlmError::RateLimited);
+        assert_eq!(llm.stats().rate_limited, 1);
+        assert_eq!(llm.stats().completions, 0);
+    }
+
+    #[test]
+    fn malformed_injection_breaks_parsing() {
+        let llm = SimLlm::with_config(SimLlmConfig { malformed_rate: 1.0, ..Default::default() });
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), 1))
+            .unwrap();
+        assert!(parse_answers(&resp.content, 2).is_err());
+    }
+
+    #[test]
+    fn truncation_injection_sets_finish_reason() {
+        let llm = SimLlm::with_config(SimLlmConfig { truncation_rate: 1.0, ..Default::default() });
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), 1))
+            .unwrap();
+        assert_eq!(resp.finish_reason, FinishReason::Length);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let llm = SimLlm::new();
+        for seed in 0..3 {
+            llm.complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), seed))
+                .unwrap();
+        }
+        let s = llm.stats();
+        assert_eq!(s.completions, 3);
+        assert!(s.prompt_tokens > 0);
+        assert!(s.completion_tokens > 0);
+    }
+
+    #[test]
+    fn gpt4_costs_more_than_gpt35_for_same_prompt() {
+        let llm = SimLlm::new();
+        let p = simple_prompt();
+        let c4 = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, p.clone(), 1))
+            .unwrap()
+            .cost;
+        let c35 = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt35Turbo0301, p, 1))
+            .unwrap()
+            .cost;
+        assert!(c4.micros() >= 10 * c35.micros() / 2, "c4 {c4} vs c35 {c35}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-token pricing (§VI-A: "the API is priced per token").
+
+use er_core::{Money, TokenCount};
+
+use crate::profile::ModelKind;
+
+/// Input/output token prices for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriceTable {
+    /// Price per input (prompt) token.
+    pub input_per_token: Money,
+    /// Price per output (completion) token.
+    pub output_per_token: Money,
+}
+
+impl PriceTable {
+    /// The price table for a model, mirroring the paper's ratios:
+    /// GPT-4 input tokens cost 10× GPT-3.5's ($0.01 vs $0.001 per 1K).
+    /// Llama2 is open-source: price zero (self-hosted compute is not
+    /// part of the paper's cost model).
+    pub fn for_model(kind: ModelKind) -> Self {
+        // 1 micro-dollar per token == $0.001 per 1K tokens.
+        match kind {
+            ModelKind::Gpt35Turbo0301 | ModelKind::Gpt35Turbo0613 => Self {
+                input_per_token: Money::from_micros(1),
+                output_per_token: Money::from_micros(2),
+            },
+            ModelKind::Gpt4 => Self {
+                input_per_token: Money::from_micros(10),
+                output_per_token: Money::from_micros(30),
+            },
+            ModelKind::Llama2Chat70b => Self {
+                input_per_token: Money::ZERO,
+                output_per_token: Money::ZERO,
+            },
+        }
+    }
+
+    /// Cost of one call with the given token usage.
+    pub fn cost(&self, prompt: TokenCount, completion: TokenCount) -> Money {
+        self.input_per_token.per_token_times(prompt)
+            + self.output_per_token.per_token_times(completion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt4_is_10x_gpt35_on_input() {
+        let g35 = PriceTable::for_model(ModelKind::Gpt35Turbo0301);
+        let g4 = PriceTable::for_model(ModelKind::Gpt4);
+        assert_eq!(
+            g4.input_per_token.micros(),
+            10 * g35.input_per_token.micros()
+        );
+    }
+
+    #[test]
+    fn paper_example_cost() {
+        // Paper §I: 500,000 calls × 360 tokens at $0.01/1K = $1,800.
+        let g4 = PriceTable::for_model(ModelKind::Gpt4);
+        let per_call = g4.cost(TokenCount(360), TokenCount(0));
+        let total = per_call * 500_000;
+        assert_eq!(total, Money::from_dollars(1800.0));
+    }
+
+    #[test]
+    fn llama_is_free() {
+        let l = PriceTable::for_model(ModelKind::Llama2Chat70b);
+        assert_eq!(l.cost(TokenCount(1_000_000), TokenCount(1_000)), Money::ZERO);
+    }
+
+    #[test]
+    fn output_tokens_priced_separately() {
+        let g35 = PriceTable::for_model(ModelKind::Gpt35Turbo0613);
+        let c = g35.cost(TokenCount(1000), TokenCount(500));
+        assert_eq!(c, Money::from_micros(1000 + 2 * 500));
+    }
+}

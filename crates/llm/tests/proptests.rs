@@ -1,0 +1,114 @@
+//! Property-based tests for the LLM substrate: prompt parsing totality,
+//! render/parse roundtrips, tokenizer consistency and simulator
+//! determinism.
+
+use llm::engine::PairFeatures;
+use llm::parse::{parse_pair_text, parse_prompt};
+use llm::{parse_answers, ChatApi, ChatRequest, ModelKind, SimLlm};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,()\\-]{0,18}"
+}
+
+proptest! {
+    /// The prompt parser never panics and never invents questions, on any
+    /// input text.
+    #[test]
+    fn parse_prompt_total(text in "\\PC{0,300}") {
+        let parsed = parse_prompt(&text);
+        prop_assert!(parsed.questions.len() <= text.lines().count().max(1));
+    }
+
+    /// Serialized pairs built from arbitrary attribute values parse back
+    /// with the right attribute count on the left side.
+    #[test]
+    fn pair_text_roundtrip(values in prop::collection::vec(arb_value(), 1..5)) {
+        let names: Vec<String> = (0..values.len()).map(|i| format!("attr{i}")).collect();
+        let left: Vec<String> = names
+            .iter()
+            .zip(&values)
+            .map(|(n, v)| format!("{n}: {v}"))
+            .collect();
+        let text = format!("{} [SEP] {}", left.join(", "), left.join(", "));
+        let parsed = parse_pair_text(&text);
+        prop_assert_eq!(parsed.a.len(), values.len());
+        for ((name, value), (pname, pvalue)) in
+            names.iter().zip(&values).zip(&parsed.a)
+        {
+            prop_assert_eq!(name, pname);
+            // Values are trimmed by the parser.
+            prop_assert_eq!(value.trim(), pvalue.as_str());
+        }
+    }
+
+    /// Engine feature scores stay in [0, 1] whatever the pair text.
+    #[test]
+    fn scores_bounded(a in arb_value(), b in arb_value(), c in arb_value(), d in arb_value()) {
+        let text = format!("title: {a}, maker: {b} [SEP] title: {c}, maker: {d}");
+        let features = PairFeatures::of(&parse_pair_text(&text));
+        prop_assert!((0.0..=1.0).contains(&features.score));
+        let dist = features.distance(&features);
+        prop_assert!(dist.abs() < 1e-12);
+    }
+
+    /// The simulator is a pure function of (model, prompt, temperature,
+    /// seed) — two identical requests always give identical responses.
+    #[test]
+    fn simulator_deterministic(
+        a in arb_value(),
+        b in arb_value(),
+        seed in any::<u64>(),
+    ) {
+        let prompt = format!("Q1: title: {a} [SEP] title: {b}\nAnswer yes or no.");
+        let llm = SimLlm::new();
+        let req = ChatRequest::new(ModelKind::Gpt35Turbo0301, prompt, seed);
+        let r1 = llm.complete(&req);
+        let r2 = llm.complete(&req);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Whatever the simulator answers for n questions can be parsed back
+    /// into exactly n labels.
+    #[test]
+    fn answers_always_parseable(
+        values in prop::collection::vec((arb_value(), arb_value()), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut prompt = String::from("Entity resolution task.\n");
+        for (i, (a, b)) in values.iter().enumerate() {
+            prompt.push_str(&format!("Q{}: title: {a} [SEP] title: {b}\n", i + 1));
+        }
+        let llm = SimLlm::new();
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt, seed))
+            .expect("no fault injection configured");
+        let labels = parse_answers(&resp.content, values.len()).expect("parseable");
+        prop_assert_eq!(labels.len(), values.len());
+    }
+
+    /// Token counting is monotone under concatenation and agrees with the
+    /// materializing tokenizer.
+    #[test]
+    fn token_count_consistent(a in "\\PC{0,80}", b in "\\PC{0,80}") {
+        let ca = llm::count_tokens(&a);
+        let cb = llm::count_tokens(&b);
+        let cab = llm::count_tokens(&format!("{a} {b}"));
+        prop_assert!(cab <= ca + cb + 1);
+        prop_assert!(cab + 1 >= ca.max(cb));
+        prop_assert_eq!(ca, llm::tokenize(&a).len() as u64);
+    }
+
+    /// Usage accounting matches the content: completion tokens equal the
+    /// tokenization of the returned text.
+    #[test]
+    fn usage_matches_content(a in arb_value(), seed in any::<u64>()) {
+        let prompt = format!("Q1: title: {a} [SEP] title: {a}");
+        let llm = SimLlm::new();
+        let resp = llm
+            .complete(&ChatRequest::new(ModelKind::Gpt35Turbo0301, prompt.clone(), seed))
+            .unwrap();
+        prop_assert_eq!(resp.usage.prompt_tokens.get(), llm::count_tokens(&prompt));
+        prop_assert_eq!(resp.usage.completion_tokens.get(), llm::count_tokens(&resp.content));
+    }
+}

@@ -1,0 +1,107 @@
+//! Jaccard similarity over token sets (Eq. 4) and related set measures.
+
+use std::collections::BTreeSet;
+
+use crate::tokenize::word_tokens;
+
+/// Jaccard similarity over normalized word-token sets (Eq. 4):
+/// `JAC(a, b) = |A ∩ B| / |A ∪ B|`.
+///
+/// Two empty values are defined as identical (`1.0`); one empty and one
+/// non-empty value score `0.0`.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let sa: BTreeSet<String> = word_tokens(a).into_iter().collect();
+    let sb: BTreeSet<String> = word_tokens(b).into_iter().collect();
+    jaccard_sets(&sa, &sb)
+}
+
+/// Jaccard similarity over the sets of characters of the normalized
+/// strings. Useful for single-token values where word Jaccard is 0/1.
+pub fn jaccard_chars(a: &str, b: &str) -> f64 {
+    let sa: BTreeSet<char> = crate::normalize::normalize(a).chars().collect();
+    let sb: BTreeSet<char> = crate::normalize::normalize(b).chars().collect();
+    jaccard_sets(&sa, &sb)
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over word-token sets.
+///
+/// Less sensitive than Jaccard to one value being a long superset of the
+/// other (common with product titles carrying extra marketing tokens).
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let sa: BTreeSet<String> = word_tokens(a).into_iter().collect();
+    let sb: BTreeSet<String> = word_tokens(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let min = sa.len().min(sb.len());
+    if min == 0 {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f64 / min as f64
+}
+
+fn jaccard_sets<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(jaccard_tokens("red apple", "red apple"), 1.0);
+        assert_eq!(jaccard_chars("abc", "abc"), 1.0);
+        assert_eq!(overlap_coefficient("red apple", "red apple"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings() {
+        assert_eq!(jaccard_tokens("alpha beta", "gamma delta"), 0.0);
+        assert_eq!(overlap_coefficient("alpha", "beta"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {red, apple} vs {red, pear}: inter 1, union 3.
+        assert!((jaccard_tokens("red apple", "red pear") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("a", ""), 0.0);
+        assert_eq!(overlap_coefficient("", ""), 1.0);
+        assert_eq!(overlap_coefficient("a", ""), 0.0);
+    }
+
+    #[test]
+    fn normalization_applies() {
+        // "Dance,Music" tokenizes to {dance, music}.
+        assert_eq!(jaccard_tokens("Dance,Music", "dance music"), 1.0);
+    }
+
+    #[test]
+    fn char_jaccard_on_anagrams() {
+        // listen/silent share the same character set.
+        assert_eq!(jaccard_chars("listen", "silent"), 1.0);
+    }
+
+    #[test]
+    fn overlap_superset_scores_one() {
+        assert_eq!(
+            overlap_coefficient("apple iphone 13 pro max 256gb", "iphone 13"),
+            1.0
+        );
+        assert!(jaccard_tokens("apple iphone 13 pro max 256gb", "iphone 13") < 0.5);
+    }
+}

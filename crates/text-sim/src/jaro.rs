@@ -1,0 +1,112 @@
+//! Jaro and Jaro-Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Counts matching characters within the standard window
+/// `max(|a|,|b|)/2 − 1` and transpositions among them.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.is_empty() && b_chars.is_empty() {
+        return 1.0;
+    }
+    if a_chars.is_empty() || b_chars.is_empty() {
+        return 0.0;
+    }
+    let window = (a_chars.len().max(b_chars.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b_chars.len()];
+    let mut matches = 0usize;
+    let mut a_matched: Vec<char> = Vec::new();
+    for (i, &ca) in a_chars.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b_chars.len());
+        for j in lo..hi {
+            if !b_used[j] && b_chars[j] == ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push(ca);
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    let b_matched: Vec<char> = b_chars
+        .iter()
+        .zip(&b_used)
+        .filter_map(|(&c, &used)| used.then_some(c))
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a_chars.len() as f64 + m / b_chars.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of shared
+/// prefix with the standard scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Standard worked examples from the record-linkage literature.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.9444));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.7667));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.9611));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.8133));
+    }
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_never_below_jaro() {
+        for (a, b) in [("prefix", "preface"), ("apple", "apply"), ("cat", "hat")] {
+            assert!(jaro_winkler(a, b) >= jaro(a, b));
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!(close(jaro("CRATE", "TRACE"), jaro("TRACE", "CRATE")));
+    }
+
+    #[test]
+    fn bounded() {
+        for (a, b) in [("a", "ab"), ("frog", "fog"), ("x", "y"), ("aaaa", "aa")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s), "{s} out of range for {a}/{b}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Levenshtein edit distance and the paper's Levenshtein ratio (Eq. 5).
+
+/// Levenshtein edit distance: the minimum number of single-character
+/// insertions, deletions and substitutions transforming `a` into `b`.
+///
+/// Two-row dynamic program, O(|a|·|b|) time and O(min(|a|,|b|)) space,
+/// operating on Unicode scalar values.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension to minimize the rows.
+    let (short, long) = if a_chars.len() <= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub_cost = if lc == sc { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// The paper's Levenshtein ratio (Eq. 5):
+/// `LR(a, b) = 1 − LED(a, b) / s` where `s = |a| + |b|`.
+///
+/// Returns `1.0` for two empty strings (identical), and is guaranteed to
+/// lie in `[0, 1]` because `LED ≤ max(|a|, |b|) ≤ s`.
+pub fn levenshtein_ratio(a: &str, b: &str) -> f64 {
+    let s = a.chars().count() + b.chars().count();
+    if s == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / s as f64
+}
+
+/// Conventional normalized Levenshtein similarity:
+/// `1 − LED(a, b) / max(|a|, |b|)`.
+///
+/// Sharper than [`levenshtein_ratio`] (it reaches 0 for totally different
+/// equal-length strings); provided for ablation against the paper's Eq. 5.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("listen", "silent"), levenshtein("silent", "listen"));
+    }
+
+    #[test]
+    fn unicode_scalars_not_bytes() {
+        // One substitution between two 2-char strings of multibyte chars.
+        assert_eq!(levenshtein("héllo", "hållo"), 1);
+        assert_eq!(levenshtein("日本", "日木"), 1);
+    }
+
+    #[test]
+    fn ratio_matches_eq5() {
+        // listen/silent: LED = 4, s = 12 -> 1 - 4/12 = 2/3.
+        assert_eq!(levenshtein("listen", "silent"), 4);
+        assert!((levenshtein_ratio("listen", "silent") - (1.0 - 4.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        assert_eq!(levenshtein_ratio("", ""), 1.0);
+        assert_eq!(levenshtein_ratio("abc", "abc"), 1.0);
+        let r = levenshtein_ratio("abc", "xyz");
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn normalized_reaches_zero() {
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("ab", ""), 0.0);
+    }
+
+    #[test]
+    fn example5_title_similarity() {
+        // Example 5 of the paper: LR("Rashi", "Rashi") = 1.
+        assert_eq!(levenshtein_ratio("Rashi", "Rashi"), 1.0);
+    }
+}

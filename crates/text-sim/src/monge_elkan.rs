@@ -1,0 +1,73 @@
+//! Monge-Elkan token-level similarity.
+
+use crate::tokenize::word_tokens;
+
+/// Monge-Elkan similarity: for each token of `a`, take the best inner
+/// similarity against any token of `b`, then average; symmetrized by
+/// taking the mean of both directions.
+///
+/// `inner` is the per-token similarity kernel (e.g. [`crate::jaro_winkler`]
+/// or [`crate::levenshtein_ratio`]).
+pub fn monge_elkan<F>(a: &str, b: &str, inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    let ta = word_tokens(a);
+    let tb = word_tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| inner(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (dir(&ta, &tb) + dir(&tb, &ta)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro_winkler;
+
+    #[test]
+    fn identical_tokens_score_one() {
+        assert_eq!(monge_elkan("red apple", "apple red", jaro_winkler), 1.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(monge_elkan("", "", jaro_winkler), 1.0);
+        assert_eq!(monge_elkan("a", "", jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn tolerant_of_typos() {
+        let s = monge_elkan("paul johnson", "pual jonson", jaro_winkler);
+        assert!(s > 0.85, "typo-tolerant similarity too low: {s}");
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let ab = monge_elkan("comptr sci", "computer science", jaro_winkler);
+        let ba = monge_elkan("computer science", "comptr sci", jaro_winkler);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn inner_kernel_pluggable() {
+        let exact = |x: &str, y: &str| if x == y { 1.0 } else { 0.0 };
+        // one of two tokens matches exactly in each direction
+        let s = monge_elkan("red apple", "red pear", exact);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

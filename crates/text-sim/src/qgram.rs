@@ -1,0 +1,77 @@
+//! Character q-gram profiles and the cosine similarity between them.
+
+use std::collections::BTreeMap;
+
+use crate::tokenize::qgrams;
+
+/// The q-gram frequency profile of a string: gram → count.
+pub fn qgram_profile(s: &str, q: usize) -> BTreeMap<String, u32> {
+    let mut profile = BTreeMap::new();
+    for g in qgrams(s, q) {
+        *profile.entry(g).or_insert(0) += 1;
+    }
+    profile
+}
+
+/// Cosine similarity between the q-gram count vectors of two strings.
+///
+/// Robust to token order and small edits, cheap to compute; used by the
+/// blocker for candidate scoring.
+pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    if pa.is_empty() && pb.is_empty() {
+        return 1.0;
+    }
+    if pa.is_empty() || pb.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = pa
+        .iter()
+        .filter_map(|(g, &ca)| pb.get(g).map(|&cb| ca as f64 * cb as f64))
+        .sum();
+    let na: f64 = pa.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+    let nb: f64 = pb.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_repeats() {
+        let p = qgram_profile("aaaa", 2);
+        assert_eq!(p.get("aa"), Some(&3));
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        assert!((qgram_cosine("walmart", "walmart", 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        assert_eq!(qgram_cosine("abc", "xyz", 2), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(qgram_cosine("", "", 3), 1.0);
+        assert_eq!(qgram_cosine("abc", "", 3), 0.0);
+    }
+
+    #[test]
+    fn small_edit_keeps_high_similarity() {
+        let s = qgram_cosine("samsung galaxy s21", "samsung galxy s21", 3);
+        assert!(s > 0.7, "got {s}");
+    }
+
+    #[test]
+    fn bounded() {
+        for (a, b) in [("ab", "ba"), ("night", "nacht"), ("a", "a b c")] {
+            let s = qgram_cosine(a, b, 2);
+            assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Corpus-weighted TF-IDF cosine similarity.
+
+use std::collections::BTreeMap;
+
+use crate::tokenize::word_tokens;
+
+/// A TF-IDF weighting model fitted on a corpus of strings.
+///
+/// Tokens that occur in many corpus documents (e.g. "music" in a song
+/// dataset) receive low weight, so rare, discriminative tokens dominate
+/// similarity — the behaviour ER blockers rely on.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    doc_freq: BTreeMap<String, u32>,
+    n_docs: u32,
+}
+
+impl TfIdfModel {
+    /// Fits document frequencies over an iterator of documents.
+    pub fn fit<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut doc_freq: BTreeMap<String, u32> = BTreeMap::new();
+        let mut n_docs = 0u32;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<String> = word_tokens(doc);
+            seen.sort_unstable();
+            seen.dedup();
+            for tok in seen {
+                *doc_freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        Self { doc_freq, n_docs }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency of a token:
+    /// `ln((1 + N) / (1 + df)) + 1`.
+    ///
+    /// Unseen tokens get the maximum weight, which is the right behaviour
+    /// for out-of-corpus query strings.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        ((1.0 + self.n_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// TF-IDF weighted vector of a string: token → tf × idf.
+    pub fn vector(&self, s: &str) -> BTreeMap<String, f64> {
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
+        for tok in word_tokens(s) {
+            *tf.entry(tok).or_insert(0.0) += 1.0;
+        }
+        for (tok, v) in tf.iter_mut() {
+            *v *= self.idf(tok);
+        }
+        tf
+    }
+
+    /// Cosine similarity between the TF-IDF vectors of two strings.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        if va.is_empty() && vb.is_empty() {
+            return 1.0;
+        }
+        if va.is_empty() || vb.is_empty() {
+            return 0.0;
+        }
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(t, &wa)| vb.get(t).map(|&wb| wa * wb))
+            .sum();
+        let na = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TfIdfModel {
+        TfIdfModel::fit([
+            "rock music album",
+            "pop music single",
+            "jazz music live",
+            "quantum computing paper",
+        ])
+    }
+
+    #[test]
+    fn common_tokens_weigh_less() {
+        let m = model();
+        assert!(m.idf("music") < m.idf("quantum"));
+        assert!(m.idf("unseen-token") >= m.idf("quantum"));
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let m = model();
+        assert!((m.cosine("rock music", "rock music") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let m = model();
+        assert_eq!(m.cosine("rock", "quantum"), 0.0);
+    }
+
+    #[test]
+    fn rare_token_dominates() {
+        let m = model();
+        // Sharing the rare "quantum" token scores higher than sharing the
+        // ubiquitous "music" token.
+        let rare = m.cosine("quantum theory", "quantum mechanics");
+        let common = m.cosine("music theory", "music mechanics");
+        assert!(rare > common, "rare {rare} <= common {common}");
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let m = model();
+        assert_eq!(m.cosine("", ""), 1.0);
+        assert_eq!(m.cosine("rock", ""), 0.0);
+    }
+
+    #[test]
+    fn n_docs_counted() {
+        assert_eq!(model().n_docs(), 4);
+    }
+}

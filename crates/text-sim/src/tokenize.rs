@@ -1,0 +1,75 @@
+//! Tokenizers: word tokens and character q-grams.
+
+use crate::normalize::normalize;
+
+/// Splits a string into normalized word tokens.
+///
+/// This is the tokenization used by the Jaccard kernel (Eq. 4): values are
+/// normalized, then split on whitespace.
+pub fn word_tokens(s: &str) -> Vec<String> {
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Produces the multiset of character q-grams of the normalized string.
+///
+/// Strings shorter than `q` yield a single gram containing the whole
+/// string (padding-free convention), so very short values still compare
+/// non-trivially. `q = 0` is treated as `q = 1`.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let q = q.max(1);
+    let norm = normalize(s);
+    let chars: Vec<char> = norm.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![norm];
+    }
+    chars
+        .windows(q)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokens_normalize_first() {
+        assert_eq!(word_tokens("Dance,Music,Hip-Hop"), vec!["dance", "music", "hip", "hop"]);
+    }
+
+    #[test]
+    fn word_tokens_empty() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens("...").is_empty());
+    }
+
+    #[test]
+    fn trigram_count() {
+        // "abcde" -> abc, bcd, cde
+        assert_eq!(qgrams("abcde", 3), vec!["abc", "bcd", "cde"]);
+    }
+
+    #[test]
+    fn short_string_whole_gram() {
+        assert_eq!(qgrams("ab", 3), vec!["ab"]);
+        assert_eq!(qgrams("", 3), Vec::<String>::new());
+    }
+
+    #[test]
+    fn q_zero_is_unigrams() {
+        assert_eq!(qgrams("abc", 0), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn qgrams_are_multiset() {
+        // repeated grams preserved: "aaaa" -> aa, aa, aa
+        assert_eq!(qgrams("aaaa", 2), vec!["aa", "aa", "aa"]);
+    }
+}

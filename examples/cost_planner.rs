@@ -1,0 +1,61 @@
+//! Budgeting an ER workload before spending anything.
+//!
+//! ```text
+//! cargo run --release --example cost_planner
+//! ```
+//!
+//! Reproduces the paper's §I motivation scene: quote the cost of matching
+//! a workload under standard prompting, batch prompting, and batch
+//! prompting with GPT-4 — without a single API call — then run the
+//! cheapest plan and compare the quote to the bill.
+
+use batcher::core::{run, CostEstimate, RunConfig};
+use batcher::datagen::{generate, DatasetKind};
+use batcher::llm::{ModelKind, SimLlm};
+
+fn main() {
+    let dataset = generate(DatasetKind::DblpScholar, 42);
+    println!(
+        "workload: {} — {} candidate pairs ({} to resolve in the test split)\n",
+        dataset.name(),
+        dataset.stats().pairs,
+        dataset.stats().pairs / 5
+    );
+
+    let plans = [
+        ("standard prompting, GPT-3.5", RunConfig::standard_prompting()),
+        ("batch prompting,    GPT-3.5", RunConfig::best_design()),
+        (
+            "batch prompting,    GPT-4  ",
+            RunConfig { model: ModelKind::Gpt4, ..RunConfig::best_design() },
+        ),
+    ];
+
+    println!(
+        "{:<30} {:>8} {:>12} {:>22}",
+        "plan", "calls", "API quote", "labeling quote"
+    );
+    for (name, config) in &plans {
+        let quote = CostEstimate::quote(&dataset, config);
+        println!(
+            "{:<30} {:>8} {:>12} {:>10} – {:<10}",
+            name,
+            quote.calls,
+            format!("{:.2}", quote.api.dollars()),
+            format!("{:.2}", quote.labeling.0.dollars()),
+            format!("{:.2}", quote.labeling.1.dollars()),
+        );
+    }
+
+    // Execute the recommended plan and audit the quote.
+    let config = RunConfig::best_design();
+    let quote = CostEstimate::quote(&dataset, &config);
+    let result = run(&dataset, &SimLlm::new(), config);
+    println!(
+        "\nexecuted best plan: F1 {:.2}, API billed {} (quoted {}), labeling {}",
+        result.f1(),
+        result.ledger.api,
+        quote.api,
+        result.ledger.labeling
+    );
+}

@@ -1,0 +1,41 @@
+//! Running BatchER against the LLM service over HTTP.
+//!
+//! ```text
+//! cargo run --release --example http_service
+//! ```
+//!
+//! Boots the loopback chat-completions service (the deployment seam a real
+//! OpenAI endpoint would occupy), then runs the full BatchER pipeline
+//! through the HTTP client. The result is bit-identical to the in-process
+//! simulator — the framework only sees the `ChatApi` trait.
+
+use batcher::core::{run, RunConfig};
+use batcher::datagen::{generate, DatasetKind};
+use batcher::llm::SimLlm;
+use batcher::llm_service::LlmServer;
+
+fn main() {
+    let dataset = generate(DatasetKind::ItunesAmazon, 42);
+
+    // In-process reference run.
+    let local = run(&dataset, &SimLlm::new(), RunConfig::best_design());
+
+    // Same run over HTTP.
+    let server = LlmServer::new().start().expect("bind loopback");
+    println!("llm-service listening on http://{}", server.addr());
+    let client = server.client();
+    let remote = run(&dataset, &client, RunConfig::best_design());
+
+    println!(
+        "in-process: F1 {:.2}, API cost {}",
+        local.f1(),
+        local.ledger.api
+    );
+    println!(
+        "over HTTP : F1 {:.2}, API cost {}",
+        remote.f1(),
+        remote.ledger.api
+    );
+    assert_eq!(local.confusion, remote.confusion, "transport must not change results");
+    println!("results identical across transports — ChatApi seam verified");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: resolve a benchmark with the paper's best design choice.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates the Beer benchmark, runs BatchER with diversity-based
+//! question batching + covering-based demonstration selection against the
+//! simulated GPT-3.5 endpoint, and prints accuracy and costs.
+
+use batcher::core::{run, RunConfig};
+use batcher::datagen::{generate, DatasetKind};
+use batcher::llm::SimLlm;
+
+fn main() {
+    // 1. A labeled ER benchmark (450 candidate pairs, 68 matches).
+    let dataset = generate(DatasetKind::Beer, 42);
+    println!(
+        "dataset {}: {} pairs, {} matches",
+        dataset.name(),
+        dataset.stats().pairs,
+        dataset.stats().matches
+    );
+
+    // 2. An LLM endpoint. `SimLlm` is the in-process simulator; anything
+    //    implementing `llm::ChatApi` (e.g. the HTTP client from
+    //    `llm-service`, or a production OpenAI client) works identically.
+    let api = SimLlm::new();
+
+    // 3. The paper's best design choice (Finding 2): diversity batching +
+    //    covering selection + structure-aware Levenshtein-ratio features.
+    let result = run(&dataset, &api, RunConfig::best_design());
+
+    let scores = result.confusion.scores();
+    println!("F1        = {:.2}%", scores.f1);
+    println!("precision = {:.2}%", scores.precision);
+    println!("recall    = {:.2}%", scores.recall);
+    println!("batches   = {}", result.batches);
+    println!("demos labeled = {} (cost {})", result.demos_labeled, result.ledger.labeling);
+    println!("API cost  = {}", result.ledger.api);
+    println!("total     = {}", result.ledger.total());
+}

@@ -1,0 +1,173 @@
+//! Integration tests pinning the paper's six findings (§VI) as executable
+//! assertions over the simulated stack. These are the regression guards
+//! for the reproduction's *shape*: if a refactor breaks one of these, the
+//! repository no longer reproduces the paper.
+
+use batcher::core::{run, BatchingStrategy, ExtractorKind, RunConfig, SelectionStrategy};
+use batcher::datagen::{generate, DatasetKind};
+use batcher::llm::{ModelKind, SimLlm};
+
+fn f1_mean(dataset: &datagen::DatasetKind, config: RunConfig, seeds: &[u64]) -> f64 {
+    let d = generate(*dataset, 77);
+    let api = SimLlm::new();
+    let sum: f64 = seeds
+        .iter()
+        .map(|&seed| run(&d, &api, RunConfig { seed, ..config }).f1())
+        .sum();
+    sum / seeds.len() as f64
+}
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+#[test]
+fn finding1_batch_beats_standard_on_accuracy_and_cost() {
+    // Finding 1: batch prompting brings 4x-7x API savings and higher,
+    // more stable accuracy. Checked on two mid-size datasets.
+    for kind in [DatasetKind::WalmartAmazon, DatasetKind::AbtBuy] {
+        let d = generate(kind, 77);
+        let api = SimLlm::new();
+        let std = run(&d, &api, RunConfig { seed: 1, ..RunConfig::standard_prompting() });
+        let batch = run(&d, &api, RunConfig { seed: 1, ..RunConfig::batch_prompting_fixed() });
+        let saving = std.ledger.api.ratio(batch.ledger.api);
+        assert!(
+            (3.5..=8.0).contains(&saving),
+            "{kind}: API saving {saving:.1}x outside the paper's 4x-7x band"
+        );
+        let std_f1 = f1_mean(&kind, RunConfig::standard_prompting(), &SEEDS);
+        let batch_f1 = f1_mean(&kind, RunConfig::batch_prompting_fixed(), &SEEDS);
+        assert!(
+            batch_f1 > std_f1 - 1.0,
+            "{kind}: batch F1 {batch_f1:.1} not ≥ standard {std_f1:.1}"
+        );
+    }
+}
+
+#[test]
+fn finding2_cover_labels_an_order_of_magnitude_less() {
+    // Finding 2 (cost half): covering-based selection slashes labeling
+    // cost versus top-k-question at comparable accuracy.
+    let d = generate(DatasetKind::WalmartAmazon, 77);
+    let api = SimLlm::new();
+    let base = RunConfig { seed: 1, ..RunConfig::best_design() };
+    let cover = run(&d, &api, base);
+    let topk = run(
+        &d,
+        &api,
+        RunConfig { selection: SelectionStrategy::TopKQuestion, ..base },
+    );
+    assert!(
+        cover.demos_labeled * 5 <= topk.demos_labeled,
+        "cover labeled {} vs topk-question {}",
+        cover.demos_labeled,
+        topk.demos_labeled
+    );
+    assert!(
+        cover.f1() > topk.f1() - 6.0,
+        "cover F1 {:.1} collapsed vs topk-question {:.1}",
+        cover.f1(),
+        topk.f1()
+    );
+    // Cover also has the lowest API cost (fewer demo tokens per prompt).
+    assert!(cover.ledger.api <= topk.ledger.api);
+}
+
+#[test]
+fn finding2_diversity_not_worse_than_similarity_for_cover() {
+    let d = generate(DatasetKind::AmazonGoogle, 77);
+    let api = SimLlm::new();
+    let mut div = 0.0;
+    let mut sim = 0.0;
+    for seed in SEEDS {
+        let base = RunConfig { seed, ..RunConfig::best_design() };
+        div += run(&d, &api, base).f1();
+        sim += run(
+            &d,
+            &api,
+            RunConfig { batching: BatchingStrategy::Similarity, ..base },
+        )
+        .f1();
+    }
+    assert!(
+        div >= sim - 3.0,
+        "diversity {div:.1} clearly worse than similarity {sim:.1} (x3 seeds)"
+    );
+}
+
+#[test]
+fn finding5_gpt4_most_accurate_but_10x_cost() {
+    let d = generate(DatasetKind::DblpScholar, 77);
+    let api = SimLlm::new();
+    let base = RunConfig { seed: 1, ..RunConfig::best_design() };
+    let g35 = run(&d, &api, base);
+    let g4 = run(&d, &api, RunConfig { model: ModelKind::Gpt4, ..base });
+    assert!(
+        g4.f1() > g35.f1() - 1.0,
+        "GPT-4 {:.1} should be at least GPT-3.5's level {:.1}",
+        g4.f1(),
+        g35.f1()
+    );
+    let ratio = g4.ledger.api.ratio(g35.ledger.api);
+    assert!(
+        ratio > 8.0,
+        "GPT-4 API cost only {ratio:.1}x GPT-3.5's (pricing is 10x)"
+    );
+}
+
+#[test]
+fn finding5_gpt35_06_regresses_somewhere() {
+    // Table VI: the 0613 snapshot loses to 0301 on several datasets.
+    let d = generate(DatasetKind::AbtBuy, 77);
+    let api = SimLlm::new();
+    let base = RunConfig { seed: 1, ..RunConfig::best_design() };
+    let v03 = run(&d, &api, base);
+    let v06 = run(
+        &d,
+        &api,
+        RunConfig { model: ModelKind::Gpt35Turbo0613, ..base },
+    );
+    assert!(
+        v03.f1() > v06.f1(),
+        "0301 {:.1} should beat 0613 {:.1} on AB",
+        v03.f1(),
+        v06.f1()
+    );
+}
+
+#[test]
+fn finding6_structure_aware_lr_beats_semantic() {
+    // Table VII: BATCHER-LR ≥ BATCHER-SEM on ER relevance.
+    let kind = DatasetKind::WalmartAmazon;
+    let lr = f1_mean(&kind, RunConfig::best_design(), &SEEDS);
+    let sem = f1_mean(
+        &kind,
+        RunConfig { extractor: ExtractorKind::Semantic, ..RunConfig::best_design() },
+        &SEEDS,
+    );
+    assert!(
+        lr >= sem - 1.0,
+        "BATCHER-LR {lr:.1} lost to BATCHER-SEM {sem:.1}"
+    );
+}
+
+#[test]
+fn llama2_unusable_for_batch_prompting() {
+    // §VI-F: Llama2 produces no usable output for multi-question prompts.
+    let d = generate(DatasetKind::Beer, 77);
+    let api = SimLlm::new();
+    let result = run(
+        &d,
+        &api,
+        RunConfig {
+            model: ModelKind::Llama2Chat70b,
+            max_retries: 1,
+            seed: 1,
+            ..RunConfig::best_design()
+        },
+    );
+    assert!(
+        result.unanswered as u64 > result.confusion.total() / 2,
+        "Llama2 answered batches it should fail on ({} unanswered of {})",
+        result.unanswered,
+        result.confusion.total()
+    );
+}
