@@ -194,7 +194,11 @@ mod tests {
         let mut ys = Vec::new();
         for i in 0..1000 {
             let y = i % 20 == 0;
-            let x0: f64 = if y { 0.55 + 0.3 * rng.gen::<f64>() } else { 0.45 * rng.gen::<f64>() + 0.2 };
+            let x0: f64 = if y {
+                0.55 + 0.3 * rng.gen::<f64>()
+            } else {
+                0.45 * rng.gen::<f64>() + 0.2
+            };
             xs.push(vec![x0]);
             ys.push(y);
         }
@@ -220,13 +224,17 @@ mod tests {
         let (xs, ys) = toy(300, 6);
         let mut model = LogisticModel::train(&xs, &ys, TrainConfig::default());
         let before = f1_at(
-            &xs.iter().map(|x| model.predict_proba(x)).collect::<Vec<_>>(),
+            &xs.iter()
+                .map(|x| model.predict_proba(x))
+                .collect::<Vec<_>>(),
             &ys,
             model.threshold,
         );
         model.tune_threshold(&xs, &ys);
         let after = f1_at(
-            &xs.iter().map(|x| model.predict_proba(x)).collect::<Vec<_>>(),
+            &xs.iter()
+                .map(|x| model.predict_proba(x))
+                .collect::<Vec<_>>(),
             &ys,
             model.threshold,
         );

@@ -141,7 +141,11 @@ fn render_demos(demos: &[&LabeledPair]) -> String {
     let mut out = String::from("Demonstrations:\n");
     for (i, d) in demos.iter().enumerate() {
         let verdict = if d.label.is_match() { "yes" } else { "no" };
-        out.push_str(&format!("D{}: {} => {verdict}\n", i + 1, d.pair.serialize()));
+        out.push_str(&format!(
+            "D{}: {} => {verdict}\n",
+            i + 1,
+            d.pair.serialize()
+        ));
     }
     out
 }
@@ -159,9 +163,17 @@ mod tests {
         let baseline = ManualPrompt::default();
         let api = SimLlm::new();
         let outcome = baseline
-            .run(&api, &split.train, &split.test[..120.min(split.test.len())], 7)
+            .run(
+                &api,
+                &split.train,
+                &split.test[..120.min(split.test.len())],
+                7,
+            )
             .unwrap();
-        assert_eq!(outcome.confusion.total() as usize, 120.min(split.test.len()));
+        assert_eq!(
+            outcome.confusion.total() as usize,
+            120.min(split.test.len())
+        );
         assert!(
             outcome.confusion.f1() > 0.5,
             "ManualPrompt F1 implausibly low: {}",
@@ -185,8 +197,12 @@ mod tests {
     #[test]
     fn expert_demos_handle_tiny_pools() {
         let d = generate(DatasetKind::Beer, 4);
-        let only_matches: Vec<&LabeledPair> =
-            d.pairs().iter().filter(|p| p.label.is_match()).take(2).collect();
+        let only_matches: Vec<&LabeledPair> = d
+            .pairs()
+            .iter()
+            .filter(|p| p.label.is_match())
+            .take(2)
+            .collect();
         let demos = expert_demos(&only_matches, 6);
         assert_eq!(demos.len(), 2);
     }
@@ -202,7 +218,9 @@ mod tests {
             ..Default::default()
         });
         let baseline = ManualPrompt { max_retries: 1, ..Default::default() };
-        let outcome = baseline.run(&api, &split.train, &split.test[..5], 3).unwrap();
+        let outcome = baseline
+            .run(&api, &split.train, &split.test[..5], 3)
+            .unwrap();
         assert_eq!(outcome.unparsed, 5);
         assert_eq!(outcome.confusion.total(), 5);
     }

@@ -168,17 +168,19 @@ mod tests {
         let train: Vec<&LabeledPair> = pairs[..6000].iter().collect();
         let valid: Vec<&LabeledPair> = pairs[6000..7000].iter().collect();
         let test: Vec<&LabeledPair> = pairs[7000..9000].iter().collect();
-        let small =
-            PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 50);
-        let large =
-            PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 4000);
+        let small = PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 50);
+        let large = PlmMatcher::learning_curve_point(PlmKind::Ditto, &train, &valid, &test, 4000);
         assert!(
             large.confusion.f1() > small.confusion.f1() + 0.03,
             "no learning-curve growth: {} -> {}",
             small.confusion.f1(),
             large.confusion.f1()
         );
-        assert!(large.confusion.f1() > 0.75, "converged F1 too low: {}", large.confusion.f1());
+        assert!(
+            large.confusion.f1() > 0.75,
+            "converged F1 too low: {}",
+            large.confusion.f1()
+        );
     }
 
     #[test]
@@ -189,8 +191,7 @@ mod tests {
         let train: Vec<&LabeledPair> = pairs[..4000].iter().collect();
         let valid: Vec<&LabeledPair> = pairs[4000..4800].iter().collect();
         let test: Vec<&LabeledPair> = pairs[4800..6800].iter().collect();
-        let robem =
-            PlmMatcher::learning_curve_point(PlmKind::RobEm, &train, &valid, &test, 100);
+        let robem = PlmMatcher::learning_curve_point(PlmKind::RobEm, &train, &valid, &test, 100);
         let jointbert =
             PlmMatcher::learning_curve_point(PlmKind::JointBert, &train, &valid, &test, 100);
         assert!(

@@ -60,9 +60,10 @@ fn bench_clustering_choice(c: &mut Criterion) {
     let api = SimLlm::new();
     let mut group = c.benchmark_group("ablation_clustering");
     group.sample_size(10);
-    for (name, clustering) in
-        [("dbscan", ClusteringKind::Dbscan), ("kmeans", ClusteringKind::KMeans)]
-    {
+    for (name, clustering) in [
+        ("dbscan", ClusteringKind::Dbscan),
+        ("kmeans", ClusteringKind::KMeans),
+    ] {
         let config = RunConfig { clustering, seed: 1, ..RunConfig::best_design() };
         let result = batcher_core::run(&d, &api, config);
         println!("[ablation] clustering={name}: F1 {:.2}", result.f1());

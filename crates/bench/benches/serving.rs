@@ -1,0 +1,88 @@
+//! Serving-layer benchmarks: coalescing-queue throughput under
+//! concurrent clients, and the cache-hit fast path's latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use er_core::{EntityPair, Money};
+use er_service::{ErService, ServiceConfig};
+use llm::SimLlm;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        budget: Money::from_dollars(50.0),
+        batch_size: 8,
+        flush_deadline: Duration::from_millis(2),
+        workers: 2,
+        domain: "Beer".to_owned(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn fixtures() -> (Vec<er_core::LabeledPair>, Vec<EntityPair>) {
+    let dataset = datagen::generate(datagen::DatasetKind::Beer, 42);
+    let bootstrap = dataset.pairs()[..150].to_vec();
+    let questions: Vec<EntityPair> = dataset.pairs()[150..]
+        .iter()
+        .map(|p| p.pair.clone())
+        .collect();
+    (bootstrap, questions)
+}
+
+/// Throughput of the coalescing queue: 4 clients push 64 distinct
+/// questions through submit(); every question takes the full miss path
+/// (fresh service per iteration, measured end to end).
+fn bench_coalescing_throughput(c: &mut Criterion) {
+    let (bootstrap, questions) = fixtures();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("coalesce_64q_4clients", |bench| {
+        bench.iter(|| {
+            let service = Arc::new(ErService::start(
+                Arc::new(SimLlm::new()),
+                bootstrap.clone(),
+                service_config(),
+            ));
+            std::thread::scope(|scope| {
+                for client in 0..4usize {
+                    let service = Arc::clone(&service);
+                    let questions = &questions;
+                    scope.spawn(move || {
+                        for q in questions.iter().skip(client).step_by(4).take(16) {
+                            black_box(service.submit(q));
+                        }
+                    });
+                }
+            });
+            service.stats().llm_answered
+        })
+    });
+    group.finish();
+}
+
+/// Latency of the cache-hit fast path: the service is pre-warmed so
+/// every submit() resolves from the answer cache without queueing.
+fn bench_cache_hit_latency(c: &mut Criterion) {
+    let (bootstrap, questions) = fixtures();
+    let service = ErService::start(Arc::new(SimLlm::new()), bootstrap, service_config());
+    let hot: Vec<&EntityPair> = questions.iter().take(32).collect();
+    for q in &hot {
+        service.submit(q); // warm the cache
+    }
+    let mut index = 0usize;
+    c.bench_function("serving/cache_hit_submit", |bench| {
+        bench.iter(|| {
+            index = (index + 1) % hot.len();
+            black_box(service.submit(hot[index]))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_coalescing_throughput,
+    bench_cache_hit_latency
+);
+criterion_main!(benches);

@@ -15,7 +15,10 @@ fn main() {
     let api = SimLlm::new();
 
     print_header("Engine score separation (test split)");
-    println!("{:>6} {:>10} {:>10} {:>8}", "ds", "match", "nonmatch", "gap");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "ds", "match", "nonmatch", "gap"
+    );
     for d in &datasets {
         let split = d.split_3_1_1(1).unwrap();
         let (mut pos, mut npos, mut neg, mut nneg) = (0.0, 0usize, 0.0, 0usize);

@@ -3,10 +3,8 @@
 //! prints rows in the paper's layout; the `repro_*` binaries are thin
 //! wrappers. See EXPERIMENTS.md for paper-vs-measured commentary.
 
-use batcher_core::{
-    BatchingStrategy, ExtractorKind, RunConfig, RunResult, SelectionStrategy,
-};
 use baselines::{ManualPrompt, PlmKind, PlmMatcher};
+use batcher_core::{BatchingStrategy, ExtractorKind, RunConfig, RunResult, SelectionStrategy};
 use er_core::{Dataset, F1Summary, Money};
 use llm::{ModelKind, SimLlm};
 
@@ -80,7 +78,10 @@ pub fn figure6(datasets: &[Dataset]) {
         "ds", "method", "precision", "recall", "F1"
     );
     let api = SimLlm::new();
-    for d in datasets.iter().filter(|d| d.name() == "WA" || d.name() == "AB") {
+    for d in datasets
+        .iter()
+        .filter(|d| d.name() == "WA" || d.name() == "AB")
+    {
         for (label, config) in [
             ("Standard", RunConfig::standard_prompting()),
             ("Batch", RunConfig::batch_prompting_fixed()),

@@ -38,12 +38,7 @@ pub struct BlockerConfig {
 
 impl Default for BlockerConfig {
     fn default() -> Self {
-        Self {
-            attributes: vec![0],
-            min_shared_tokens: 2,
-            min_cosine: None,
-            stopword_df: 0.2,
-        }
+        Self { attributes: vec![0], min_shared_tokens: 2, min_cosine: None, stopword_df: 0.2 }
     }
 }
 
@@ -222,7 +217,11 @@ mod tests {
     }
 
     fn rec(table: char, row: u32, title: &str, brand: &str) -> Record {
-        let id = if table == 'a' { RecordId::a(row) } else { RecordId::b(row) };
+        let id = if table == 'a' {
+            RecordId::a(row)
+        } else {
+            RecordId::b(row)
+        };
         Record::new(id, schema(), vec![title.into(), brand.into()]).unwrap()
     }
 
@@ -252,34 +251,29 @@ mod tests {
     fn prunes_unrelated_pairs() {
         let (a, b) = tables();
         let cands = TokenBlocker::default_blocker().candidates(&a, &b);
-        assert!(!cands.contains(&(0, 2)), "samsung phone vs dell laptop survived");
+        assert!(
+            !cands.contains(&(0, 2)),
+            "samsung phone vs dell laptop survived"
+        );
         assert!(!cands.contains(&(1, 0)));
     }
 
     #[test]
     fn min_shared_tokens_controls_looseness() {
         let (a, b) = tables();
-        let loose = TokenBlocker::new(BlockerConfig {
-            min_shared_tokens: 1,
-            ..Default::default()
-        })
-        .candidates(&a, &b);
-        let strict = TokenBlocker::new(BlockerConfig {
-            min_shared_tokens: 3,
-            ..Default::default()
-        })
-        .candidates(&a, &b);
+        let loose = TokenBlocker::new(BlockerConfig { min_shared_tokens: 1, ..Default::default() })
+            .candidates(&a, &b);
+        let strict =
+            TokenBlocker::new(BlockerConfig { min_shared_tokens: 3, ..Default::default() })
+                .candidates(&a, &b);
         assert!(loose.len() >= strict.len());
     }
 
     #[test]
     fn cosine_floor_tightens() {
         let (a, b) = tables();
-        let base = TokenBlocker::new(BlockerConfig {
-            min_shared_tokens: 1,
-            ..Default::default()
-        })
-        .candidates(&a, &b);
+        let base = TokenBlocker::new(BlockerConfig { min_shared_tokens: 1, ..Default::default() })
+            .candidates(&a, &b);
         let refined = TokenBlocker::new(BlockerConfig {
             min_shared_tokens: 1,
             min_cosine: Some(0.5),
@@ -306,7 +300,11 @@ mod tests {
             ..Default::default()
         })
         .candidates(&a, &b);
-        assert!(cands.len() < 100, "stop word flooded candidates: {}", cands.len());
+        assert!(
+            cands.len() < 100,
+            "stop word flooded candidates: {}",
+            cands.len()
+        );
     }
 
     #[test]

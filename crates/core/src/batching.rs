@@ -112,11 +112,7 @@ pub fn cluster_questions(
 /// time, largest first. End-game per the paper: take the largest remaining
 /// cluster `Cmax`, look for a cluster of size exactly `b − |Cmax|` to
 /// complete the batch; otherwise random-fill from the next largest.
-fn similarity_batches(
-    clusters: &Clustering,
-    b: usize,
-    rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
+fn similarity_batches(clusters: &Clustering, b: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     // Work queue of clusters as index lists, kept sorted by size (desc).
     let mut remaining: Vec<Vec<usize>> = clusters
         .groups()
@@ -128,7 +124,9 @@ fn similarity_batches(
     loop {
         remaining.sort_by_key(|c| std::cmp::Reverse(c.len()));
         remaining.retain(|c| !c.is_empty());
-        let Some(largest) = remaining.first_mut() else { break };
+        let Some(largest) = remaining.first_mut() else {
+            break;
+        };
 
         if largest.len() >= b {
             // Whole batch from one cluster.
@@ -158,11 +156,7 @@ fn similarity_batches(
 /// Diversity-based batching (§III-A): one question from each of `b`
 /// distinct clusters per batch; when fewer than `b` clusters remain,
 /// round-robin over what is left (Example 4's final-batch semantics).
-fn diversity_batches(
-    clusters: &Clustering,
-    b: usize,
-    _rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
+fn diversity_batches(clusters: &Clustering, b: usize, _rng: &mut StdRng) -> Vec<Vec<usize>> {
     let mut remaining: Vec<Vec<usize>> = clusters
         .groups()
         .into_iter()
@@ -252,10 +246,7 @@ mod tests {
     /// The clustering of Example 4: Ca = {0,1}, Cb = {2,3,4},
     /// Cc = {5,6,7,8}.
     fn example4_clusters() -> Clustering {
-        Clustering {
-            assignment: vec![0, 0, 1, 1, 1, 2, 2, 2, 2],
-            n_clusters: 3,
-        }
+        Clustering { assignment: vec![0, 0, 1, 1, 1, 2, 2, 2, 2], n_clusters: 3 }
     }
 
     fn cluster_of(q: usize) -> usize {
@@ -292,7 +283,11 @@ mod tests {
                 !b.iter().all(|&q| cluster_of(q) == c0)
             })
             .collect();
-        assert_eq!(mixed.len(), 1, "exactly one end-game batch expected: {batches:?}");
+        assert_eq!(
+            mixed.len(),
+            1,
+            "exactly one end-game batch expected: {batches:?}"
+        );
     }
 
     #[test]
@@ -335,8 +330,14 @@ mod tests {
     #[test]
     fn empty_question_set() {
         let space = FeatureSpace::from_vectors(vec![], DistanceKind::Euclidean);
-        assert!(make_batches(&space, BatchingStrategy::Random, ClusteringKind::Dbscan, 8, 1)
-            .is_empty());
+        assert!(make_batches(
+            &space,
+            BatchingStrategy::Random,
+            ClusteringKind::Dbscan,
+            8,
+            1
+        )
+        .is_empty());
     }
 
     #[test]
@@ -367,7 +368,13 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_size_panics() {
         let space = example4_space();
-        let _ = make_batches(&space, BatchingStrategy::Random, ClusteringKind::Dbscan, 0, 1);
+        let _ = make_batches(
+            &space,
+            BatchingStrategy::Random,
+            ClusteringKind::Dbscan,
+            0,
+            1,
+        );
     }
 
     #[test]
@@ -375,8 +382,7 @@ mod tests {
         let space = example4_space();
         for strategy in BatchingStrategy::ALL {
             for b in [2usize, 3, 5, 8] {
-                let batches =
-                    make_batches(&space, strategy, ClusteringKind::Dbscan, b, 11);
+                let batches = make_batches(&space, strategy, ClusteringKind::Dbscan, b, 11);
                 assert!(
                     batches.iter().all(|batch| batch.len() <= b),
                     "{strategy:?} b={b} produced oversized batch"

@@ -24,11 +24,7 @@
 /// Returns selected candidate indices in selection order. Uses lazy greedy
 /// evaluation (gains are submodular, so stale heap entries can only
 /// overestimate), which turns the quadratic rescan into near-linear work.
-pub fn greedy_weighted_cover<W>(
-    n_elements: usize,
-    coverage: &[Vec<u32>],
-    weight: W,
-) -> Vec<usize>
+pub fn greedy_weighted_cover<W>(n_elements: usize, coverage: &[Vec<u32>], weight: W) -> Vec<usize>
 where
     W: Fn(usize) -> f64,
 {
@@ -88,9 +84,8 @@ where
             continue;
         }
         let fresh_ratio = g as f64 / weight(top.candidate).max(f64::MIN_POSITIVE);
-        let is_fresh = top.stamp == stamp || heap
-            .peek()
-            .is_none_or(|next| fresh_ratio >= next.ratio);
+        let is_fresh =
+            top.stamp == stamp || heap.peek().is_none_or(|next| fresh_ratio >= next.ratio);
         if !is_fresh {
             heap.push(Entry { ratio: fresh_ratio, candidate: top.candidate, stamp });
             continue;
@@ -169,10 +164,7 @@ mod tests {
         // 4 elements; candidate 0 covers {0,1}, 1 covers {1,2}, 2 covers {3}.
         let coverage = vec![vec![0, 1], vec![1, 2], vec![3]];
         let picked = greedy_weighted_cover(4, &coverage, |_| 1.0);
-        let mut all: Vec<u32> = picked
-            .iter()
-            .flat_map(|&d| coverage[d].clone())
-            .collect();
+        let mut all: Vec<u32> = picked.iter().flat_map(|&d| coverage[d].clone()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all, vec![0, 1, 2, 3]);
@@ -217,8 +209,7 @@ mod tests {
         //   A = {0,1,2} at weight 3.1, B = {0,1} at weight 1, C = {2} at 1.
         // Greedy ratio picks B (2/1) then C (1/1): total weight 2 < 3.1.
         let coverage = vec![vec![0, 1, 2], vec![0, 1], vec![2]];
-        let picked =
-            greedy_weighted_cover(3, &coverage, |d| [3.1, 1.0, 1.0][d]);
+        let picked = greedy_weighted_cover(3, &coverage, |d| [3.1, 1.0, 1.0][d]);
         assert_eq!(picked, vec![1, 2]);
     }
 
@@ -228,9 +219,8 @@ mod tests {
         let questions: Vec<f64> = (0..10).map(|q| q as f64).collect();
         let pool = [0.5f64, 5.5, 20.0];
         let t = 5.0;
-        let selected = demonstration_set_generation(10, 3, |d, q| {
-            (pool[d] - questions[q]).abs() < t
-        });
+        let selected =
+            demonstration_set_generation(10, 3, |d, q| (pool[d] - questions[q]).abs() < t);
         // Demo 0 covers 0..5, demo 1 covers 1..9: both needed; demo 2
         // covers nothing.
         assert!(selected.contains(&0));

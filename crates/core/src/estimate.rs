@@ -48,7 +48,7 @@ impl CostEstimate {
             total += count_tokens(&p.pair.serialize());
             count += 1;
         }
-        let avg_pair = if count == 0 { 90 } else { total / count };
+        let avg_pair = total.checked_div(count).unwrap_or(90);
 
         // Demos per prompt: k for fixed/top-k; covering prompts carry
         // roughly one covering demo per distinct question pattern — we
@@ -58,8 +58,7 @@ impl CostEstimate {
             _ => config.k as u64,
         };
         let desc_tokens = count_tokens(&task_description(dataset.domain())) + 30;
-        let per_call =
-            desc_tokens + demos_per_prompt * (avg_pair + 4) + batch * (avg_pair + 4);
+        let per_call = desc_tokens + demos_per_prompt * (avg_pair + 4) + batch * (avg_pair + 4);
         let prompt_tokens = TokenCount(per_call * calls);
 
         let price = PriceTable::for_model(config.model);
@@ -105,7 +104,12 @@ mod tests {
 
         // Call count: exact up to end-game batch splitting.
         let diff = quote.calls.abs_diff(actual.ledger.api_calls);
-        assert!(diff <= 2, "calls {} vs actual {}", quote.calls, actual.ledger.api_calls);
+        assert!(
+            diff <= 2,
+            "calls {} vs actual {}",
+            quote.calls,
+            actual.ledger.api_calls
+        );
 
         // API cost within 2x either way — a usable budget quote.
         let ratio = quote.api.ratio(actual.ledger.api);
@@ -140,10 +144,8 @@ mod tests {
     #[test]
     fn standard_prompting_quotes_more_calls_and_cost() {
         let dataset = generate(DatasetKind::FodorsZagats, 5);
-        let std_quote =
-            CostEstimate::quote(&dataset, &RunConfig::standard_prompting());
-        let batch_quote =
-            CostEstimate::quote(&dataset, &RunConfig::batch_prompting_fixed());
+        let std_quote = CostEstimate::quote(&dataset, &RunConfig::standard_prompting());
+        let batch_quote = CostEstimate::quote(&dataset, &RunConfig::batch_prompting_fixed());
         assert!(std_quote.calls > batch_quote.calls * 7);
         assert!(
             std_quote.api.ratio(batch_quote.api) > 3.0,
@@ -158,10 +160,7 @@ mod tests {
         let dataset = generate(DatasetKind::Beer, 5);
         let base = RunConfig::best_design();
         let g35 = CostEstimate::quote(&dataset, &base);
-        let g4 = CostEstimate::quote(
-            &dataset,
-            &RunConfig { model: llm::ModelKind::Gpt4, ..base },
-        );
+        let g4 = CostEstimate::quote(&dataset, &RunConfig { model: llm::ModelKind::Gpt4, ..base });
         assert!(g4.api.ratio(g35.api) > 8.0);
     }
 }

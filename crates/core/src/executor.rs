@@ -94,8 +94,20 @@ impl<'a> Executor<'a> {
                     // Same demos, half the questions, recursively.
                     outcome.context_splits += 1;
                     let mid = questions.len() / 2;
-                    self.run_batch(description, demos, &questions[..mid], seed ^ 0x51F7, outcome);
-                    self.run_batch(description, demos, &questions[mid..], seed ^ 0x51F9, outcome);
+                    self.run_batch(
+                        description,
+                        demos,
+                        &questions[..mid],
+                        seed ^ 0x51F7,
+                        outcome,
+                    );
+                    self.run_batch(
+                        description,
+                        demos,
+                        &questions[mid..],
+                        seed ^ 0x51F9,
+                        outcome,
+                    );
                     return;
                 }
                 Err(_) => {
@@ -129,8 +141,7 @@ mod tests {
         let api = SimLlm::new();
         let exec = Executor::new(&api, ModelKind::Gpt4, 2);
         let demos: Vec<&LabeledPair> = pairs[..4].iter().collect();
-        let questions: Vec<String> =
-            pairs[4..12].iter().map(|p| p.pair.serialize()).collect();
+        let questions: Vec<String> = pairs[4..12].iter().map(|p| p.pair.serialize()).collect();
         let mut outcome = ExecutionOutcome::default();
         exec.run_batch(&desc, &demos, &questions, 5, &mut outcome);
         assert_eq!(outcome.answers.len(), 8);
@@ -142,13 +153,9 @@ mod tests {
     fn rate_limits_retried() {
         let (pairs, desc) = setup();
         // 60% rate limiting: with 4 retries most batches eventually pass.
-        let api = SimLlm::with_config(SimLlmConfig {
-            rate_limit_rate: 0.6,
-            ..Default::default()
-        });
+        let api = SimLlm::with_config(SimLlmConfig { rate_limit_rate: 0.6, ..Default::default() });
         let exec = Executor::new(&api, ModelKind::Gpt4, 8);
-        let questions: Vec<String> =
-            pairs[..4].iter().map(|p| p.pair.serialize()).collect();
+        let questions: Vec<String> = pairs[..4].iter().map(|p| p.pair.serialize()).collect();
         let mut outcome = ExecutionOutcome::default();
         exec.run_batch(&desc, &[], &questions, 3, &mut outcome);
         assert_eq!(outcome.answers.len(), 4);
@@ -159,13 +166,9 @@ mod tests {
     #[test]
     fn malformed_output_exhausts_retries_to_none() {
         let (pairs, desc) = setup();
-        let api = SimLlm::with_config(SimLlmConfig {
-            malformed_rate: 1.0,
-            ..Default::default()
-        });
+        let api = SimLlm::with_config(SimLlmConfig { malformed_rate: 1.0, ..Default::default() });
         let exec = Executor::new(&api, ModelKind::Gpt4, 2);
-        let questions: Vec<String> =
-            pairs[..3].iter().map(|p| p.pair.serialize()).collect();
+        let questions: Vec<String> = pairs[..3].iter().map(|p| p.pair.serialize()).collect();
         let mut outcome = ExecutionOutcome::default();
         exec.run_batch(&desc, &[], &questions, 3, &mut outcome);
         assert_eq!(outcome.answers, vec![None, None, None]);

@@ -267,10 +267,8 @@ mod tests {
             DistanceKind::Euclidean,
         );
         assert!((space.dist(0, 1) - 1.0).abs() < 1e-12);
-        let cos = FeatureSpace::from_vectors(
-            vec![vec![1.0, 0.0], vec![2.0, 0.0]],
-            DistanceKind::Cosine,
-        );
+        let cos =
+            FeatureSpace::from_vectors(vec![vec![1.0, 0.0], vec![2.0, 0.0]], DistanceKind::Cosine);
         assert!(cos.dist(0, 1).abs() < 1e-12); // parallel vectors
     }
 
@@ -307,8 +305,7 @@ mod tests {
     fn degenerate_spaces() {
         let empty = FeatureSpace::from_vectors(vec![], DistanceKind::Euclidean);
         assert!(empty.is_empty());
-        let single =
-            FeatureSpace::from_vectors(vec![vec![1.0]], DistanceKind::Euclidean);
+        let single = FeatureSpace::from_vectors(vec![vec![1.0]], DistanceKind::Euclidean);
         assert_eq!(single.distance_percentile(8.0, 100, 1), 0.0);
     }
 

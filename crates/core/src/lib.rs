@@ -31,6 +31,7 @@ pub mod cover;
 pub mod estimate;
 pub mod executor;
 pub mod features;
+pub mod plan;
 pub mod prompt;
 pub mod runner;
 pub mod selection;
@@ -40,6 +41,10 @@ pub use cover::{batch_covering, demonstration_set_generation, greedy_weighted_co
 pub use estimate::CostEstimate;
 pub use executor::{ExecutionOutcome, Executor};
 pub use features::{DistanceKind, ExtractorKind, FeatureSpace};
+pub use plan::{
+    plan_question_batches, plan_with_prepared_pool, BatchPlanConfig, PreparedPool,
+    QuestionBatchPlan,
+};
 pub use prompt::{build_batch_prompt, task_description};
 pub use runner::{run, run_design_space_cell, run_on_split, RunConfig, RunResult};
 pub use selection::SelectionStrategy;

@@ -1,0 +1,293 @@
+//! Batch planning for externally supplied question sets.
+//!
+//! The offline runner ([`crate::runner`]) owns its questions from a
+//! dataset split; the serving layer (`er-service`) receives arbitrary
+//! pair questions from concurrent clients at run time. Both need the same
+//! pipeline stages — featurize, batch, select demonstrations — so this
+//! module exposes them as one reusable planning step over plain
+//! [`EntityPair`] slices, with no dataset or split in sight.
+
+use er_core::{EntityPair, LabeledPair};
+
+use crate::batching::{make_batches, BatchingStrategy, ClusteringKind};
+use crate::features::{DistanceKind, ExtractorKind, FeatureSpace};
+use crate::runner::RunConfig;
+use crate::selection::{select_demonstrations, SelectionParams, SelectionPlan, SelectionStrategy};
+
+/// Configuration of one planning pass — the batching/selection slice of a
+/// [`RunConfig`], without the execution-side knobs (model, retries).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPlanConfig {
+    /// Question batching strategy.
+    pub batching: BatchingStrategy,
+    /// Demonstration selection strategy.
+    pub selection: SelectionStrategy,
+    /// Feature extractor for questions and pool.
+    pub extractor: ExtractorKind,
+    /// Distance function over feature vectors.
+    pub distance: DistanceKind,
+    /// Clustering algorithm driving batching.
+    pub clustering: ClusteringKind,
+    /// Questions per batch.
+    pub batch_size: usize,
+    /// Demonstrations per batch for fixed / top-k strategies.
+    pub k: usize,
+    /// Covering threshold percentile.
+    pub cover_percentile: f64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for BatchPlanConfig {
+    fn default() -> Self {
+        Self::from_run_config(&RunConfig::default())
+    }
+}
+
+impl BatchPlanConfig {
+    /// Extracts the planning slice of a full [`RunConfig`].
+    pub fn from_run_config(config: &RunConfig) -> Self {
+        Self {
+            batching: config.batching,
+            selection: config.selection,
+            extractor: config.extractor,
+            distance: config.distance,
+            clustering: config.clustering,
+            batch_size: config.batch_size,
+            k: config.k,
+            cover_percentile: config.cover_percentile,
+            seed: config.seed,
+        }
+    }
+}
+
+/// The output of planning: batches over the question slice plus the
+/// demonstrations chosen for each batch from the pool slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestionBatchPlan {
+    /// Question indices per batch; the batches partition `0..questions.len()`.
+    pub batches: Vec<Vec<usize>>,
+    /// Pool indices to include in each batch's prompt (parallel to
+    /// `batches`).
+    pub demos_per_batch: Vec<Vec<usize>>,
+    /// Unique pool indices that require human labels.
+    pub labeled: Vec<usize>,
+    /// The covering threshold actually used, when covering selection ran.
+    pub threshold: Option<f64>,
+}
+
+impl QuestionBatchPlan {
+    /// Number of planned batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when no batches were planned (empty question set).
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+/// A demonstration pool featurized once, for callers that plan against
+/// the same pool repeatedly (the serving layer plans on every queue
+/// flush; re-embedding a static pool each time would put O(pool) work on
+/// the dispatcher's critical path).
+#[derive(Debug, Clone)]
+pub struct PreparedPool {
+    space: FeatureSpace,
+    token_weights: Vec<f64>,
+    extractor: ExtractorKind,
+    distance: DistanceKind,
+}
+
+impl PreparedPool {
+    /// Featurizes `pool` with the given extractor/distance. Question
+    /// featurization during planning uses the same pair, overriding
+    /// whatever the per-call config says — the two spaces must agree.
+    pub fn prepare(
+        pool: &[&LabeledPair],
+        extractor: ExtractorKind,
+        distance: DistanceKind,
+    ) -> Self {
+        Self {
+            space: FeatureSpace::extract(pool.iter().map(|p| &p.pair), extractor, distance),
+            token_weights: pool
+                .iter()
+                .map(|p| llm::count_tokens(&p.pair.serialize()) as f64)
+                .collect(),
+            extractor,
+            distance,
+        }
+    }
+
+    /// Number of pool demonstrations.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+}
+
+/// Plans diversity batches and demonstration assignments for an
+/// externally supplied question set.
+///
+/// * `questions` — the pairs to resolve, in caller order; the returned
+///   batch indices refer to this slice.
+/// * `pool` — the labeled-on-demand demonstration pool; `demos_per_batch`
+///   and `labeled` index into it. May be empty, in which case every batch
+///   runs zero-shot.
+///
+/// The plan is a pure function of `(questions, pool, config)` — no
+/// interior randomness — so identical inputs always produce identical
+/// batches, which the serving layer relies on for reproducible answers.
+pub fn plan_question_batches(
+    questions: &[&EntityPair],
+    pool: &[&LabeledPair],
+    config: &BatchPlanConfig,
+) -> QuestionBatchPlan {
+    let prepared = PreparedPool::prepare(pool, config.extractor, config.distance);
+    plan_with_prepared_pool(questions, &prepared, config)
+}
+
+/// Like [`plan_question_batches`], but against a pool featurized once
+/// via [`PreparedPool::prepare`]. The prepared pool's extractor and
+/// distance govern question featurization.
+pub fn plan_with_prepared_pool(
+    questions: &[&EntityPair],
+    pool: &PreparedPool,
+    config: &BatchPlanConfig,
+) -> QuestionBatchPlan {
+    if questions.is_empty() {
+        return QuestionBatchPlan {
+            batches: Vec::new(),
+            demos_per_batch: Vec::new(),
+            labeled: Vec::new(),
+            threshold: None,
+        };
+    }
+
+    let q_space = FeatureSpace::extract(questions.iter().copied(), pool.extractor, pool.distance);
+    let batches = make_batches(
+        &q_space,
+        config.batching,
+        config.clustering,
+        config.batch_size,
+        config.seed,
+    );
+
+    if pool.is_empty() {
+        let demos_per_batch = vec![Vec::new(); batches.len()];
+        return QuestionBatchPlan {
+            batches,
+            demos_per_batch,
+            labeled: Vec::new(),
+            threshold: None,
+        };
+    }
+
+    let demo_tokens = |d: usize| pool.token_weights[d];
+    let SelectionPlan { per_batch, labeled, threshold } = select_demonstrations(
+        config.selection,
+        &q_space,
+        &pool.space,
+        &batches,
+        SelectionParams {
+            k: config.k,
+            cover_percentile: config.cover_percentile,
+            seed: config.seed,
+        },
+        demo_tokens,
+    );
+
+    QuestionBatchPlan { batches, demos_per_batch: per_batch, labeled, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, DatasetKind};
+
+    fn fixtures() -> (Vec<er_core::LabeledPair>, Vec<er_core::LabeledPair>) {
+        let d = generate(DatasetKind::Beer, 3);
+        let pairs = d.pairs().to_vec();
+        let pool = pairs[..40].to_vec();
+        let questions = pairs[40..72].to_vec();
+        (pool, questions)
+    }
+
+    #[test]
+    fn plan_partitions_questions() {
+        let (pool, questions) = fixtures();
+        let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+        let p: Vec<&LabeledPair> = pool.iter().collect();
+        let plan = plan_question_batches(&q, &p, &BatchPlanConfig::default());
+        let mut seen: Vec<usize> = plan.batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..q.len()).collect::<Vec<_>>());
+        assert_eq!(plan.demos_per_batch.len(), plan.batches.len());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (pool, questions) = fixtures();
+        let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+        let p: Vec<&LabeledPair> = pool.iter().collect();
+        let config = BatchPlanConfig { seed: 11, ..BatchPlanConfig::default() };
+        assert_eq!(
+            plan_question_batches(&q, &p, &config),
+            plan_question_batches(&q, &p, &config)
+        );
+    }
+
+    #[test]
+    fn demos_index_into_pool_and_labeled() {
+        let (pool, questions) = fixtures();
+        let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+        let p: Vec<&LabeledPair> = pool.iter().collect();
+        let plan = plan_question_batches(&q, &p, &BatchPlanConfig::default());
+        for demos in &plan.demos_per_batch {
+            for &d in demos {
+                assert!(d < pool.len());
+                assert!(plan.labeled.contains(&d), "prompted demo {d} unlabeled");
+            }
+        }
+        assert!(!plan.labeled.is_empty());
+    }
+
+    #[test]
+    fn prepared_pool_matches_direct_planning() {
+        let (pool, questions) = fixtures();
+        let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+        let p: Vec<&LabeledPair> = pool.iter().collect();
+        let config = BatchPlanConfig::default();
+        let prepared = PreparedPool::prepare(&p, config.extractor, config.distance);
+        assert_eq!(prepared.len(), pool.len());
+        assert_eq!(
+            plan_question_batches(&q, &p, &config),
+            plan_with_prepared_pool(&q, &prepared, &config)
+        );
+    }
+
+    #[test]
+    fn empty_pool_plans_zero_shot() {
+        let (_, questions) = fixtures();
+        let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+        let plan = plan_question_batches(&q, &[], &BatchPlanConfig::default());
+        assert!(!plan.batches.is_empty());
+        assert!(plan.demos_per_batch.iter().all(Vec::is_empty));
+        assert!(plan.labeled.is_empty());
+    }
+
+    #[test]
+    fn empty_questions_plan_nothing() {
+        let (pool, _) = fixtures();
+        let p: Vec<&LabeledPair> = pool.iter().collect();
+        let plan = plan_question_batches(&[], &p, &BatchPlanConfig::default());
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+}

@@ -32,7 +32,11 @@ pub fn build_batch_prompt(
         out.push_str("Demonstrations:\n");
         for (i, d) in demos.iter().enumerate() {
             let verdict = if d.label.is_match() { "yes" } else { "no" };
-            out.push_str(&format!("D{}: {} => {verdict}\n", i + 1, d.pair.serialize()));
+            out.push_str(&format!(
+                "D{}: {} => {verdict}\n",
+                i + 1,
+                d.pair.serialize()
+            ));
         }
         out.push('\n');
     }
@@ -63,8 +67,7 @@ mod tests {
     fn prompt_roundtrips_through_llm_parser() {
         let d = generate(DatasetKind::Beer, 1);
         let demos: Vec<&LabeledPair> = d.pairs().iter().take(3).collect();
-        let questions: Vec<String> =
-            d.pairs()[3..7].iter().map(|p| p.pair.serialize()).collect();
+        let questions: Vec<String> = d.pairs()[3..7].iter().map(|p| p.pair.serialize()).collect();
         let prompt = build_batch_prompt(&task_description("Beer"), &demos, &questions);
         let parsed = parse_prompt(&prompt);
         assert_eq!(parsed.demos.len(), 3);
@@ -88,8 +91,7 @@ mod tests {
     #[test]
     fn batch_instruction_mentions_count() {
         let d = generate(DatasetKind::Beer, 1);
-        let questions: Vec<String> =
-            d.pairs()[..8].iter().map(|p| p.pair.serialize()).collect();
+        let questions: Vec<String> = d.pairs()[..8].iter().map(|p| p.pair.serialize()).collect();
         let prompt = build_batch_prompt(&task_description("Beer"), &[], &questions);
         assert!(prompt.contains("8 questions"));
     }
@@ -108,13 +110,14 @@ mod tests {
         let demos: Vec<&LabeledPair> = d.pairs().iter().take(8).collect();
         let desc = task_description("Electronics");
 
-        let batch_qs: Vec<String> =
-            d.pairs()[8..16].iter().map(|p| p.pair.serialize()).collect();
+        let batch_qs: Vec<String> = d.pairs()[8..16]
+            .iter()
+            .map(|p| p.pair.serialize())
+            .collect();
         let batch_prompt = build_batch_prompt(&desc, &demos, &batch_qs);
         let batch_tokens = llm::count_tokens(&batch_prompt) as f64 / 8.0;
 
-        let single_prompt =
-            build_batch_prompt(&desc, &demos, &batch_qs[..1]);
+        let single_prompt = build_batch_prompt(&desc, &demos, &batch_qs[..1]);
         let single_tokens = llm::count_tokens(&single_prompt) as f64;
 
         let saving = single_tokens / batch_tokens;

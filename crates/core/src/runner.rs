@@ -7,11 +7,12 @@
 use er_core::{BinaryConfusion, CostLedger, Dataset, LabeledPair, MatchLabel};
 use llm::{ChatApi, ModelKind};
 
-use crate::batching::{make_batches, BatchingStrategy, ClusteringKind};
+use crate::batching::{BatchingStrategy, ClusteringKind};
 use crate::executor::{ExecutionOutcome, Executor};
-use crate::features::{DistanceKind, ExtractorKind, FeatureSpace};
+use crate::features::{DistanceKind, ExtractorKind};
+use crate::plan::{plan_question_batches, BatchPlanConfig};
 use crate::prompt::task_description;
-use crate::selection::{select_demonstrations, SelectionParams, SelectionStrategy};
+use crate::selection::SelectionStrategy;
 
 /// Full configuration of one run — one cell of the paper's design space.
 #[derive(Debug, Clone, Copy)]
@@ -136,42 +137,13 @@ pub fn run_on_split(
     assert!(!pool.is_empty(), "demonstration pool must be non-empty");
     assert!(!questions.is_empty(), "question set must be non-empty");
 
-    // 1. Features for questions and pool in the same space.
-    let q_space = FeatureSpace::extract(
-        questions.iter().map(|p| &p.pair),
-        config.extractor,
-        config.distance,
-    );
-    let pool_space = FeatureSpace::extract(
-        pool.iter().map(|p| &p.pair),
-        config.extractor,
-        config.distance,
-    );
-
-    // 2. Question batching.
-    let batches = make_batches(
-        &q_space,
-        config.batching,
-        config.clustering,
-        config.batch_size,
-        config.seed,
-    );
-
-    // 3. Demonstration selection. Token weights use the serialized demo
-    // length — the weight the batch-covering objective minimizes (§V-B).
-    let demo_tokens =
-        |d: usize| llm::count_tokens(&pool[d].pair.serialize()) as f64;
-    let plan = select_demonstrations(
-        config.selection,
-        &q_space,
-        &pool_space,
-        &batches,
-        SelectionParams {
-            k: config.k,
-            cover_percentile: config.cover_percentile,
-            seed: config.seed,
-        },
-        demo_tokens,
+    // 1-3. Featurize, batch and select demonstrations — shared with the
+    // serving layer through the externally-usable planning step.
+    let question_pairs: Vec<&er_core::EntityPair> = questions.iter().map(|p| &p.pair).collect();
+    let plan = plan_question_batches(
+        &question_pairs,
+        pool,
+        &BatchPlanConfig::from_run_config(&config),
     );
 
     // 4. Execute every batch.
@@ -179,11 +151,12 @@ pub fn run_on_split(
     let executor = Executor::new(api, config.model, config.max_retries);
     let mut outcome = ExecutionOutcome::default();
     let mut question_order: Vec<usize> = Vec::with_capacity(questions.len());
-    for (bi, batch) in batches.iter().enumerate() {
-        let demos: Vec<&LabeledPair> =
-            plan.per_batch[bi].iter().map(|&d| pool[d]).collect();
-        let serialized: Vec<String> =
-            batch.iter().map(|&q| questions[q].pair.serialize()).collect();
+    for (bi, batch) in plan.batches.iter().enumerate() {
+        let demos: Vec<&LabeledPair> = plan.demos_per_batch[bi].iter().map(|&d| pool[d]).collect();
+        let serialized: Vec<String> = batch
+            .iter()
+            .map(|&q| questions[q].pair.serialize())
+            .collect();
         executor.run_batch(
             &description,
             &demos,
@@ -213,7 +186,7 @@ pub fn run_on_split(
     RunResult {
         confusion,
         ledger: outcome.ledger,
-        batches: batches.len(),
+        batches: plan.batches.len(),
         demos_labeled: plan.labeled.len(),
         unanswered,
         retries: outcome.retries,
@@ -264,8 +237,16 @@ mod tests {
     fn batch_prompting_cheaper_than_standard() {
         let d = beer();
         let api = SimLlm::new();
-        let standard = run(&d, &api, RunConfig { seed: 2, ..RunConfig::standard_prompting() });
-        let batch = run(&d, &api, RunConfig { seed: 2, ..RunConfig::batch_prompting_fixed() });
+        let standard = run(
+            &d,
+            &api,
+            RunConfig { seed: 2, ..RunConfig::standard_prompting() },
+        );
+        let batch = run(
+            &d,
+            &api,
+            RunConfig { seed: 2, ..RunConfig::batch_prompting_fixed() },
+        );
         let saving = standard.ledger.api.ratio(batch.ledger.api);
         assert!(
             saving > 3.0,

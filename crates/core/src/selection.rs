@@ -98,9 +98,7 @@ where
         SelectionStrategy::Fixed => fixed(pool, batches, params),
         SelectionStrategy::TopKBatch => topk_batch(questions, pool, batches, params),
         SelectionStrategy::TopKQuestion => topk_question(questions, pool, batches, params),
-        SelectionStrategy::Covering => {
-            covering(questions, pool, batches, params, demo_tokens)
-        }
+        SelectionStrategy::Covering => covering(questions, pool, batches, params, demo_tokens),
     }
 }
 
@@ -114,11 +112,7 @@ fn fixed(pool: &FeatureSpace, batches: &[Vec<usize>], params: SelectionParams) -
         indices.swap(i, j);
     }
     let demos: Vec<usize> = indices[..k].to_vec();
-    SelectionPlan {
-        per_batch: vec![demos.clone(); batches.len()],
-        labeled: demos,
-        threshold: None,
-    }
+    SelectionPlan { per_batch: vec![demos.clone(); batches.len()], labeled: demos, threshold: None }
 }
 
 fn topk_batch(
@@ -267,14 +261,10 @@ mod tests {
     #[test]
     fn fixed_uses_same_demos_everywhere() {
         let (q, p) = spaces();
-        let plan = select_demonstrations(
-            SelectionStrategy::Fixed,
-            &q,
-            &p,
-            &batches(),
-            PARAMS,
-            |_| 1.0,
-        );
+        let plan =
+            select_demonstrations(SelectionStrategy::Fixed, &q, &p, &batches(), PARAMS, |_| {
+                1.0
+            });
         assert_eq!(plan.per_batch.len(), 2);
         assert_eq!(plan.per_batch[0], plan.per_batch[1]);
         assert_eq!(plan.labeled.len(), 2);
@@ -368,10 +358,7 @@ mod tests {
             vec![vec![0.0], vec![1.0], vec![2.0]],
             DistanceKind::Euclidean,
         );
-        let pool = FeatureSpace::from_vectors(
-            vec![vec![0.5], vec![1.5]],
-            DistanceKind::Euclidean,
-        );
+        let pool = FeatureSpace::from_vectors(vec![vec![0.5], vec![1.5]], DistanceKind::Euclidean);
         // Question pairwise distances [1,1,2]; the 30th percentile is 1.0,
         // so "covers" means distance < 1.0: demo 0 ↔ {q0, q1}, demo 1 ↔
         // {q1, q2}.
@@ -392,14 +379,10 @@ mod tests {
     fn covering_falls_back_for_uncoverable_batches() {
         // Question 5 sits far from every demo at a tiny threshold; its
         // batch still gets the nearest labeled demo.
-        let questions = FeatureSpace::from_vectors(
-            vec![vec![0.0], vec![100.0]],
-            DistanceKind::Euclidean,
-        );
-        let pool = FeatureSpace::from_vectors(
-            vec![vec![0.001], vec![50.0]],
-            DistanceKind::Euclidean,
-        );
+        let questions =
+            FeatureSpace::from_vectors(vec![vec![0.0], vec![100.0]], DistanceKind::Euclidean);
+        let pool =
+            FeatureSpace::from_vectors(vec![vec![0.001], vec![50.0]], DistanceKind::Euclidean);
         let plan = select_demonstrations(
             SelectionStrategy::Covering,
             &questions,

@@ -10,10 +10,7 @@ use batcher_core::{
 use proptest::prelude::*;
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, 3),
-        1..max,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..max)
 }
 
 proptest! {

@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use er_core::{
-    Dataset, EntityPair, LabeledPair, MatchLabel, PairId, Record, RecordId, Schema,
-};
+use er_core::{Dataset, EntityPair, LabeledPair, MatchLabel, PairId, Record, RecordId, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -242,8 +240,14 @@ mod tests {
         for kind in [DatasetKind::WalmartAmazon, DatasetKind::Beer] {
             let d = generate(kind, 9);
             for p in d.pairs() {
-                assert!(!p.pair.a().is_missing(0), "{kind}: blank key attr on A side");
-                assert!(!p.pair.b().is_missing(0), "{kind}: blank key attr on B side");
+                assert!(
+                    !p.pair.a().is_missing(0),
+                    "{kind}: blank key attr on A side"
+                );
+                assert!(
+                    !p.pair.b().is_missing(0),
+                    "{kind}: blank key attr on B side"
+                );
             }
         }
     }

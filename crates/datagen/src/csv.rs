@@ -112,9 +112,7 @@ pub fn from_csv(name: &str, domain: &str, text: &str) -> Result<Dataset, CsvErro
         let label = match fields[0].as_str() {
             "1" => MatchLabel::Matching,
             "0" => MatchLabel::NonMatching,
-            other => {
-                return Err(CsvError::BadLabel { row: row_no, text: other.to_owned() })
-            }
+            other => return Err(CsvError::BadLabel { row: row_no, text: other.to_owned() }),
         };
         let idx = pairs.len() as u32;
         let a = Arc::new(
@@ -212,7 +210,10 @@ mod tests {
             from_csv("X", "d", "not,a,header\n"),
             Err(CsvError::BadHeader(_))
         ));
-        assert!(matches!(from_csv("X", "d", ""), Err(CsvError::BadHeader(_))));
+        assert!(matches!(
+            from_csv("X", "d", ""),
+            Err(CsvError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -226,7 +226,10 @@ fn drift_numeric_token(t: &str, rng: &mut StdRng) -> String {
                 .filter(|(_, c)| c.is_ascii_digit())
                 .map(|(i, _)| i)
                 .collect();
-            if let Some(&pos) = digit_positions.get(rng.gen_range(0..digit_positions.len().max(1)).min(digit_positions.len().saturating_sub(1))) {
+            if let Some(&pos) = digit_positions.get(
+                rng.gen_range(0..digit_positions.len().max(1))
+                    .min(digit_positions.len().saturating_sub(1)),
+            ) {
                 chars[pos] = char::from_digit(rng.gen_range(0..10), 10).expect("digit");
             }
             chars.into_iter().collect()
@@ -269,7 +272,12 @@ mod tests {
     #[test]
     fn typo_changes_string_but_stays_close() {
         let mut r = rng();
-        let out = corrupt_value("samsung galaxy s21 ultra", CorruptionPattern::Typos, 1, &mut r);
+        let out = corrupt_value(
+            "samsung galaxy s21 ultra",
+            CorruptionPattern::Typos,
+            1,
+            &mut r,
+        );
         assert_ne!(out, "samsung galaxy s21 ultra");
         assert!(text_sim::levenshtein("samsung galaxy s21 ultra", &out) <= 2);
     }
@@ -312,7 +320,13 @@ mod tests {
         let values = vec!["important title".to_owned()];
         // Only one attribute, and it is a key attribute: pattern must not
         // blank it.
-        let out = apply_pattern(&values, CorruptionPattern::MissingAttr, INTENSITY, &[0], &mut r);
+        let out = apply_pattern(
+            &values,
+            CorruptionPattern::MissingAttr,
+            INTENSITY,
+            &[0],
+            &mut r,
+        );
         assert_eq!(out[0], "important title");
     }
 
@@ -354,8 +368,7 @@ mod tests {
     #[test]
     fn apply_pattern_changes_at_most_two_attrs() {
         let mut r = rng();
-        let values: Vec<String> =
-            (0..5).map(|i| format!("value number {i} here")).collect();
+        let values: Vec<String> = (0..5).map(|i| format!("value number {i} here")).collect();
         let out = apply_pattern(
             &values,
             CorruptionPattern::Typos,

@@ -170,8 +170,14 @@ impl DatasetKind {
                 kind: self,
                 domain: "Music",
                 schema: &[
-                    "song_name", "artist_name", "album_name", "genre", "price", "copyright",
-                    "time", "released",
+                    "song_name",
+                    "artist_name",
+                    "album_name",
+                    "genre",
+                    "price",
+                    "copyright",
+                    "time",
+                    "released",
                 ],
                 n_pairs: 532,
                 n_matches: 132,
@@ -292,11 +298,18 @@ pub fn make_entity(kind: DatasetKind, family: u32, variant: u32) -> Vec<String> 
             let brand = pick(vocab::BRANDS, 0);
             let noun = pick(vocab::PRODUCT_NOUNS, 1);
             let qual = pick(vocab::PRODUCT_QUALIFIERS, 2);
-            let model = format!("{}-{}", noun.chars().take(2).collect::<String>(), 100 + family % 800 + variant);
+            let model = format!(
+                "{}-{}",
+                noun.chars().take(2).collect::<String>(),
+                100 + family % 800 + variant
+            );
             let price = format!("{}.00", 30 + (family % 300) + variant * 11);
             vec![
                 format!("{brand} {noun} {model}"),
-                format!("{qual} {brand} {noun} with {} warranty", pick(vocab::PRODUCT_QUALIFIERS, 4)),
+                format!(
+                    "{qual} {brand} {noun} with {} warranty",
+                    pick(vocab::PRODUCT_QUALIFIERS, 4)
+                ),
                 price,
             ]
         }
@@ -307,11 +320,7 @@ pub fn make_entity(kind: DatasetKind, family: u32, variant: u32) -> Vec<String> 
             // classic Amazon-Google confusion.
             let version = 2004 + (family % 4) + variant;
             let price = format!("{}.99", 19 + (family % 180) + variant * 10);
-            vec![
-                format!("{maker} {product} {version}"),
-                maker,
-                price,
-            ]
+            vec![format!("{maker} {product} {version}"), maker, price]
         }
         DatasetKind::DblpScholar | DatasetKind::DblpAcm => {
             let topic = pick(vocab::PAPER_TOPICS, 0);
@@ -353,7 +362,11 @@ pub fn make_entity(kind: DatasetKind, family: u32, variant: u32) -> Vec<String> 
                 (1000 + f * 13 + v * 111) % 10000
             );
             vec![
-                if variant == 0 { stem.clone() } else { format!("{stem} downtown") },
+                if variant == 0 {
+                    stem.clone()
+                } else {
+                    format!("{stem} downtown")
+                },
                 format!("{number} {street}"),
                 city,
                 phone,
@@ -372,7 +385,12 @@ pub fn make_entity(kind: DatasetKind, family: u32, variant: u32) -> Vec<String> 
                 format!("{w1} {w2} (live)")
             };
             let album = format!("{} {}", pick(vocab::SONG_WORDS, 3), "sessions");
-            let price = if family.is_multiple_of(2) { "$0.99" } else { "$1.29" }.to_owned();
+            let price = if family.is_multiple_of(2) {
+                "$0.99"
+            } else {
+                "$1.29"
+            }
+            .to_owned();
             let (f, v) = (family as u64, variant as u64);
             let minutes = 2 + f % 4;
             let seconds = (f * 17 + v * 29) % 60;
@@ -386,7 +404,11 @@ pub fn make_entity(kind: DatasetKind, family: u32, variant: u32) -> Vec<String> 
                 price,
                 copyright,
                 format!("{minutes}:{seconds:02}"),
-                format!("{} {}, {year}", pick(&["january", "march", "june", "october"], 5), 1 + family % 28),
+                format!(
+                    "{} {}, {year}",
+                    pick(&["january", "march", "june", "october"], 5),
+                    1 + family % 28
+                ),
             ]
         }
         DatasetKind::Beer => {

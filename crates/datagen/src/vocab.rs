@@ -7,51 +7,159 @@
 
 /// Electronics / product brands (WA, AB, AG).
 pub const BRANDS: &[&str] = &[
-    "samsung", "sony", "apple", "lenovo", "dell", "asus", "acer", "canon", "nikon", "logitech",
-    "panasonic", "toshiba", "philips", "sharp", "jvc", "garmin", "netgear", "belkin", "sandisk",
-    "kingston", "hp", "epson", "brother", "intel", "corsair", "msi", "gigabyte", "vizio",
+    "samsung",
+    "sony",
+    "apple",
+    "lenovo",
+    "dell",
+    "asus",
+    "acer",
+    "canon",
+    "nikon",
+    "logitech",
+    "panasonic",
+    "toshiba",
+    "philips",
+    "sharp",
+    "jvc",
+    "garmin",
+    "netgear",
+    "belkin",
+    "sandisk",
+    "kingston",
+    "hp",
+    "epson",
+    "brother",
+    "intel",
+    "corsair",
+    "msi",
+    "gigabyte",
+    "vizio",
 ];
 
 /// Product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "laptop", "monitor", "keyboard", "mouse", "printer", "router", "camera", "lens", "speaker",
-    "headphones", "charger", "adapter", "tablet", "projector", "scanner", "webcam", "microphone",
-    "dock", "drive", "enclosure", "switch", "console", "soundbar", "tripod",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "mouse",
+    "printer",
+    "router",
+    "camera",
+    "lens",
+    "speaker",
+    "headphones",
+    "charger",
+    "adapter",
+    "tablet",
+    "projector",
+    "scanner",
+    "webcam",
+    "microphone",
+    "dock",
+    "drive",
+    "enclosure",
+    "switch",
+    "console",
+    "soundbar",
+    "tripod",
 ];
 
 /// Product qualifiers.
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
-    "wireless", "portable", "compact", "ultra", "pro", "slim", "gaming", "professional",
-    "digital", "premium", "essential", "advanced", "classic", "smart", "dual", "mini",
+    "wireless",
+    "portable",
+    "compact",
+    "ultra",
+    "pro",
+    "slim",
+    "gaming",
+    "professional",
+    "digital",
+    "premium",
+    "essential",
+    "advanced",
+    "classic",
+    "smart",
+    "dual",
+    "mini",
 ];
 
 /// Product categories (WA `category` attribute).
 pub const CATEGORIES: &[&str] = &[
-    "computers", "electronics", "accessories", "office products", "photography",
-    "audio", "networking", "storage", "printers", "displays",
+    "computers",
+    "electronics",
+    "accessories",
+    "office products",
+    "photography",
+    "audio",
+    "networking",
+    "storage",
+    "printers",
+    "displays",
 ];
 
 /// Software product nouns (AG).
 pub const SOFTWARE_NOUNS: &[&str] = &[
-    "photoshop elements", "quickbooks premier", "antivirus suite", "office standard",
-    "creative studio", "backup utility", "video editor", "tax preparation", "language pack",
-    "encyclopedia deluxe", "typing tutor", "web designer", "pdf converter", "music studio",
-    "security essentials", "drawing suite", "project planner", "database manager",
+    "photoshop elements",
+    "quickbooks premier",
+    "antivirus suite",
+    "office standard",
+    "creative studio",
+    "backup utility",
+    "video editor",
+    "tax preparation",
+    "language pack",
+    "encyclopedia deluxe",
+    "typing tutor",
+    "web designer",
+    "pdf converter",
+    "music studio",
+    "security essentials",
+    "drawing suite",
+    "project planner",
+    "database manager",
 ];
 
 /// Software manufacturers (AG `manufacturer`).
 pub const SOFTWARE_MAKERS: &[&str] = &[
-    "adobe", "intuit", "microsoft", "symantec", "corel", "mcafee", "autodesk", "roxio",
-    "nuance", "broderbund", "encore", "topics entertainment", "individual software",
+    "adobe",
+    "intuit",
+    "microsoft",
+    "symantec",
+    "corel",
+    "mcafee",
+    "autodesk",
+    "roxio",
+    "nuance",
+    "broderbund",
+    "encore",
+    "topics entertainment",
+    "individual software",
 ];
 
 /// Research topic words (DS, DA titles).
 pub const PAPER_TOPICS: &[&str] = &[
-    "query optimization", "data integration", "entity resolution", "schema matching",
-    "stream processing", "index structures", "transaction management", "view maintenance",
-    "data mining", "information extraction", "web search", "xml processing",
-    "sensor networks", "distributed joins", "approximate counting", "graph partitioning",
-    "spatial indexing", "concurrency control", "materialized views", "data warehousing",
+    "query optimization",
+    "data integration",
+    "entity resolution",
+    "schema matching",
+    "stream processing",
+    "index structures",
+    "transaction management",
+    "view maintenance",
+    "data mining",
+    "information extraction",
+    "web search",
+    "xml processing",
+    "sensor networks",
+    "distributed joins",
+    "approximate counting",
+    "graph partitioning",
+    "spatial indexing",
+    "concurrency control",
+    "materialized views",
+    "data warehousing",
 ];
 
 /// Title patterns for papers.
@@ -69,8 +177,8 @@ pub const PAPER_FRAMES: &[&str] = &[
 /// Author surnames for citations.
 pub const SURNAMES: &[&str] = &[
     "chen", "smith", "garcia", "kumar", "johnson", "mueller", "tanaka", "rossi", "ivanov",
-    "martin", "lee", "wang", "brown", "davis", "wilson", "lopez", "gonzalez", "silva",
-    "fischer", "weber", "yamamoto", "sato", "kim", "park", "nguyen", "patel", "singh",
+    "martin", "lee", "wang", "brown", "davis", "wilson", "lopez", "gonzalez", "silva", "fischer",
+    "weber", "yamamoto", "sato", "kim", "park", "nguyen", "patel", "singh",
 ];
 
 /// Author first initials.
@@ -86,28 +194,68 @@ pub const VENUES: &[&str] = &[
 
 /// Restaurant name stems (FZ).
 pub const RESTAURANT_STEMS: &[&str] = &[
-    "golden dragon", "la petite maison", "blue bayou", "the capital grille", "casa vega",
-    "trattoria romana", "spice garden", "harbor house", "el charro", "maple diner",
-    "lotus pavilion", "old mill tavern", "sunset bistro", "river cafe", "the olive branch",
-    "bangkok palace", "copper kettle", "stone hearth", "villa toscana", "pearl oyster bar",
+    "golden dragon",
+    "la petite maison",
+    "blue bayou",
+    "the capital grille",
+    "casa vega",
+    "trattoria romana",
+    "spice garden",
+    "harbor house",
+    "el charro",
+    "maple diner",
+    "lotus pavilion",
+    "old mill tavern",
+    "sunset bistro",
+    "river cafe",
+    "the olive branch",
+    "bangkok palace",
+    "copper kettle",
+    "stone hearth",
+    "villa toscana",
+    "pearl oyster bar",
 ];
 
 /// Cities (FZ).
 pub const CITIES: &[&str] = &[
-    "los angeles", "new york", "san francisco", "chicago", "atlanta", "new orleans",
-    "las vegas", "boston", "seattle", "houston",
+    "los angeles",
+    "new york",
+    "san francisco",
+    "chicago",
+    "atlanta",
+    "new orleans",
+    "las vegas",
+    "boston",
+    "seattle",
+    "houston",
 ];
 
 /// Cuisine types (FZ `type`).
 pub const CUISINES: &[&str] = &[
-    "american", "italian", "chinese", "french", "mexican", "thai", "seafood", "steakhouses",
-    "cajun", "japanese",
+    "american",
+    "italian",
+    "chinese",
+    "french",
+    "mexican",
+    "thai",
+    "seafood",
+    "steakhouses",
+    "cajun",
+    "japanese",
 ];
 
 /// Street names (FZ `addr`).
 pub const STREETS: &[&str] = &[
-    "sunset blvd", "main st", "broadway", "market st", "peachtree rd", "canal st",
-    "ocean ave", "fifth ave", "lake shore dr", "mission st",
+    "sunset blvd",
+    "main st",
+    "broadway",
+    "market st",
+    "peachtree rd",
+    "canal st",
+    "ocean ave",
+    "fifth ave",
+    "lake shore dr",
+    "mission st",
 ];
 
 /// Song title words (IA).
@@ -118,32 +266,73 @@ pub const SONG_WORDS: &[&str] = &[
 
 /// Artist names (IA).
 pub const ARTISTS: &[&str] = &[
-    "the wandering lights", "nova reyes", "cedar & pine", "dj altitude", "marlowe quartet",
-    "violet skyline", "the brass foxes", "luna madre", "static bloom", "harbor kids",
+    "the wandering lights",
+    "nova reyes",
+    "cedar & pine",
+    "dj altitude",
+    "marlowe quartet",
+    "violet skyline",
+    "the brass foxes",
+    "luna madre",
+    "static bloom",
+    "harbor kids",
 ];
 
 /// Music genres (IA `genre`).
 pub const GENRES: &[&str] = &[
-    "pop", "rock", "hip-hop/rap", "country", "dance", "r&b/soul", "alternative", "electronic",
+    "pop",
+    "rock",
+    "hip-hop/rap",
+    "country",
+    "dance",
+    "r&b/soul",
+    "alternative",
+    "electronic",
 ];
 
 /// Beer name stems (Beer).
 pub const BEER_STEMS: &[&str] = &[
-    "hoppy trails", "midnight stout", "amber wave", "citrus haze", "old growler",
-    "golden prairie", "iron anchor", "smoked porter", "river bend", "snow cap",
-    "red barn", "cascade crush", "honey badger", "black canyon", "summer squall",
+    "hoppy trails",
+    "midnight stout",
+    "amber wave",
+    "citrus haze",
+    "old growler",
+    "golden prairie",
+    "iron anchor",
+    "smoked porter",
+    "river bend",
+    "snow cap",
+    "red barn",
+    "cascade crush",
+    "honey badger",
+    "black canyon",
+    "summer squall",
 ];
 
 /// Breweries (Beer `brew_factory_name`).
 pub const BREWERIES: &[&str] = &[
-    "granite peak brewing", "blue heron ales", "founders of the valley", "twin pines brewery",
-    "salt flat brewing co", "harbor light brewing", "timberline brewworks", "prairie fire ales",
+    "granite peak brewing",
+    "blue heron ales",
+    "founders of the valley",
+    "twin pines brewery",
+    "salt flat brewing co",
+    "harbor light brewing",
+    "timberline brewworks",
+    "prairie fire ales",
 ];
 
 /// Beer styles (Beer `style`).
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "imperial stout", "pale ale", "pilsner", "amber lager", "hefeweizen",
-    "porter", "saison", "brown ale", "double ipa",
+    "american ipa",
+    "imperial stout",
+    "pale ale",
+    "pilsner",
+    "amber lager",
+    "hefeweizen",
+    "porter",
+    "saison",
+    "brown ale",
+    "double ipa",
 ];
 
 #[cfg(test)]
@@ -153,9 +342,24 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_lowercase() {
         let pools: [&[&str]; 19] = [
-            BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS, CATEGORIES, SOFTWARE_NOUNS,
-            SOFTWARE_MAKERS, PAPER_TOPICS, PAPER_FRAMES, SURNAMES, INITIALS, VENUES,
-            RESTAURANT_STEMS, CITIES, CUISINES, STREETS, SONG_WORDS, ARTISTS, BEER_STEMS,
+            BRANDS,
+            PRODUCT_NOUNS,
+            PRODUCT_QUALIFIERS,
+            CATEGORIES,
+            SOFTWARE_NOUNS,
+            SOFTWARE_MAKERS,
+            PAPER_TOPICS,
+            PAPER_FRAMES,
+            SURNAMES,
+            INITIALS,
+            VENUES,
+            RESTAURANT_STEMS,
+            CITIES,
+            CUISINES,
+            STREETS,
+            SONG_WORDS,
+            ARTISTS,
+            BEER_STEMS,
             BREWERIES,
         ];
         for pool in pools {

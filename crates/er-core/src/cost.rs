@@ -212,6 +212,62 @@ impl CostLedger {
     }
 }
 
+/// A thread-safe, shareable handle to a [`CostLedger`].
+///
+/// The offline experiment runner owns its ledger outright; the serving
+/// layer (`er-service`) instead needs many worker threads charging one
+/// budget concurrently. Cloning the handle shares the underlying ledger;
+/// all recording methods take `&self`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCostLedger {
+    inner: std::sync::Arc<std::sync::Mutex<CostLedger>>,
+}
+
+impl SharedCostLedger {
+    /// A fresh zeroed shared ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one API call (thread-safe).
+    pub fn record_api_call(
+        &self,
+        prompt_tokens: TokenCount,
+        completion_tokens: TokenCount,
+        cost: Money,
+    ) {
+        self.lock()
+            .record_api_call(prompt_tokens, completion_tokens, cost);
+    }
+
+    /// Records human labeling of `pairs` demonstrations (thread-safe).
+    pub fn record_labeling(&self, pairs: u64) {
+        self.lock().record_labeling(pairs);
+    }
+
+    /// Merges a detached ledger (e.g. one batch execution's accounting)
+    /// into this one.
+    pub fn merge(&self, other: &CostLedger) {
+        self.lock().merge(other);
+    }
+
+    /// A point-in-time copy of the ledger.
+    pub fn snapshot(&self) -> CostLedger {
+        *self.lock()
+    }
+
+    /// Current API + labeling total.
+    pub fn total(&self) -> Money {
+        self.lock().total()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CostLedger> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,13 +309,51 @@ mod tests {
         assert_eq!(l.api_calls, 1);
         assert_eq!(l.pairs_labeled, 10);
         assert_eq!(l.labeling, Money::from_dollars(0.08));
-        assert_eq!(l.total(), Money::from_micros(120) + Money::from_dollars(0.08));
+        assert_eq!(
+            l.total(),
+            Money::from_micros(120) + Money::from_dollars(0.08)
+        );
 
         let mut l2 = CostLedger::new();
         l2.record_api_call(TokenCount(1), TokenCount(1), Money::from_micros(2));
         l2.merge(&l);
         assert_eq!(l2.api_calls, 2);
         assert_eq!(l2.prompt_tokens, TokenCount(101));
+    }
+
+    #[test]
+    fn shared_ledger_aggregates_across_threads() {
+        let shared = SharedCostLedger::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        handle.record_api_call(
+                            TokenCount(10),
+                            TokenCount(2),
+                            Money::from_micros(12),
+                        );
+                    }
+                    handle.record_labeling(1);
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.api_calls, 800);
+        assert_eq!(snap.prompt_tokens, TokenCount(8_000));
+        assert_eq!(snap.api, Money::from_micros(9_600));
+        assert_eq!(snap.pairs_labeled, 8);
+        assert_eq!(shared.total(), snap.total());
+    }
+
+    #[test]
+    fn shared_ledger_merges_detached_ledgers() {
+        let shared = SharedCostLedger::new();
+        let mut detached = CostLedger::new();
+        detached.record_api_call(TokenCount(5), TokenCount(1), Money::from_micros(7));
+        shared.merge(&detached);
+        assert_eq!(shared.snapshot(), detached);
     }
 
     #[test]

@@ -168,10 +168,7 @@ mod tests {
     fn split_covers_everything_without_overlap() {
         let d = tiny_dataset(50);
         let split = d.split_3_1_1(42).unwrap();
-        assert_eq!(
-            split.train.len() + split.valid.len() + split.test.len(),
-            50
-        );
+        assert_eq!(split.train.len() + split.valid.len() + split.test.len(), 50);
         // 3:1:1 over 50 = 30/10/10.
         assert_eq!(split.train.len(), 30);
         assert_eq!(split.valid.len(), 10);

@@ -23,7 +23,7 @@ pub mod pair;
 pub mod record;
 pub mod split;
 
-pub use cost::{CostLedger, Money, TokenCount, LABEL_COST_PER_PAIR};
+pub use cost::{CostLedger, Money, SharedCostLedger, TokenCount, LABEL_COST_PER_PAIR};
 pub use dataset::{Dataset, DatasetStats};
 pub use error::ErError;
 pub use metrics::{BinaryConfusion, F1Summary, PrfScores};

@@ -9,9 +9,7 @@ use crate::error::ErError;
 
 /// Which of the two input tables a record belongs to (§II-A: tables `T_A`
 /// and `T_B`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SourceTable {
     /// The left relation `T_A`.
     A,
@@ -123,16 +121,9 @@ pub struct Record {
 
 impl Record {
     /// Builds a record; `values` must have exactly `schema.arity()` entries.
-    pub fn new(
-        id: RecordId,
-        schema: Arc<Schema>,
-        values: Vec<String>,
-    ) -> Result<Self, ErError> {
+    pub fn new(id: RecordId, schema: Arc<Schema>, values: Vec<String>) -> Result<Self, ErError> {
         if values.len() != schema.arity() {
-            return Err(ErError::ArityMismatch {
-                expected: schema.arity(),
-                got: values.len(),
-            });
+            return Err(ErError::ArityMismatch { expected: schema.arity(), got: values.len() });
         }
         Ok(Self { id, schema, values })
     }
@@ -203,7 +194,10 @@ mod tests {
     fn record_arity_checked() {
         let s = schema();
         let err = Record::new(RecordId::a(0), s, vec!["x".into()]).unwrap_err();
-        assert!(matches!(err, ErError::ArityMismatch { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            ErError::ArityMismatch { expected: 3, got: 1 }
+        ));
     }
 
     #[test]

@@ -91,12 +91,20 @@ mod tests {
         (0..n)
             .map(|i| {
                 let a = Arc::new(
-                    Record::new(RecordId::a(i as u32), Arc::clone(&schema), vec![i.to_string()])
-                        .unwrap(),
+                    Record::new(
+                        RecordId::a(i as u32),
+                        Arc::clone(&schema),
+                        vec![i.to_string()],
+                    )
+                    .unwrap(),
                 );
                 let b = Arc::new(
-                    Record::new(RecordId::b(i as u32), Arc::clone(&schema), vec![i.to_string()])
-                        .unwrap(),
+                    Record::new(
+                        RecordId::b(i as u32),
+                        Arc::clone(&schema),
+                        vec![i.to_string()],
+                    )
+                    .unwrap(),
                 );
                 LabeledPair::new(
                     EntityPair::new(PairId(i as u32), a, b).unwrap(),

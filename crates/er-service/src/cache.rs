@@ -1,0 +1,202 @@
+//! The LLM answer cache: fingerprint → verdict, with hit/miss counters
+//! and a bounded footprint.
+//!
+//! Repeated and symmetric questions are endemic in serving workloads
+//! (retries, the same hot pair queried by many users, `(a,b)` vs
+//! `(b,a)`), and every avoided LLM call is money saved — the cache is the
+//! cheapest lever in the whole cost model. Disabled mode is kept so the
+//! savings are measurable: the integration tests run the same workload
+//! with the cache off and compare ledgers.
+//!
+//! **Eviction** is generational: entries insert into a *hot* map; when it
+//! reaches half the configured capacity the hot map becomes the *cold*
+//! map (dropping the previous cold generation) and a fresh hot map takes
+//! over. Lookups consult both. An entry therefore survives between one
+//! and two generations — recently used pairs stay cached, a stream of
+//! mostly-unique questions (the normal ER workload) cannot grow memory
+//! without bound, and every operation stays O(1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use er_core::MatchLabel;
+
+use crate::fingerprint::PairFingerprint;
+use crate::sync::{read, write};
+
+#[derive(Debug, Default)]
+struct Generations {
+    hot: HashMap<PairFingerprint, MatchLabel>,
+    cold: HashMap<PairFingerprint, MatchLabel>,
+}
+
+/// Concurrent, capacity-bounded fingerprint-keyed answer store.
+#[derive(Debug)]
+pub struct AnswerCache {
+    enabled: bool,
+    /// Hot-generation size that triggers rotation (half the capacity).
+    rotate_at: usize,
+    generations: RwLock<Generations>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerCache {
+    /// A cache holding at most ~`capacity` entries. When `enabled` is
+    /// false every lookup misses and inserts are dropped (the counters
+    /// still run, so `/stats` stays honest).
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        Self {
+            enabled,
+            rotate_at: (capacity / 2).max(1),
+            generations: RwLock::new(Generations::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a fingerprint, counting the hit or miss.
+    pub fn get(&self, fp: PairFingerprint) -> Option<MatchLabel> {
+        let found = self.peek(fp);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peeks without touching the counters (used by the flush path to
+    /// filter questions answered while they sat in the queue).
+    pub fn peek(&self, fp: PairFingerprint) -> Option<MatchLabel> {
+        if !self.enabled {
+            return None;
+        }
+        let generations = read(&self.generations);
+        generations
+            .hot
+            .get(&fp)
+            .or_else(|| generations.cold.get(&fp))
+            .copied()
+    }
+
+    /// Stores a verdict, rotating generations at capacity.
+    pub fn insert(&self, fp: PairFingerprint, label: MatchLabel) {
+        if !self.enabled {
+            return;
+        }
+        let mut generations = write(&self.generations);
+        generations.hot.insert(fp, label);
+        if generations.hot.len() >= self.rotate_at {
+            generations.cold = std::mem::take(&mut generations.hot);
+        }
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Live entries across both generations (an upper bound: a
+    /// fingerprint re-inserted after rotation counts in each).
+    pub fn len(&self) -> usize {
+        let generations = read(&self.generations);
+        generations.hot.len() + generations.cold.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 1024;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = AnswerCache::new(true, CAP);
+        let fp = PairFingerprint(7);
+        assert_eq!(cache.get(fp), None);
+        cache.insert(fp, MatchLabel::Matching);
+        assert_eq!(cache.get(fp), Some(MatchLabel::Matching));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = AnswerCache::new(false, CAP);
+        let fp = PairFingerprint(9);
+        cache.insert(fp, MatchLabel::Matching);
+        assert_eq!(cache.get(fp), None);
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let cache = AnswerCache::new(true, CAP);
+        let fp = PairFingerprint(3);
+        cache.insert(fp, MatchLabel::NonMatching);
+        assert_eq!(cache.peek(fp), Some(MatchLabel::NonMatching));
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_recent_entries_survive() {
+        let cache = AnswerCache::new(true, 100);
+        // A stream of 10k unique fingerprints — far beyond capacity.
+        for i in 0..10_000u64 {
+            cache.insert(PairFingerprint(i), MatchLabel::from_bool(i % 2 == 0));
+        }
+        assert!(cache.len() <= 100, "cache grew to {}", cache.len());
+        // The most recent insert is always still present.
+        assert_eq!(
+            cache.peek(PairFingerprint(9_999)),
+            Some(MatchLabel::NonMatching)
+        );
+        // Ancient entries were evicted.
+        assert_eq!(cache.peek(PairFingerprint(0)), None);
+    }
+
+    #[test]
+    fn entries_survive_one_rotation() {
+        let cache = AnswerCache::new(true, 8); // rotate_at = 4
+        cache.insert(PairFingerprint(1), MatchLabel::Matching);
+        // Force one rotation with three more inserts.
+        for i in 2..=4u64 {
+            cache.insert(PairFingerprint(i), MatchLabel::NonMatching);
+        }
+        // Entry 1 moved to the cold generation but is still served.
+        assert_eq!(cache.peek(PairFingerprint(1)), Some(MatchLabel::Matching));
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cache = std::sync::Arc::new(AnswerCache::new(true, 1 << 20));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let fp = PairFingerprint(t * 1000 + i);
+                        cache.insert(fp, MatchLabel::from_bool(i % 2 == 0));
+                        assert!(cache.get(fp).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1600);
+        assert_eq!(cache.hits(), 1600);
+    }
+}

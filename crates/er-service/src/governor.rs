@@ -1,0 +1,177 @@
+//! The cost governor: a hard budget over a shared ledger, with
+//! reserve-then-settle accounting so concurrent workers can never
+//! collectively overshoot.
+//!
+//! Admission control happens **before** a batch is sent to the LLM:
+//! a worker asks to reserve the batch's projected worst-case cost
+//! (prompt tokens exactly known, completion and retries bounded). If the
+//! reservation does not fit under the budget the batch is denied and the
+//! service degrades to its local fallback matcher — requests still get
+//! answers, they just stop costing money. Settling replaces the
+//! reservation with the actual spend recorded by the executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use er_core::{CostLedger, Money, SharedCostLedger};
+
+/// Budget enforcement over a [`SharedCostLedger`].
+#[derive(Debug)]
+pub struct CostGovernor {
+    ledger: SharedCostLedger,
+    budget: Money,
+    /// Committed-but-unsettled projections.
+    reserved: Mutex<Money>,
+    denials: AtomicU64,
+}
+
+/// A granted budget reservation; must be settled exactly once.
+#[derive(Debug)]
+#[must_use = "an unsettled reservation permanently holds budget"]
+pub struct Reservation {
+    projected: Money,
+}
+
+impl CostGovernor {
+    /// A governor enforcing `budget` over `ledger`.
+    pub fn new(ledger: SharedCostLedger, budget: Money) -> Self {
+        Self { ledger, budget, reserved: Mutex::new(Money::ZERO), denials: AtomicU64::new(0) }
+    }
+
+    /// The configured budget cap.
+    pub fn budget(&self) -> Money {
+        self.budget
+    }
+
+    /// The shared ledger this governor charges.
+    pub fn ledger(&self) -> &SharedCostLedger {
+        &self.ledger
+    }
+
+    /// Attempts to reserve `projected` spend; `None` means over budget.
+    pub fn try_reserve(&self, projected: Money) -> Option<Reservation> {
+        let mut reserved = self.lock_reserved();
+        let committed = self.ledger.total() + *reserved + projected;
+        if committed > self.budget {
+            drop(reserved);
+            self.denials.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        *reserved += projected;
+        Some(Reservation { projected })
+    }
+
+    /// Settles a reservation with the actual accounting of the executed
+    /// batch (which must not exceed the projection — the projection is a
+    /// worst-case bound by construction).
+    pub fn settle(&self, reservation: Reservation, actual: &CostLedger) {
+        // The merge and the reservation release happen under the
+        // `reserved` lock (the same lock `try_reserve` holds while it
+        // reads the ledger), so no concurrent reservation can observe
+        // the batch double-counted — as both actual spend and still-held
+        // projection — and be spuriously denied.
+        let mut reserved = self.lock_reserved();
+        self.ledger.merge(actual);
+        *reserved = *reserved - reservation.projected;
+    }
+
+    /// Releases a reservation without any spend (batch aborted before the
+    /// first API call).
+    pub fn release(&self, reservation: Reservation) {
+        let mut reserved = self.lock_reserved();
+        *reserved = *reserved - reservation.projected;
+    }
+
+    /// Budget not yet spent or reserved (floored at zero).
+    pub fn remaining(&self) -> Money {
+        let reserved = *self.lock_reserved();
+        let left = self.budget - self.ledger.total() - reserved;
+        if left < Money::ZERO {
+            Money::ZERO
+        } else {
+            left
+        }
+    }
+
+    /// Number of denied reservations so far.
+    pub fn denials(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+
+    fn lock_reserved(&self) -> std::sync::MutexGuard<'_, Money> {
+        crate::sync::lock(&self.reserved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::TokenCount;
+
+    fn governor(budget_micros: i64) -> CostGovernor {
+        CostGovernor::new(SharedCostLedger::new(), Money::from_micros(budget_micros))
+    }
+
+    fn spend(amount: i64) -> CostLedger {
+        let mut l = CostLedger::new();
+        l.record_api_call(TokenCount(10), TokenCount(2), Money::from_micros(amount));
+        l
+    }
+
+    #[test]
+    fn reserve_settle_cycle() {
+        let g = governor(1_000);
+        let r = g.try_reserve(Money::from_micros(600)).expect("fits");
+        assert_eq!(g.remaining(), Money::from_micros(400));
+        g.settle(r, &spend(500));
+        assert_eq!(g.remaining(), Money::from_micros(500));
+        assert_eq!(g.ledger().snapshot().api, Money::from_micros(500));
+        assert_eq!(g.denials(), 0);
+    }
+
+    #[test]
+    fn over_budget_reservations_denied() {
+        let g = governor(1_000);
+        let _held = g.try_reserve(Money::from_micros(900)).expect("fits");
+        assert!(g.try_reserve(Money::from_micros(200)).is_none());
+        assert_eq!(g.denials(), 1);
+    }
+
+    #[test]
+    fn release_returns_budget() {
+        let g = governor(1_000);
+        let r = g.try_reserve(Money::from_micros(900)).expect("fits");
+        g.release(r);
+        assert!(g.try_reserve(Money::from_micros(1_000)).is_some());
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overshoot() {
+        let g = std::sync::Arc::new(governor(10_000));
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let g = std::sync::Arc::clone(&g);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        if let Some(r) = g.try_reserve(Money::from_micros(100)) {
+                            g.settle(r, &spend(100));
+                        }
+                    }
+                });
+            }
+        });
+        // Exactly 100 reservations of 100 micro-dollars fit under 10k.
+        let total = g.ledger().total();
+        assert!(total <= Money::from_micros(10_000), "overshot: {total}");
+        assert_eq!(total, Money::from_micros(10_000));
+        assert!(g.denials() > 0);
+    }
+
+    #[test]
+    fn remaining_floors_at_zero() {
+        let g = governor(100);
+        // Out-of-band spend pushes the ledger past the budget.
+        g.ledger().merge(&spend(500));
+        assert_eq!(g.remaining(), Money::ZERO);
+    }
+}

@@ -1,0 +1,133 @@
+//! HTTP front end for the matching service.
+//!
+//! Built on the same request/response plumbing and bounded accept loop as
+//! the LLM loopback service (`llm_service::http` / `llm_service::serve`):
+//!
+//! * `POST /match` — body `{"schema": [...], "left": [...], "right": [...]}`;
+//!   answers `{"label": "matching"|"non_matching", "source":
+//!   "cache"|"llm"|"fallback", "fingerprint": "<hex>"}`.
+//! * `GET /stats` — the [`ServiceStats`] snapshot as JSON.
+//! * `GET /healthz` — liveness.
+
+use std::sync::Arc;
+
+use er_core::{EntityPair, MatchLabel, PairId, Record, RecordId, Schema};
+use llm_service::http::{HttpRequest, HttpResponse};
+use llm_service::serve::{spawn_http_server, HttpServerHandle, ServeOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::service::{ErService, MatchDecision};
+use crate::stats::ServiceStats;
+
+/// `POST /match` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchRequestWire {
+    /// Attribute names shared by both records.
+    pub schema: Vec<String>,
+    /// Left record's values, aligned with `schema`.
+    pub left: Vec<String>,
+    /// Right record's values, aligned with `schema`.
+    pub right: Vec<String>,
+}
+
+/// `POST /match` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchResponseWire {
+    /// `"matching"` or `"non_matching"`.
+    pub label: String,
+    /// `"cache"`, `"llm"` or `"fallback"`.
+    pub source: String,
+    /// Canonical question fingerprint (hex), for client-side dedup.
+    pub fingerprint: String,
+}
+
+/// Error body shared with the LLM service's wire dialect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorWire {
+    /// Human-readable message.
+    pub error: String,
+}
+
+impl MatchResponseWire {
+    fn from_decision(decision: &MatchDecision) -> Self {
+        Self {
+            label: match decision.label {
+                MatchLabel::Matching => "matching".to_owned(),
+                MatchLabel::NonMatching => "non_matching".to_owned(),
+            },
+            source: decision.source.name().to_owned(),
+            fingerprint: decision.fingerprint.to_string(),
+        }
+    }
+}
+
+/// Converts a wire request into an [`EntityPair`].
+pub fn wire_to_pair(wire: &MatchRequestWire) -> Result<EntityPair, String> {
+    let schema =
+        Arc::new(Schema::new(wire.schema.iter().cloned()).map_err(|e| format!("bad schema: {e}"))?);
+    let left = Record::new(RecordId::a(0), Arc::clone(&schema), wire.left.clone())
+        .map_err(|e| format!("bad left record: {e}"))?;
+    let right = Record::new(RecordId::b(0), Arc::clone(&schema), wire.right.clone())
+        .map_err(|e| format!("bad right record: {e}"))?;
+    EntityPair::new(PairId(0), Arc::new(left), Arc::new(right))
+        .map_err(|e| format!("bad pair: {e}"))
+}
+
+/// A running HTTP front end; dropping it stops the listener (the
+/// underlying [`ErService`] keeps running until its own handle drops).
+#[derive(Debug)]
+pub struct MatchServer {
+    server: HttpServerHandle,
+}
+
+impl MatchServer {
+    /// Binds `127.0.0.1:0` and serves `service` with the given
+    /// connection-pool limits.
+    pub fn start(service: Arc<ErService>, options: ServeOptions) -> std::io::Result<Self> {
+        let server = spawn_http_server(
+            Arc::new(move |request: HttpRequest| route(&service, request)),
+            options,
+        )?;
+        Ok(Self { server })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+}
+
+fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/match") => {
+            let wire: MatchRequestWire = match serde_json::from_slice(&request.body) {
+                Ok(w) => w,
+                Err(e) => return error(400, &format!("invalid JSON body: {e}")),
+            };
+            let pair = match wire_to_pair(&wire) {
+                Ok(p) => p,
+                Err(message) => return error(400, &message),
+            };
+            let decision = service.submit(&pair);
+            json(200, &MatchResponseWire::from_decision(&decision))
+        }
+        ("GET", "/stats") => {
+            let stats: ServiceStats = service.stats();
+            json(200, &stats)
+        }
+        ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
+        ("GET", _) | ("POST", _) => error(404, &format!("no such route: {}", request.path)),
+        _ => error(405, "method not allowed"),
+    }
+}
+
+fn json<T: Serialize>(status: u16, value: &T) -> HttpResponse {
+    HttpResponse::json(
+        status,
+        serde_json::to_vec(value).expect("wire types serialize"),
+    )
+}
+
+fn error(status: u16, message: &str) -> HttpResponse {
+    json(status, &ErrorWire { error: message.to_owned() })
+}

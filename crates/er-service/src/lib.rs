@@ -1,0 +1,57 @@
+//! # er-service — online entity matching, cost-effectively
+//!
+//! The BatchER framework (`batcher_core`) proves that batching questions
+//! and reusing demonstrations makes LLM-based entity resolution cheap —
+//! but only exercises it in offline, one-shot experiment runs. This crate
+//! is the serving layer that turns those batch economics into a system
+//! serving many concurrent clients, each asking individual "are these two
+//! records the same entity?" questions:
+//!
+//! * **Coalescing queue** ([`service`]) — in-flight questions buffer
+//!   until `batch_size` accumulate or a deadline expires, then flush as
+//!   diversity batches planned by the paper's own machinery
+//!   ([`batcher_core::plan_question_batches`]). Concurrent traffic gets
+//!   batch prompting automatically; nobody waits longer than the flush
+//!   deadline.
+//! * **Answer cache** ([`cache`]) — keyed by a canonical, symmetric,
+//!   normalization-stable pair fingerprint ([`fingerprint`]); repeated
+//!   and mirrored questions never pay for a second LLM call.
+//! * **Cost governor** ([`governor`]) — worst-case cost of every batch is
+//!   reserved against a hard budget *before* the call; when the budget
+//!   runs out the service degrades to an offline-trained logistic matcher
+//!   (`baselines::logistic`) instead of failing.
+//! * **Worker pool + HTTP front end** ([`http`]) — batches execute
+//!   concurrently over any [`llm::ChatApi`]; the front end (`POST
+//!   /match`, `GET /stats`, `GET /healthz`) runs on the same bounded
+//!   accept loop as the LLM loopback service (`llm_service::serve`).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use er_service::{ErService, ServiceConfig};
+//!
+//! let dataset = datagen::generate(datagen::DatasetKind::Beer, 42);
+//! let api = Arc::new(llm::SimLlm::new());
+//! let service = ErService::start(
+//!     api,
+//!     dataset.pairs()[..100].to_vec(),
+//!     ServiceConfig::default(),
+//! );
+//! let decision = service.submit(&dataset.pairs()[100].pair);
+//! println!("{:?} via {:?}", decision.label, decision.source);
+//! println!("spent {} of {}", service.stats().spend(), service.stats().budget());
+//! ```
+
+pub mod cache;
+pub mod fingerprint;
+pub mod governor;
+pub mod http;
+pub mod service;
+pub mod stats;
+mod sync;
+
+pub use cache::AnswerCache;
+pub use fingerprint::{pair_fingerprint, PairFingerprint};
+pub use governor::{CostGovernor, Reservation};
+pub use http::{MatchRequestWire, MatchResponseWire, MatchServer};
+pub use service::{DecisionSource, ErService, MatchDecision, ServiceConfig};
+pub use stats::ServiceStats;

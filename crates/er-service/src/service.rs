@@ -1,0 +1,720 @@
+//! The online entity-matching service.
+//!
+//! Request flow (one `are these two records the same?` question):
+//!
+//! ```text
+//! submit(pair)
+//!   ├─ answer cache hit ──────────────────────────────▶ MatchDecision (Cache)
+//!   └─ miss ─▶ coalescing queue ─▶ dispatcher drain
+//!                (batch_size reached or deadline)
+//!                  ▼
+//!              worker pool
+//!                  │ plan: dedupe by fingerprint, attach to identical
+//!                  │ in-flight questions, diversity batches + demos
+//!                  │ (batcher_core::plan_with_prepared_pool)
+//!                  ▼
+//!              worker pool ─▶ cost governor reserve
+//!                  ├─ granted: LLM batch call ─▶ answers ─▶ cache fill
+//!                  │                                        (Llm)
+//!                  └─ denied (budget): logistic fallback ─▶ (Fallback)
+//! ```
+//!
+//! Concurrent clients thereby get the paper's batch economics without
+//! coordinating: whoever happens to be in flight together shares one
+//! prompt's task description and demonstrations. The budget is a hard
+//! cap — when projected spend would cross it the service degrades to the
+//! offline-trained logistic matcher instead of failing requests.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use baselines::features::base_features;
+use baselines::logistic::{LogisticModel, TrainConfig};
+use batcher_core::{
+    build_batch_prompt, plan_with_prepared_pool, task_description, BatchPlanConfig, DistanceKind,
+    ExecutionOutcome, Executor, ExtractorKind, PreparedPool,
+};
+use er_core::{
+    CostLedger, EntityPair, LabeledPair, MatchLabel, Money, SharedCostLedger, TokenCount,
+    LABEL_COST_PER_PAIR,
+};
+use llm::{count_tokens, ChatApi, ModelKind, PriceTable};
+
+use crate::cache::AnswerCache;
+use crate::fingerprint::{pair_fingerprint, PairFingerprint};
+use crate::governor::CostGovernor;
+use crate::stats::ServiceStats;
+use crate::sync::lock;
+
+/// Who produced a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionSource {
+    /// Served from the answer cache — zero incremental cost.
+    Cache,
+    /// Answered by the LLM as part of a coalesced batch.
+    Llm,
+    /// Answered by the local logistic matcher (budget exhausted, or the
+    /// LLM returned nothing parseable for this question).
+    Fallback,
+}
+
+impl DecisionSource {
+    /// Stable lowercase name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionSource::Cache => "cache",
+            DecisionSource::Llm => "llm",
+            DecisionSource::Fallback => "fallback",
+        }
+    }
+}
+
+/// The service's answer to one pair question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchDecision {
+    /// The verdict.
+    pub label: MatchLabel,
+    /// Who produced it.
+    pub source: DecisionSource,
+    /// The canonical fingerprint of the question.
+    pub fingerprint: PairFingerprint,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Model the worker pool calls.
+    pub model: ModelKind,
+    /// Questions per coalesced batch (the paper's `b`; §VI-A uses 8).
+    pub batch_size: usize,
+    /// Maximum time a question waits for co-batched traffic before the
+    /// queue flushes a partial batch.
+    pub flush_deadline: Duration,
+    /// Hard cap on total spend (API + labeling).
+    pub budget: Money,
+    /// Master determinism seed (batch planning and LLM sampling).
+    pub seed: u64,
+    /// Answer-cache switch (disable to measure its savings).
+    pub cache_enabled: bool,
+    /// Maximum answer-cache entries (generational eviction above this).
+    pub cache_capacity: usize,
+    /// Executor retries per batch.
+    pub max_retries: u32,
+    /// LLM worker threads (batches in flight concurrently).
+    pub workers: usize,
+    /// Domain word used in the prompt's task description.
+    pub domain: String,
+    /// Fixed completion-token allowance per question, added on top of the
+    /// question's own token count when projecting a batch's worst-case
+    /// cost (the simulator's rationale lines quote question content, so
+    /// an answer is bounded by the question plus this overhead).
+    pub completion_allowance: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::Gpt35Turbo0301,
+            batch_size: 8,
+            flush_deadline: Duration::from_millis(25),
+            budget: Money::from_dollars(1.0),
+            seed: 42,
+            cache_enabled: true,
+            cache_capacity: 100_000,
+            max_retries: 2,
+            workers: 2,
+            domain: "Product".to_owned(),
+            completion_allowance: 24,
+        }
+    }
+}
+
+/// One question waiting in the coalescing queue.
+struct Pending {
+    fp: PairFingerprint,
+    pair: EntityPair,
+    waiter: Sender<MatchDecision>,
+}
+
+struct QueueState {
+    pending: Vec<Pending>,
+    /// Set when the first pending item arrived (deadline anchor).
+    oldest: Option<Instant>,
+    stopping: bool,
+}
+
+/// One planned batch handed to the worker pool.
+struct BatchJob {
+    /// `(fingerprint, pair, waiters)` per question.
+    questions: Vec<(PairFingerprint, EntityPair, Vec<Sender<MatchDecision>>)>,
+    /// Demonstration indices into the shared pool.
+    demo_indices: Vec<usize>,
+    /// Executor seed for this batch.
+    seed: u64,
+}
+
+/// Work processed by the pool. Planning runs on the pool too — clustering
+/// and demonstration selection are O(flush²) and would otherwise
+/// serialize every flush behind the single dispatcher thread, stalling
+/// the queue past its deadline under sustained load.
+enum WorkItem {
+    /// A drained queue generation to dedupe, plan and split into batches.
+    Plan(Vec<Pending>),
+    /// One planned batch to execute against the LLM.
+    Batch(BatchJob),
+    /// Terminate one worker (the dispatcher sends one per worker).
+    Shutdown,
+}
+
+/// Monotonic counters surfaced through [`ServiceStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    coalesced_duplicates: AtomicU64,
+    llm_answered: AtomicU64,
+    fallback_answered: AtomicU64,
+    batches_flushed: AtomicU64,
+    retries: AtomicU64,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    plan_template: BatchPlanConfig,
+    api: Arc<dyn ChatApi>,
+    /// Demonstration pool (labels consumed on demand, priced per use).
+    pool: Vec<LabeledPair>,
+    /// The pool featurized once at startup — flushes must not re-embed a
+    /// static pool on the dispatcher's critical path.
+    prepared_pool: PreparedPool,
+    /// Pool indices already human-labeled (labeling is paid once).
+    labeled: Mutex<HashSet<usize>>,
+    /// Questions currently being asked by an executing batch. Later
+    /// arrivals for the same fingerprint attach here instead of paying
+    /// for a second LLM slot (and risking a contradictory answer).
+    in_flight: Mutex<HashMap<PairFingerprint, Vec<Sender<MatchDecision>>>>,
+    fallback: LogisticModel,
+    cache: AnswerCache,
+    governor: CostGovernor,
+    queue: Mutex<QueueState>,
+    queue_cond: Condvar,
+    counters: Counters,
+}
+
+/// The running service. Cloneable via `Arc`; dropping the last handle
+/// flushes the queue and joins every thread.
+pub struct ErService {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ErService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErService")
+            .field("config", &self.inner.config)
+            .field("pool_size", &self.inner.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ErService {
+    /// Starts the service.
+    ///
+    /// * `api` — any chat endpoint (in-process simulator, HTTP client, a
+    ///   real provider implementation).
+    /// * `bootstrap` — labeled pairs used two ways: as the demonstration
+    ///   pool for batch prompts (labeling priced per selected demo) and
+    ///   as training data for the logistic fallback matcher.
+    ///
+    /// # Panics
+    /// Panics when `bootstrap` is empty or `batch_size`/`workers` is zero
+    /// — configuration bugs, not runtime conditions.
+    pub fn start(
+        api: Arc<dyn ChatApi>,
+        bootstrap: Vec<LabeledPair>,
+        config: ServiceConfig,
+    ) -> Self {
+        assert!(!bootstrap.is_empty(), "bootstrap pool must be non-empty");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.workers > 0, "worker count must be positive");
+
+        let xs: Vec<Vec<f64>> = bootstrap.iter().map(|p| base_features(&p.pair)).collect();
+        let ys: Vec<bool> = bootstrap.iter().map(|p| p.label.is_match()).collect();
+        let fallback = LogisticModel::train(
+            &xs,
+            &ys,
+            TrainConfig { seed: config.seed, ..TrainConfig::default() },
+        );
+
+        // Serving accepts questions under arbitrary client schemas, which
+        // may differ from the pool's — so planning must use the
+        // semantics-based extractor (fixed-dimension embeddings of the
+        // serialized pair) rather than the structure-aware one, whose
+        // vector length is the schema arity.
+        let plan_template = BatchPlanConfig {
+            batch_size: config.batch_size,
+            seed: config.seed,
+            extractor: ExtractorKind::Semantic,
+            ..BatchPlanConfig::default()
+        };
+        let pool_refs: Vec<&LabeledPair> = bootstrap.iter().collect();
+        let prepared_pool =
+            PreparedPool::prepare(&pool_refs, ExtractorKind::Semantic, DistanceKind::Euclidean);
+        drop(pool_refs);
+
+        let inner = Arc::new(Inner {
+            plan_template,
+            api,
+            prepared_pool,
+            pool: bootstrap,
+            labeled: Mutex::new(HashSet::new()),
+            fallback,
+            cache: AnswerCache::new(config.cache_enabled, config.cache_capacity),
+            governor: CostGovernor::new(SharedCostLedger::new(), config.budget),
+            queue: Mutex::new(QueueState { pending: Vec::new(), oldest: None, stopping: false }),
+            queue_cond: Condvar::new(),
+            in_flight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            config,
+        });
+
+        let (work_tx, work_rx) = channel::<WorkItem>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let workers = (0..inner.config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let work_rx = Arc::clone(&work_rx);
+                let work_tx = work_tx.clone();
+                std::thread::spawn(move || worker_loop(&inner, &work_rx, &work_tx))
+            })
+            .collect();
+
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::spawn(move || dispatcher_loop(&dispatcher_inner, work_tx));
+
+        Self { inner, dispatcher: Some(dispatcher), workers }
+    }
+
+    /// Resolves one pair question, blocking until a decision is available
+    /// (cache hits return immediately; queue misses wait for their batch).
+    pub fn submit(&self, pair: &EntityPair) -> MatchDecision {
+        let inner = &*self.inner;
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let fp = pair_fingerprint(pair);
+        if let Some(label) = inner.cache.get(fp) {
+            return MatchDecision { label, source: DecisionSource::Cache, fingerprint: fp };
+        }
+
+        let (tx, rx): (Sender<MatchDecision>, Receiver<MatchDecision>) = channel();
+        {
+            let mut queue = lock(&inner.queue);
+            if queue.stopping {
+                drop(queue);
+                return fallback_decision(inner, fp, pair);
+            }
+            if queue.pending.is_empty() {
+                queue.oldest = Some(Instant::now());
+            }
+            queue
+                .pending
+                .push(Pending { fp, pair: pair.clone(), waiter: tx });
+            inner.queue_cond.notify_all();
+        }
+        // A dead dispatcher/worker (disconnected sender) degrades to the
+        // fallback instead of hanging the caller.
+        rx.recv()
+            .unwrap_or_else(|_| fallback_decision(inner, fp, pair))
+    }
+
+    /// A point-in-time statistics snapshot (the `/stats` payload).
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &*self.inner;
+        let ledger = inner.governor.ledger().snapshot();
+        ServiceStats {
+            submitted: inner.counters.submitted.load(Ordering::Relaxed),
+            cache_hits: inner.cache.hits(),
+            cache_misses: inner.cache.misses(),
+            cache_entries: inner.cache.len() as u64,
+            coalesced_duplicates: inner.counters.coalesced_duplicates.load(Ordering::Relaxed),
+            llm_answered: inner.counters.llm_answered.load(Ordering::Relaxed),
+            fallback_answered: inner.counters.fallback_answered.load(Ordering::Relaxed),
+            batches_flushed: inner.counters.batches_flushed.load(Ordering::Relaxed),
+            retries: inner.counters.retries.load(Ordering::Relaxed),
+            api_calls: ledger.api_calls,
+            prompt_tokens: ledger.prompt_tokens.get(),
+            completion_tokens: ledger.completion_tokens.get(),
+            demos_labeled: ledger.pairs_labeled,
+            api_micros: ledger.api.micros(),
+            labeling_micros: ledger.labeling.micros(),
+            spent_micros: ledger.total().micros(),
+            budget_micros: inner.governor.budget().micros(),
+            remaining_micros: inner.governor.remaining().micros(),
+            budget_denials: inner.governor.denials(),
+        }
+    }
+
+    /// The shared cost ledger (for tests and embedding harnesses).
+    pub fn ledger(&self) -> &SharedCostLedger {
+        self.inner.governor.ledger()
+    }
+}
+
+impl Drop for ErService {
+    fn drop(&mut self) {
+        {
+            let mut queue = lock(&self.inner.queue);
+            queue.stopping = true;
+            self.inner.queue_cond.notify_all();
+        }
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        // The dispatcher flushed what was pending and sent one shutdown
+        // sentinel per worker on exit.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn fallback_decision(inner: &Inner, fp: PairFingerprint, pair: &EntityPair) -> MatchDecision {
+    let features = base_features(pair);
+    let is_match = if features.len() == inner.fallback.weights().len() {
+        inner.fallback.predict(&features)
+    } else {
+        // The question's schema differs from the bootstrap pool's, so
+        // the trained weights do not align with these features. Decide
+        // on the schema-agnostic aggregate similarity instead (the last
+        // feature: mean per-attribute similarity in [0, 1]).
+        features.last().copied().unwrap_or(0.0) >= 0.5
+    };
+    let label = MatchLabel::from_bool(is_match);
+    inner
+        .counters
+        .fallback_answered
+        .fetch_add(1, Ordering::Relaxed);
+    // Deliberately NOT cached: a denial can be transient (another
+    // worker's conservative reservation in flight), and recomputing the
+    // logistic verdict is free — caching it would pin lower-quality
+    // answers on hot pairs forever.
+    MatchDecision { label, source: DecisionSource::Fallback, fingerprint: fp }
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher: the coalescing queue's flush loop
+// ---------------------------------------------------------------------
+
+fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
+    let batch_size = inner.config.batch_size;
+    let deadline = inner.config.flush_deadline;
+    loop {
+        let drained: Vec<Pending> = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if queue.stopping || queue.pending.len() >= batch_size {
+                    break;
+                }
+                match queue.oldest {
+                    None => {
+                        queue = inner
+                            .queue_cond
+                            .wait(queue)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(oldest) => {
+                        let age = oldest.elapsed();
+                        if age >= deadline {
+                            break;
+                        }
+                        let (q, _) = inner
+                            .queue_cond
+                            .wait_timeout(queue, deadline - age)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        queue = q;
+                    }
+                }
+            }
+            if queue.stopping && queue.pending.is_empty() {
+                // One sentinel per worker; each worker consumes exactly
+                // one and exits.
+                for _ in 0..inner.config.workers {
+                    let _ = work_tx.send(WorkItem::Shutdown);
+                }
+                return;
+            }
+            queue.oldest = None;
+            std::mem::take(&mut queue.pending)
+        };
+        // Planning is O(flush²); it runs on the worker pool so the
+        // dispatcher returns to its wait loop immediately and later
+        // arrivals are not stalled past their deadline.
+        if !drained.is_empty() && work_tx.send(WorkItem::Plan(drained)).is_err() {
+            return; // workers gone
+        }
+    }
+}
+
+/// Dedupes, plans and enqueues one drained queue generation.
+fn flush(inner: &Inner, drained: Vec<Pending>, work_tx: &Sender<WorkItem>) {
+    // Dedupe by fingerprint. Three ways a question avoids its own LLM
+    // slot: answered into the cache while it sat in the queue, identical
+    // to a question an executing batch is already asking (attach to its
+    // in-flight entry), or identical to another question in this flush.
+    let mut waiters: HashMap<PairFingerprint, Vec<Sender<MatchDecision>>> = HashMap::new();
+    let mut unique: Vec<(PairFingerprint, EntityPair)> = Vec::new();
+    let mut coalesced = 0u64;
+    for item in drained {
+        if let Some(label) = inner.cache.peek(item.fp) {
+            coalesced += 1;
+            let _ = item.waiter.send(MatchDecision {
+                label,
+                source: DecisionSource::Cache,
+                fingerprint: item.fp,
+            });
+            continue;
+        }
+        {
+            let mut in_flight = lock(&inner.in_flight);
+            if let Some(attached) = in_flight.get_mut(&item.fp) {
+                coalesced += 1;
+                attached.push(item.waiter);
+                continue;
+            }
+        }
+        match waiters.entry(item.fp) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                coalesced += 1;
+                e.get_mut().push(item.waiter);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![item.waiter]);
+                unique.push((item.fp, item.pair));
+            }
+        }
+    }
+    inner
+        .counters
+        .coalesced_duplicates
+        .fetch_add(coalesced, Ordering::Relaxed);
+    if unique.is_empty() {
+        return;
+    }
+
+    // Arrival-order independence: the plan sees questions in fingerprint
+    // order, so one flush's batches depend only on *what* is pending,
+    // not on thread scheduling.
+    unique.sort_by_key(|(fp, _)| *fp);
+    let flush_seed = unique
+        .iter()
+        .fold(inner.config.seed, |acc, (fp, _)| acc.rotate_left(7) ^ fp.0);
+
+    let question_refs: Vec<&EntityPair> = unique.iter().map(|(_, p)| p).collect();
+    let plan_config = BatchPlanConfig { seed: flush_seed, ..inner.plan_template };
+    let plan = plan_with_prepared_pool(&question_refs, &inner.prepared_pool, &plan_config);
+
+    inner
+        .counters
+        .batches_flushed
+        .fetch_add(plan.batches.len() as u64, Ordering::Relaxed);
+
+    for (bi, batch) in plan.batches.iter().enumerate() {
+        let questions: Vec<(PairFingerprint, EntityPair, Vec<Sender<MatchDecision>>)> = batch
+            .iter()
+            .map(|&qi| {
+                let (fp, pair) = &unique[qi];
+                let senders = waiters.get_mut(fp).map(std::mem::take).unwrap_or_default();
+                (*fp, pair.clone(), senders)
+            })
+            .collect();
+        // Register the batch's questions as in flight *before* handing
+        // it off, so duplicates in later flushes attach instead of
+        // re-asking. Completion (or panic cleanup) removes the entries.
+        let fps: Vec<PairFingerprint> = questions.iter().map(|(fp, _, _)| *fp).collect();
+        {
+            let mut in_flight = lock(&inner.in_flight);
+            for fp in &fps {
+                in_flight.entry(*fp).or_default();
+            }
+        }
+        let job = BatchJob {
+            questions,
+            demo_indices: plan.demos_per_batch[bi].clone(),
+            seed: flush_seed ^ ((bi as u64) << 16),
+        };
+        if work_tx.send(WorkItem::Batch(job)).is_err() {
+            // Workers gone (shutdown): unregister and let the dropped
+            // senders push the waiters onto the local fallback.
+            clear_in_flight(inner, &fps);
+            return;
+        }
+    }
+}
+
+/// Removes in-flight registrations, dropping any attached waiters (their
+/// disconnected receivers degrade to the local fallback).
+fn clear_in_flight(inner: &Inner, fps: &[PairFingerprint]) {
+    let mut in_flight = lock(&inner.in_flight);
+    for fp in fps {
+        in_flight.remove(fp);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workers: governed batch execution over the ChatApi
+// ---------------------------------------------------------------------
+
+fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sender<WorkItem>) {
+    loop {
+        let item = {
+            let rx = lock(work_rx);
+            rx.recv()
+        };
+        match item {
+            Ok(WorkItem::Plan(drained)) => {
+                // A panicking plan (e.g. a poisoned question) must not
+                // take the worker down: containment drops the drained
+                // senders, their waiters observe the disconnect and fall
+                // back locally, and the pool keeps serving.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flush(inner, drained, work_tx);
+                }));
+                if result.is_err() {
+                    eprintln!("er-service: flush planning panicked; affected requests fall back");
+                }
+            }
+            Ok(WorkItem::Batch(job)) => {
+                // Same containment for execution. The in-flight entries
+                // are cleared on panic so attached waiters disconnect
+                // (and fall back) instead of hanging; a reservation held
+                // at the panic point stays reserved — conservative.
+                let fps: Vec<PairFingerprint> =
+                    job.questions.iter().map(|(fp, _, _)| *fp).collect();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_job(inner, job);
+                }));
+                if result.is_err() {
+                    clear_in_flight(inner, &fps);
+                    eprintln!("er-service: batch execution panicked; affected requests fall back");
+                }
+            }
+            Ok(WorkItem::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+fn execute_job(inner: &Inner, job: BatchJob) {
+    let config = &inner.config;
+    let demos: Vec<&LabeledPair> = job.demo_indices.iter().map(|&d| &inner.pool[d]).collect();
+    let questions: Vec<String> = job
+        .questions
+        .iter()
+        .map(|(_, pair, _)| pair.serialize())
+        .collect();
+    let description = task_description(&config.domain);
+
+    let prompt = build_batch_prompt(&description, &demos, &questions);
+    let prompt_tokens = count_tokens(&prompt);
+
+    // A prompt over the model's context window would trigger the
+    // executor's recursive split-and-resend, whose cost the projection
+    // below cannot bound. Serving never sends such a prompt: the batch
+    // is answered locally instead, which keeps the budget cap hard.
+    if prompt_tokens > config.model.profile().max_context_tokens {
+        answer_via_fallback(inner, &job);
+        return;
+    }
+
+    // Worst-case projection for the governor: full prompt at every retry,
+    // plus a completion bound and labeling for any demo not yet paid
+    // for. Answer length tracks question content (the model quotes
+    // attribute names/values in its rationale), so the completion bound
+    // is the questions' own token count plus a fixed per-question
+    // allowance — not a flat constant a hostile question could exceed.
+    // The not-yet-labeled check, the reservation and the marking happen
+    // under one lock so a concurrent job sharing a demo cannot observe
+    // it as labeled while this reservation later fails.
+    let price = PriceTable::for_model(config.model);
+    let attempts = u64::from(config.max_retries) + 1;
+    let question_tokens: u64 = questions.iter().map(|q| count_tokens(q)).sum();
+    let completion_bound = question_tokens + config.completion_allowance * questions.len() as u64;
+    let api_projection =
+        price.cost(TokenCount(prompt_tokens), TokenCount(completion_bound)) * attempts;
+
+    let granted = {
+        let mut labeled = lock(&inner.labeled);
+        let newly: Vec<usize> = job
+            .demo_indices
+            .iter()
+            .copied()
+            .filter(|d| !labeled.contains(d))
+            .collect();
+        let projected = api_projection + LABEL_COST_PER_PAIR * newly.len() as u64;
+        inner.governor.try_reserve(projected).map(|reservation| {
+            labeled.extend(&newly);
+            (reservation, newly, projected)
+        })
+    };
+    let Some((reservation, newly_labeled, projected)) = granted else {
+        // Over budget: answer locally, free of charge.
+        answer_via_fallback(inner, &job);
+        return;
+    };
+
+    let executor = Executor::new(inner.api.as_ref(), config.model, config.max_retries);
+    let mut outcome = ExecutionOutcome::default();
+    executor.run_batch(&description, &demos, &questions, job.seed, &mut outcome);
+    outcome.ledger.record_labeling(newly_labeled.len() as u64);
+    inner
+        .counters
+        .retries
+        .fetch_add(u64::from(outcome.retries), Ordering::Relaxed);
+    debug_assert!(
+        ledger_within(&outcome.ledger, projected),
+        "executor spend exceeded the governor projection"
+    );
+    inner.governor.settle(reservation, &outcome.ledger);
+
+    for (slot, (fp, pair, senders)) in job.questions.iter().enumerate() {
+        let decision = match outcome.answers.get(slot).copied().flatten() {
+            Some(label) => {
+                inner.counters.llm_answered.fetch_add(1, Ordering::Relaxed);
+                inner.cache.insert(*fp, label);
+                MatchDecision { label, source: DecisionSource::Llm, fingerprint: *fp }
+            }
+            // No parseable answer after retries: conservative local call.
+            None => fallback_decision(inner, *fp, pair),
+        };
+        resolve_question(inner, *fp, decision, senders);
+    }
+}
+
+fn ledger_within(actual: &CostLedger, projected: Money) -> bool {
+    actual.total() <= projected
+}
+
+/// Delivers a decision to a question's own waiters plus any waiters that
+/// attached to its in-flight entry from later flushes, and unregisters
+/// the question.
+fn resolve_question(
+    inner: &Inner,
+    fp: PairFingerprint,
+    decision: MatchDecision,
+    senders: &[Sender<MatchDecision>],
+) {
+    let attached = lock(&inner.in_flight).remove(&fp).unwrap_or_default();
+    for sender in senders.iter().chain(&attached) {
+        let _ = sender.send(decision);
+    }
+}
+
+/// Answers every question of a batch with the logistic fallback.
+fn answer_via_fallback(inner: &Inner, job: &BatchJob) {
+    for (fp, pair, senders) in &job.questions {
+        let decision = fallback_decision(inner, *fp, pair);
+        resolve_question(inner, *fp, decision, senders);
+    }
+}

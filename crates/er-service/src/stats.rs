@@ -1,0 +1,130 @@
+//! The service's observability snapshot (`GET /stats`).
+
+use er_core::Money;
+use serde::{Deserialize, Serialize};
+
+/// Point-in-time service statistics. All counters are monotonic except
+/// the budget gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Questions submitted (including cache hits).
+    pub submitted: u64,
+    /// Answer-cache hits.
+    pub cache_hits: u64,
+    /// Answer-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Questions answered without their own LLM slot: duplicates riding
+    /// on an identical in-flight question, or filled from the cache while
+    /// queued.
+    pub coalesced_duplicates: u64,
+    /// Questions answered by the LLM.
+    pub llm_answered: u64,
+    /// Questions answered by the logistic fallback (budget denials and
+    /// unparseable LLM output).
+    pub fallback_answered: u64,
+    /// Batches flushed out of the coalescing queue.
+    pub batches_flushed: u64,
+    /// Executor retries (rate limits + malformed output).
+    pub retries: u64,
+    /// LLM API calls issued.
+    pub api_calls: u64,
+    /// Prompt tokens sent.
+    pub prompt_tokens: u64,
+    /// Completion tokens received.
+    pub completion_tokens: u64,
+    /// Unique demonstrations human-labeled (labeling is paid once each).
+    pub demos_labeled: u64,
+    /// API spend, micro-dollars.
+    pub api_micros: i64,
+    /// Labeling spend, micro-dollars.
+    pub labeling_micros: i64,
+    /// Total spend, micro-dollars.
+    pub spent_micros: i64,
+    /// Configured budget, micro-dollars.
+    pub budget_micros: i64,
+    /// Budget neither spent nor reserved, micro-dollars.
+    pub remaining_micros: i64,
+    /// Batches denied by the governor and served via fallback.
+    pub budget_denials: u64,
+}
+
+impl ServiceStats {
+    /// Cache hit rate in `[0, 1]`; 0 when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Total spend as [`Money`].
+    pub fn spend(&self) -> Money {
+        Money::from_micros(self.spent_micros)
+    }
+
+    /// Configured budget as [`Money`].
+    pub fn budget(&self) -> Money {
+        Money::from_micros(self.budget_micros)
+    }
+
+    /// True while spend is within the configured budget.
+    pub fn within_budget(&self) -> bool {
+        self.spent_micros <= self.budget_micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceStats {
+        ServiceStats {
+            submitted: 10,
+            cache_hits: 3,
+            cache_misses: 7,
+            cache_entries: 5,
+            coalesced_duplicates: 2,
+            llm_answered: 4,
+            fallback_answered: 1,
+            batches_flushed: 1,
+            retries: 0,
+            api_calls: 1,
+            prompt_tokens: 900,
+            completion_tokens: 80,
+            demos_labeled: 4,
+            api_micros: 1_060,
+            labeling_micros: 32_000,
+            spent_micros: 33_060,
+            budget_micros: 1_000_000,
+            remaining_micros: 966_940,
+            budget_denials: 0,
+        }
+    }
+
+    #[test]
+    fn hit_rate() {
+        assert!((sample().cache_hit_rate() - 0.3).abs() < 1e-12);
+        let empty = ServiceStats { cache_hits: 0, cache_misses: 0, ..sample() };
+        assert_eq!(empty.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn budget_accessors() {
+        let s = sample();
+        assert!(s.within_budget());
+        assert_eq!(s.spend(), Money::from_micros(33_060));
+        assert_eq!(s.budget(), Money::from_dollars(1.0));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_vec(&s).unwrap();
+        let back: ServiceStats = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

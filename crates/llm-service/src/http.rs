@@ -59,10 +59,7 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<HttpRequest> {
         if let Some((name, value)) = trimmed.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().map_err(|_| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "bad content-length",
-                    )
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
         }
@@ -154,7 +151,8 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let raw = b"POST /v1/chat/completions HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let raw =
+            b"POST /v1/chat/completions HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
         let req = read_request(&raw[..]).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/chat/completions");
@@ -187,7 +185,11 @@ mod tests {
     #[test]
     fn response_write_then_read() {
         let mut buf = Vec::new();
-        write_response(&mut buf, &HttpResponse::json(200, br#"{"ok":true}"#.to_vec())).unwrap();
+        write_response(
+            &mut buf,
+            &HttpResponse::json(200, br#"{"ok":true}"#.to_vec()),
+        )
+        .unwrap();
         let (status, body) = read_response(&buf[..]).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, br#"{"ok":true}"#);

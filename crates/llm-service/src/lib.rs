@@ -15,10 +15,16 @@
 //! into an offline reproduction. TLS and authentication are out of scope;
 //! a production client would implement [`llm::ChatApi`] against the real
 //! endpoint instead.
+//!
+//! The request/response plumbing ([`http`]) and the bounded-concurrency
+//! accept loop ([`serve`]) are exposed for reuse — the `er-service`
+//! entity-matching front end is built on the same primitives.
 
 pub mod http;
+pub mod serve;
 pub mod server;
 pub mod wire;
 
 pub use http::{HttpRequest, HttpResponse};
+pub use serve::{spawn_http_server, HttpServerHandle, ServeOptions};
 pub use server::{HttpChatClient, LlmServer, RunningServer};

@@ -1,0 +1,274 @@
+//! A bounded-concurrency HTTP/1.1 accept loop shared by every HTTP
+//! service in the workspace.
+//!
+//! The original loopback server spawned one thread per accepted
+//! connection, so a burst of clients could grow the thread count without
+//! limit. This module replaces that with a fixed pool of connection
+//! workers fed over a bounded channel:
+//!
+//! * `worker_threads` threads each read one request per connection, call
+//!   the handler, write the response and close (the services speak
+//!   `Connection: close`).
+//! * The accept thread pushes connections into a `sync_channel` whose
+//!   backlog is also bounded; when all workers are busy and the backlog
+//!   is full, `send` blocks the accept thread, which in turn leaves
+//!   further clients queued in the listener's OS accept queue —
+//!   backpressure instead of unbounded spawning.
+//!
+//! Both the LLM loopback service (`crate::server`) and the entity-match
+//! service (`er-service`) build their front ends on [`spawn_http_server`].
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, HttpRequest, HttpResponse};
+
+/// Concurrency limits of a [`spawn_http_server`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Number of connection-handling worker threads (the hard cap on
+    /// concurrent in-flight requests).
+    pub worker_threads: usize,
+    /// Accepted connections allowed to wait for a free worker before the
+    /// accept loop itself blocks.
+    pub backlog: usize,
+    /// Per-connection read/write timeout. With a fixed pool, a client
+    /// that connects and goes silent would otherwise hold a worker
+    /// hostage forever (and block shutdown, which joins the workers).
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { worker_threads: 16, backlog: 64, io_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// A running HTTP server; dropping it stops the accept loop, drains the
+/// workers and joins every thread.
+#[derive(Debug)]
+pub struct HttpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl HttpServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // The accept thread dropped the channel sender on exit; workers
+        // drain what is queued and then stop.
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `127.0.0.1:0` and serves `handler` over a bounded worker pool.
+///
+/// The handler sees one parsed [`HttpRequest`] per connection and returns
+/// the [`HttpResponse`] to write back; transport errors (unreadable
+/// requests) are answered with a 400 before the handler is consulted.
+pub fn spawn_http_server<H>(
+    handler: Arc<H>,
+    options: ServeOptions,
+) -> std::io::Result<HttpServerHandle>
+where
+    H: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers = options.worker_threads.max(1);
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        sync_channel(options.backlog.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || loop {
+                // Hold the receiver lock only while dequeuing.
+                let stream = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                };
+                let Ok(stream) = stream else { break };
+                handle_connection(stream, handler.as_ref(), options.io_timeout);
+            })
+        })
+        .collect();
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Blocks when every worker is busy and the backlog is full:
+            // deliberate backpressure instead of unbounded threads.
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        // Dropping `tx` here disconnects the workers' receive loop.
+    });
+
+    Ok(HttpServerHandle { addr, stop, accept_handle: Some(accept_handle), worker_handles })
+}
+
+fn handle_connection<H>(mut stream: TcpStream, handler: &H, io_timeout: Duration)
+where
+    H: Fn(HttpRequest) -> HttpResponse,
+{
+    // A zero duration would mean "no timeout" to the OS; clamp up.
+    let timeout = io_timeout.max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let response = match read_request(&mut stream) {
+        Ok(request) => handler(request),
+        Err(e) => {
+            // Serialized through the wire types, not by string pasting —
+            // io::Error text may contain JSON-significant characters.
+            let body = crate::wire::WireError {
+                error: crate::wire::WireErrorBody {
+                    message: format!("unreadable request: {e}"),
+                    code: "invalid_request_error".into(),
+                },
+            };
+            HttpResponse::json(
+                400,
+                serde_json::to_vec(&body).expect("error body serializes"),
+            )
+        }
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use std::io::Write;
+
+    fn echo_server(options: ServeOptions) -> HttpServerHandle {
+        spawn_http_server(
+            Arc::new(|req: HttpRequest| {
+                HttpResponse::json(200, format!("{} {}", req.method, req.path).into_bytes())
+            }),
+            options,
+        )
+        .unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\n\r\n").unwrap();
+        read_response(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = echo_server(ServeOptions::default());
+        let (status, body) = get(server.addr(), "/hello");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"GET /hello");
+    }
+
+    #[test]
+    fn bounded_pool_survives_a_connection_burst() {
+        // More simultaneous clients than workers + backlog: every request
+        // must still be answered, one way or another, without the server
+        // spawning per-connection threads.
+        let server =
+            echo_server(ServeOptions { worker_threads: 2, backlog: 2, ..ServeOptions::default() });
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..32)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let (status, body) = get(addr, &format!("/r{i}"));
+                        assert_eq!(status, 200);
+                        assert_eq!(body, format!("GET /r{i}").into_bytes());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn silent_connections_release_workers_and_shutdown() {
+        // Clients that connect and send nothing must not hold workers
+        // hostage: the io_timeout frees them, later requests are served,
+        // and dropping the server terminates promptly.
+        let server = echo_server(ServeOptions {
+            worker_threads: 2,
+            backlog: 2,
+            io_timeout: Duration::from_millis(100),
+        });
+        let addr = server.addr();
+        // Occupy both workers with silent connections.
+        let _stalled_a = TcpStream::connect(addr).unwrap();
+        let _stalled_b = TcpStream::connect(addr).unwrap();
+        // A real request still completes once the timeouts fire.
+        let (status, _) = get(addr, "/after-stall");
+        assert_eq!(status, 200);
+        // Drop with the stalled sockets still open: must not hang.
+        let start = std::time::Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown blocked on silent connections"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = echo_server(ServeOptions::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let server =
+            echo_server(ServeOptions { worker_threads: 3, backlog: 4, ..ServeOptions::default() });
+        let addr = server.addr();
+        let (status, _) = get(addr, "/x");
+        assert_eq!(status, 200);
+        drop(server);
+        // The port is released: connections are refused or reset.
+        let alive = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = write!(s, "GET /y HTTP/1.1\r\n\r\n");
+                read_response(&mut s).is_ok()
+            })
+            .unwrap_or(false);
+        assert!(!alive, "server still answering after drop");
+    }
+}

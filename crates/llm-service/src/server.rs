@@ -1,22 +1,22 @@
 //! The loopback server and its HTTP client.
 
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use llm::{ChatApi, ChatRequest, ChatResponse, LlmError, SimLlm, SimLlmConfig};
 
-use crate::http::{read_request, read_response, write_response, HttpResponse};
+use crate::http::{read_response, HttpRequest, HttpResponse};
+use crate::serve::{spawn_http_server, HttpServerHandle, ServeOptions};
 use crate::wire::{
-    error_to_wire, from_chat_response, to_chat_request, to_chat_response, wire_to_error,
-    WireError, WireErrorBody, WireMessage, WireRequest, WireResponse,
+    error_to_wire, from_chat_response, to_chat_request, to_chat_response, wire_to_error, WireError,
+    WireErrorBody, WireMessage, WireRequest, WireResponse,
 };
 
 /// Factory for loopback LLM services.
 #[derive(Debug, Default)]
 pub struct LlmServer {
     config: SimLlmConfig,
+    options: ServeOptions,
 }
 
 impl LlmServer {
@@ -27,76 +27,48 @@ impl LlmServer {
 
     /// A server with fault injection enabled on the underlying simulator.
     pub fn with_config(config: SimLlmConfig) -> Self {
-        Self { config }
+        Self { config, options: ServeOptions::default() }
+    }
+
+    /// Overrides the connection-pool limits (worker threads / backlog).
+    pub fn with_serve_options(mut self, options: ServeOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Binds to an ephemeral port on `127.0.0.1` and starts serving on a
-    /// background thread. The returned handle stops the server on drop.
+    /// bounded worker pool. The returned handle stops the server on drop.
     pub fn start(self) -> std::io::Result<RunningServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let llm = Arc::new(SimLlm::with_config(self.config));
-
-        let accept_stop = Arc::clone(&stop);
-        let accept_llm = Arc::clone(&llm);
-        let handle = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let llm = Arc::clone(&accept_llm);
-                // One thread per connection: the loopback service exists to
-                // exercise the protocol, not to win throughput contests.
-                std::thread::spawn(move || handle_connection(stream, &llm));
-            }
-        });
-
-        Ok(RunningServer { addr, stop, handle: Some(handle) })
+        let handler_llm = Arc::clone(&llm);
+        let server = spawn_http_server(
+            Arc::new(move |request: HttpRequest| route(request, &handler_llm)),
+            self.options,
+        )?;
+        Ok(RunningServer { server })
     }
 }
 
-/// A running loopback service. Dropping it shuts the server down.
+/// A running loopback service. Dropping it shuts the server down and
+/// joins every connection worker.
 #[derive(Debug)]
 pub struct RunningServer {
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServerHandle,
 }
 
 impl RunningServer {
     /// The bound address, e.g. `127.0.0.1:49213`.
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
     /// A client connected to this server.
     pub fn client(&self) -> HttpChatClient {
-        HttpChatClient::new(self.addr)
+        HttpChatClient::new(self.addr())
     }
 }
 
-impl Drop for RunningServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, llm: &SimLlm) {
-    let response = match read_request(&mut stream) {
-        Ok(req) => route(req, llm),
-        Err(e) => bad_request(&format!("unreadable request: {e}")),
-    };
-    let _ = write_response(&mut stream, &response);
-}
-
-fn route(req: crate::http::HttpRequest, llm: &SimLlm) -> HttpResponse {
+fn route(req: HttpRequest, llm: &SimLlm) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/chat/completions") => {
             let wire: WireRequest = match serde_json::from_slice(&req.body) {
@@ -143,7 +115,10 @@ fn bad_request(message: &str) -> HttpResponse {
     HttpResponse::json(
         400,
         serde_json::to_vec(&WireError {
-            error: WireErrorBody { message: message.to_owned(), code: "invalid_request_error".into() },
+            error: WireErrorBody {
+                message: message.to_owned(),
+                code: "invalid_request_error".into(),
+            },
         })
         .expect("error serializes"),
     )
@@ -262,7 +237,11 @@ mod tests {
         let server = LlmServer::new().start().unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         use std::io::Write;
-        write!(stream, "POST /v1/chat/completions HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot").unwrap();
+        write!(
+            stream,
+            "POST /v1/chat/completions HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot"
+        )
+        .unwrap();
         let (status, _) = read_response(&mut stream).unwrap();
         assert_eq!(status, 400);
     }
@@ -280,12 +259,10 @@ mod tests {
 
     #[test]
     fn rate_limit_surfaces_as_429() {
-        let server = LlmServer::with_config(SimLlmConfig {
-            rate_limit_rate: 1.0,
-            ..Default::default()
-        })
-        .start()
-        .unwrap();
+        let server =
+            LlmServer::with_config(SimLlmConfig { rate_limit_rate: 1.0, ..Default::default() })
+                .start()
+                .unwrap();
         let err = server
             .client()
             .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 1))
@@ -299,6 +276,38 @@ mod tests {
         let client = server.client();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8u64)
+                .map(|seed| {
+                    let client = client.clone();
+                    scope.spawn(move || {
+                        client
+                            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), seed))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let resp = h.join().unwrap();
+                assert!(parse_answers(&resp.content, 2).is_ok());
+            }
+        });
+    }
+
+    #[test]
+    fn burst_beyond_pool_capacity_is_served() {
+        // Tiny pool, many more clients than workers + backlog: all
+        // requests complete because the accept loop applies backpressure
+        // instead of spawning unbounded threads.
+        let server = LlmServer::new()
+            .with_serve_options(ServeOptions {
+                worker_threads: 2,
+                backlog: 2,
+                ..ServeOptions::default()
+            })
+            .start()
+            .unwrap();
+        let client = server.client();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..24u64)
                 .map(|seed| {
                     let client = client.clone();
                     scope.spawn(move || {

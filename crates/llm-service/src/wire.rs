@@ -144,19 +144,14 @@ pub fn error_to_wire(err: &LlmError) -> (u16, WireError) {
     };
     (
         status,
-        WireError {
-            error: WireErrorBody { message: err.to_string(), code: code.to_owned() },
-        },
+        WireError { error: WireErrorBody { message: err.to_string(), code: code.to_owned() } },
     )
 }
 
 /// Maps `(HTTP status, error body)` back to an [`LlmError`] (client side).
 pub fn wire_to_error(status: u16, body: &[u8]) -> LlmError {
     let parsed: Option<WireError> = serde_json::from_slice(body).ok();
-    let code = parsed
-        .as_ref()
-        .map(|e| e.error.code.as_str())
-        .unwrap_or("");
+    let code = parsed.as_ref().map(|e| e.error.code.as_str()).unwrap_or("");
     match (status, code) {
         (429, _) => LlmError::RateLimited,
         (400, "context_length_exceeded") => {
@@ -169,10 +164,7 @@ pub fn wire_to_error(status: u16, body: &[u8]) -> LlmError {
                 .map(|e| e.error.message)
                 .unwrap_or_else(|| "unknown".into()),
         ),
-        _ => LlmError::Protocol(format!(
-            "HTTP {status}: {}",
-            String::from_utf8_lossy(body)
-        )),
+        _ => LlmError::Protocol(format!("HTTP {status}: {}", String::from_utf8_lossy(body))),
     }
 }
 
@@ -200,12 +192,8 @@ mod tests {
 
     #[test]
     fn unknown_model_rejected() {
-        let wire = WireRequest {
-            model: "gpt-99".into(),
-            messages: vec![],
-            temperature: 0.01,
-            seed: 0,
-        };
+        let wire =
+            WireRequest { model: "gpt-99".into(), messages: vec![], temperature: 0.01, seed: 0 };
         assert!(matches!(
             to_chat_request(&wire),
             Err(LlmError::UnknownModel(m)) if m == "gpt-99"
@@ -217,10 +205,7 @@ mod tests {
         let resp = ChatResponse {
             content: "Q1: yes — same.".into(),
             finish_reason: FinishReason::Stop,
-            usage: Usage {
-                prompt_tokens: TokenCount(100),
-                completion_tokens: TokenCount(10),
-            },
+            usage: Usage { prompt_tokens: TokenCount(100), completion_tokens: TokenCount(10) },
             cost: Money::from_micros(120),
         };
         let wire = from_chat_response(&resp);

@@ -133,8 +133,8 @@ impl ChatApi for SimLlm {
             prompt_tokens: TokenCount(prompt_tokens),
             completion_tokens: TokenCount(completion_tokens),
         };
-        let cost = PriceTable::for_model(request.model)
-            .cost(usage.prompt_tokens, usage.completion_tokens);
+        let cost =
+            PriceTable::for_model(request.model).cost(usage.prompt_tokens, usage.completion_tokens);
 
         let mut stats = self.stats.lock();
         stats.completions += 1;
@@ -201,7 +201,11 @@ mod tests {
     fn llama_fails_on_batches_but_answers_singles() {
         let llm = SimLlm::new();
         let batch = llm
-            .complete(&ChatRequest::new(ModelKind::Llama2Chat70b, simple_prompt(), 1))
+            .complete(&ChatRequest::new(
+                ModelKind::Llama2Chat70b,
+                simple_prompt(),
+                1,
+            ))
             .unwrap();
         assert!(parse_answers(&batch.content, 2).is_err());
 

@@ -53,8 +53,7 @@ pub fn decide(
     noise_scale: f64,
     rng: &mut StdRng,
 ) -> Vec<Decision> {
-    let features: Vec<PairFeatures> =
-        parsed.questions.iter().map(PairFeatures::of).collect();
+    let features: Vec<PairFeatures> = parsed.questions.iter().map(PairFeatures::of).collect();
     let scores: Vec<f64> = features.iter().map(|f| f.score).collect();
 
     // Contrast effect: mutually diverse batches let the model calibrate by
@@ -72,9 +71,7 @@ pub fn decide(
     } else {
         // Near-duplicate batches confuse the model (§VI-C): the less
         // internal diversity, the noisier its judgements.
-        profile.noise_sigma
-            * (1.0 + profile.similar_batch_noise * (1.0 - diversity))
-            * noise_scale
+        profile.noise_sigma * (1.0 + profile.similar_batch_noise * (1.0 - diversity)) * noise_scale
     };
 
     let demo_features: Vec<(PairFeatures, bool)> = parsed
@@ -242,11 +239,7 @@ impl PairFeatures {
     }
 }
 
-fn lookup<'v>(
-    attrs: &'v [(String, String)],
-    name: &str,
-    idx: usize,
-) -> Option<&'v str> {
+fn lookup<'v>(attrs: &'v [(String, String)], name: &str, idx: usize) -> Option<&'v str> {
     if !name.is_empty() {
         if let Some((_, v)) = attrs.iter().find(|(n, _)| n == name) {
             return Some(v.as_str());
@@ -277,8 +270,18 @@ fn is_identifier(v: &str) -> bool {
 /// named entity — the distinctions an LLM reads as "not the same entity"
 /// (live recordings, remixes, sequels, second locations).
 const VARIANT_MARKERS: &[&str] = &[
-    "live", "remix", "deluxe", "remastered", "acoustic", "double", "part", "vol", "volume",
-    "downtown", "ii", "iii",
+    "live",
+    "remix",
+    "deluxe",
+    "remastered",
+    "acoustic",
+    "double",
+    "part",
+    "vol",
+    "volume",
+    "downtown",
+    "ii",
+    "iii",
 ];
 
 /// Disagreement strength of one aligned attribute where both sides carry a
@@ -307,8 +310,14 @@ fn attr_conflict(va: &str, vb: &str, sim: f64) -> f64 {
 
     // Disjoint digit-bearing tokens on both sides: different versions,
     // model numbers or vintages embedded in otherwise similar text.
-    let nums_a: Vec<&String> = ta.iter().filter(|t| t.chars().any(|c| c.is_ascii_digit())).collect();
-    let nums_b: Vec<&String> = tb.iter().filter(|t| t.chars().any(|c| c.is_ascii_digit())).collect();
+    let nums_a: Vec<&String> = ta
+        .iter()
+        .filter(|t| t.chars().any(|c| c.is_ascii_digit()))
+        .collect();
+    let nums_b: Vec<&String> = tb
+        .iter()
+        .filter(|t| t.chars().any(|c| c.is_ascii_digit()))
+        .collect();
     if !nums_a.is_empty() && !nums_b.is_empty() && nums_a.iter().all(|t| !nums_b.contains(t)) {
         conflict = conflict.max(0.35);
     }
@@ -414,7 +423,8 @@ mod tests {
 
     #[test]
     fn disjoint_pair_answers_no() {
-        let p = parse_prompt("Q1: title: lawn mower, id: 9 [SEP] title: quantum textbook, id: 4411");
+        let p =
+            parse_prompt("Q1: title: lawn mower, id: 9 [SEP] title: quantum textbook, id: 4411");
         let d = decide(&p, &quiet_profile(), 1.0, &mut rng());
         assert!(!d[0].answer);
         assert!(d[0].decisive_attr.is_some());
@@ -433,15 +443,21 @@ mod tests {
         let with_demo_prompt = format!(
             "D1: title: asus rog strix laptop, id: g713 [SEP] title: asus rog strix, id: g713 => yes\n{q}"
         );
-        let with = decide(&parse_prompt(&with_demo_prompt), &quiet_profile(), 1.0, &mut rng());
+        let with = decide(
+            &parse_prompt(&with_demo_prompt),
+            &quiet_profile(),
+            1.0,
+            &mut rng(),
+        );
         assert!(with[0].confidence >= without[0].confidence || with[0].answer);
     }
 
     #[test]
     fn demo_labels_control_direction() {
         let q = "Q1: title: widget alpha, id: 1 [SEP] title: widget alpha v2, id: 1x";
-        let yes_prompt =
-            format!("D1: title: widget beta, id: 2 [SEP] title: widget beta v2, id: 2x => yes\n{q}");
+        let yes_prompt = format!(
+            "D1: title: widget beta, id: 2 [SEP] title: widget beta v2, id: 2x => yes\n{q}"
+        );
         let no_prompt =
             format!("D1: title: widget beta, id: 2 [SEP] title: widget beta v2, id: 2x => no\n{q}");
         let profile = quiet_profile();
@@ -449,7 +465,13 @@ mod tests {
         let no = decide(&parse_prompt(&no_prompt), &profile, 1.0, &mut rng());
         // Identical question, opposite demo labels: the yes-demo run must
         // not be less match-inclined than the no-demo run.
-        let incline = |d: &Decision| if d.answer { d.confidence } else { -d.confidence };
+        let incline = |d: &Decision| {
+            if d.answer {
+                d.confidence
+            } else {
+                -d.confidence
+            }
+        };
         assert!(incline(&yes[0]) > incline(&no[0]));
     }
 
@@ -485,7 +507,8 @@ mod tests {
         // calls over many seeds should flip more often than batch calls on
         // a borderline question.
         let profile = ModelKind::Gpt35Turbo0301.profile();
-        let borderline = "title: zen stone mp3 4gb, id: c31 [SEP] title: zen stone mp3 8gb, id: c32";
+        let borderline =
+            "title: zen stone mp3 4gb, id: c31 [SEP] title: zen stone mp3 8gb, id: c32";
         let single = format!("Q1: {borderline}");
         // The batch embeds the same question among diverse companions.
         let batch = format!(

@@ -60,10 +60,8 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
         if let Some(rest) = strip_tag(trimmed, 'D') {
             if let Some((pair_text, label_text)) = rest.rsplit_once("=>") {
                 if let Some(label) = parse_label(label_text) {
-                    out.demos.push(ParsedDemo {
-                        pair: parse_pair_text(pair_text.trim()),
-                        label,
-                    });
+                    out.demos
+                        .push(ParsedDemo { pair: parse_pair_text(pair_text.trim()), label });
                     continue;
                 }
             }
@@ -128,11 +126,7 @@ pub fn parse_pair_text(text: &str) -> ParsedPair {
         // Degenerate input: treat everything as the left entity.
         None => (text, ""),
     };
-    ParsedPair {
-        a: parse_attrs(left.trim()),
-        b: parse_attrs(right.trim()),
-        raw: text.to_owned(),
-    }
+    ParsedPair { a: parse_attrs(left.trim()), b: parse_attrs(right.trim()), raw: text.to_owned() }
 }
 
 /// Parses `name: value, name2: value2, ...`, tolerating commas and colons
@@ -155,8 +149,7 @@ fn parse_attrs(text: &str) -> Vec<ParsedAttr> {
     let mut starts: Vec<(usize, usize, usize)> = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
-        let at_boundary =
-            i == 0 || (i >= 2 && bytes[i - 2] == b',' && bytes[i - 1] == b' ');
+        let at_boundary = i == 0 || (i >= 2 && bytes[i - 2] == b',' && bytes[i - 1] == b' ');
         if at_boundary && text.is_char_boundary(i) {
             if let Some((name_end, value_start)) = read_name(text, i) {
                 starts.push((i, name_end, value_start));
@@ -178,7 +171,9 @@ fn parse_attrs(text: &str) -> Vec<ParsedAttr> {
         } else {
             text.len()
         };
-        let value = text[value_start..value_end.max(value_start)].trim().to_owned();
+        let value = text[value_start..value_end.max(value_start)]
+            .trim()
+            .to_owned();
         attrs.push((name, value));
     }
     attrs
@@ -218,11 +213,17 @@ mod tests {
         let p = parse_pair_text("title: iphone-13, id: 0256 [SEP] title: iphone-14, id: ");
         assert_eq!(
             p.a,
-            vec![("title".into(), "iphone-13".into()), ("id".into(), "0256".into())]
+            vec![
+                ("title".into(), "iphone-13".into()),
+                ("id".into(), "0256".into())
+            ]
         );
         assert_eq!(
             p.b,
-            vec![("title".into(), "iphone-14".into()), ("id".into(), String::new())]
+            vec![
+                ("title".into(), "iphone-14".into()),
+                ("id".into(), String::new())
+            ]
         );
     }
 

@@ -29,10 +29,9 @@ impl PriceTable {
                 input_per_token: Money::from_micros(10),
                 output_per_token: Money::from_micros(30),
             },
-            ModelKind::Llama2Chat70b => Self {
-                input_per_token: Money::ZERO,
-                output_per_token: Money::ZERO,
-            },
+            ModelKind::Llama2Chat70b => {
+                Self { input_per_token: Money::ZERO, output_per_token: Money::ZERO }
+            }
         }
     }
 
@@ -69,7 +68,10 @@ mod tests {
     #[test]
     fn llama_is_free() {
         let l = PriceTable::for_model(ModelKind::Llama2Chat70b);
-        assert_eq!(l.cost(TokenCount(1_000_000), TokenCount(1_000)), Money::ZERO);
+        assert_eq!(
+            l.cost(TokenCount(1_000_000), TokenCount(1_000)),
+            Money::ZERO
+        );
     }
 
     #[test]

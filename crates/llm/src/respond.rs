@@ -113,7 +113,9 @@ fn split_q_tag(line: &str) -> Option<(usize, &str)> {
         return None;
     }
     let idx: usize = rest[..digits_end].parse().ok()?;
-    let after = rest[digits_end..].trim_start_matches([':', '.', ')']).trim_start();
+    let after = rest[digits_end..]
+        .trim_start_matches([':', '.', ')'])
+        .trim_start();
     Some((idx, after))
 }
 
@@ -155,7 +157,11 @@ mod tests {
         let labels = parse_answers("yes\nno, they differ\nYes definitely", 3).unwrap();
         assert_eq!(
             labels,
-            vec![MatchLabel::Matching, MatchLabel::NonMatching, MatchLabel::Matching]
+            vec![
+                MatchLabel::Matching,
+                MatchLabel::NonMatching,
+                MatchLabel::Matching
+            ]
         );
     }
 
@@ -177,7 +183,10 @@ mod tests {
 
     #[test]
     fn empty_is_error() {
-        assert_eq!(parse_answers("   \n ", 1).unwrap_err(), AnswerParseError::Empty);
+        assert_eq!(
+            parse_answers("   \n ", 1).unwrap_err(),
+            AnswerParseError::Empty
+        );
     }
 
     #[test]

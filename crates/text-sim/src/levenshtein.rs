@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(levenshtein("listen", "silent"), levenshtein("silent", "listen"));
+        assert_eq!(
+            levenshtein("listen", "silent"),
+            levenshtein("silent", "listen")
+        );
     }
 
     #[test]

@@ -22,11 +22,7 @@ where
     }
     let dir = |xs: &[String], ys: &[String]| -> f64 {
         xs.iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| inner(x, y))
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max))
             .sum::<f64>()
             / xs.len() as f64
     };

@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn lowercases_and_strips_punctuation() {
-        assert_eq!(normalize("Here Comes The Fuzz [Explicit]"), "here comes the fuzz explicit");
+        assert_eq!(
+            normalize("Here Comes The Fuzz [Explicit]"),
+            "here comes the fuzz explicit"
+        );
     }
 
     #[test]

@@ -30,8 +30,16 @@ pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
         .iter()
         .filter_map(|(g, &ca)| pb.get(g).map(|&cb| ca as f64 * cb as f64))
         .sum();
-    let na: f64 = pa.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
-    let nb: f64 = pb.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+    let na: f64 = pa
+        .values()
+        .map(|&c| (c as f64) * (c as f64))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = pb
+        .values()
+        .map(|&c| (c as f64) * (c as f64))
+        .sum::<f64>()
+        .sqrt();
     dot / (na * nb)
 }
 

@@ -41,7 +41,10 @@ mod tests {
 
     #[test]
     fn word_tokens_normalize_first() {
-        assert_eq!(word_tokens("Dance,Music,Hip-Hop"), vec!["dance", "music", "hip", "hop"]);
+        assert_eq!(
+            word_tokens("Dance,Music,Hip-Hop"),
+            vec!["dance", "music", "hip", "hop"]
+        );
     }
 
     #[test]

@@ -2,9 +2,8 @@
 
 use proptest::prelude::*;
 use text_sim::{
-    jaccard_chars, jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_ratio,
-    monge_elkan, normalize, normalized_levenshtein, overlap_coefficient, qgram_cosine,
-    word_tokens,
+    jaccard_chars, jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_ratio, monge_elkan,
+    normalize, normalized_levenshtein, overlap_coefficient, qgram_cosine, word_tokens,
 };
 
 fn arb_str() -> impl Strategy<Value = String> {

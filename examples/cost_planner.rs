@@ -23,7 +23,10 @@ fn main() {
     );
 
     let plans = [
-        ("standard prompting, GPT-3.5", RunConfig::standard_prompting()),
+        (
+            "standard prompting, GPT-3.5",
+            RunConfig::standard_prompting(),
+        ),
         ("batch prompting,    GPT-3.5", RunConfig::best_design()),
         (
             "batch prompting,    GPT-4  ",

@@ -13,11 +13,11 @@
 use std::sync::Arc;
 
 use batcher::blocking::{BlockerConfig, TokenBlocker};
+use batcher::core::batching::make_batches;
 use batcher::core::{
     build_batch_prompt, task_description, BatchingStrategy, ClusteringKind, DistanceKind,
     ExtractorKind, FeatureSpace,
 };
-use batcher::core::batching::make_batches;
 use batcher::datagen::make_entity;
 use batcher::datagen::DatasetKind;
 use batcher::er_core::{EntityPair, Record, RecordId, Schema};
@@ -26,9 +26,7 @@ use batcher::llm::{parse_answers, ChatApi, ChatRequest, ModelKind, SimLlm};
 fn main() {
     // 1. Two raw tables of electronics listings (the generator's entity
     //    factory stands in for scraped catalog data).
-    let schema = Arc::new(
-        Schema::new(["title", "category", "brand", "modelno", "price"]).unwrap(),
-    );
+    let schema = Arc::new(Schema::new(["title", "category", "brand", "modelno", "price"]).unwrap());
     let table_a: Vec<Arc<Record>> = (0..40u32)
         .map(|i| {
             let vals = make_entity(DatasetKind::WalmartAmazon, i, 0);
@@ -71,18 +69,27 @@ fn main() {
         ExtractorKind::LevenshteinRatio,
         DistanceKind::Euclidean,
     );
-    let batches = make_batches(&space, BatchingStrategy::Diversity, ClusteringKind::Dbscan, 8, 7);
+    let batches = make_batches(
+        &space,
+        BatchingStrategy::Diversity,
+        ClusteringKind::Dbscan,
+        8,
+        7,
+    );
 
     let api = SimLlm::new();
     let desc = task_description("Electronics");
     let mut matched = 0usize;
     let mut asked = 0usize;
     for (bi, batch) in batches.iter().enumerate() {
-        let serialized: Vec<String> =
-            batch.iter().map(|&q| questions[q].serialize()).collect();
+        let serialized: Vec<String> = batch.iter().map(|&q| questions[q].serialize()).collect();
         let prompt = build_batch_prompt(&desc, &[], &serialized);
         let resp = api
-            .complete(&ChatRequest::new(ModelKind::Gpt35Turbo0301, prompt, bi as u64))
+            .complete(&ChatRequest::new(
+                ModelKind::Gpt35Turbo0301,
+                prompt,
+                bi as u64,
+            ))
             .expect("simulated endpoint");
         let answers = parse_answers(&resp.content, serialized.len()).expect("parseable");
         for (&qi, answer) in batch.iter().zip(&answers) {

@@ -36,6 +36,9 @@ fn main() {
         remote.f1(),
         remote.ledger.api
     );
-    assert_eq!(local.confusion, remote.confusion, "transport must not change results");
+    assert_eq!(
+        local.confusion, remote.confusion,
+        "transport must not change results"
+    );
     println!("results identical across transports — ChatApi seam verified");
 }

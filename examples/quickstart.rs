@@ -36,7 +36,10 @@ fn main() {
     println!("precision = {:.2}%", scores.precision);
     println!("recall    = {:.2}%", scores.recall);
     println!("batches   = {}", result.batches);
-    println!("demos labeled = {} (cost {})", result.demos_labeled, result.ledger.labeling);
+    println!(
+        "demos labeled = {} (cost {})",
+        result.demos_labeled, result.ledger.labeling
+    );
     println!("API cost  = {}", result.ledger.api);
     println!("total     = {}", result.ledger.total());
 }

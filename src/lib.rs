@@ -50,3 +50,7 @@ pub use baselines;
 /// The BatchER framework itself (question batching + demonstration
 /// selection + covering-based selection + execution).
 pub use batcher_core as core;
+
+/// The online entity-matching service: request coalescing, answer cache,
+/// cost governor, worker pool and HTTP front end.
+pub use er_service;

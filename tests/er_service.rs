@@ -1,0 +1,407 @@
+//! Integration tests for the online entity-matching service: cache
+//! economics, concurrent determinism, budget-exhaustion fallback and the
+//! HTTP front end.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use batcher::datagen::{generate, DatasetKind};
+use batcher::er_core::{EntityPair, Money, PairId, Record, RecordId, Schema};
+use batcher::er_service::{
+    DecisionSource, ErService, MatchServer, PairFingerprint, ServiceConfig, ServiceStats,
+};
+use batcher::llm::SimLlm;
+use batcher::llm_service::http::read_response;
+use batcher::llm_service::ServeOptions;
+
+/// Bootstrap pool for fallback training and demonstrations.
+fn bootstrap() -> Vec<batcher::er_core::LabeledPair> {
+    generate(DatasetKind::Beer, 7).pairs()[..120].to_vec()
+}
+
+/// A service with test-friendly latency and the given overrides.
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        flush_deadline: Duration::from_millis(5),
+        batch_size: 4,
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(["title", "brand", "price"]).unwrap())
+}
+
+fn record(id: u32, left: bool, values: [&str; 3]) -> Arc<Record> {
+    let rid = if left {
+        RecordId::a(id)
+    } else {
+        RecordId::b(id)
+    };
+    Arc::new(
+        Record::new(
+            rid,
+            schema(),
+            values.iter().map(|s| s.to_string()).collect(),
+        )
+        .unwrap(),
+    )
+}
+
+/// Unambiguous questions: identical records (clear matches) and records
+/// with fully disjoint text (clear non-matches). The engine answers these
+/// robustly regardless of batch composition, which is what lets the
+/// concurrency test demand bitwise-identical decisions across runs.
+fn crafted_questions(n: usize) -> Vec<EntityPair> {
+    let products = [
+        "hazy little thing ipa",
+        "guinness extra stout",
+        "pliny the elder",
+        "sierra nevada torpedo",
+        "blue moon belgian white",
+        "dogfish head 60 minute",
+        "stone delicious ipa",
+        "lagunitas daytime ale",
+        "founders breakfast stout",
+        "bells two hearted ale",
+        "heady topper double ipa",
+        "allagash white ale",
+    ];
+    let brands = [
+        "sierra",
+        "guinness",
+        "russian river",
+        "stone",
+        "blue moon",
+        "dogfish",
+    ];
+    (0..n)
+        .map(|i| {
+            let title = products[i % products.len()];
+            let brand = brands[i % brands.len()];
+            let price = format!("{}.99", 3 + (i % 9));
+            let a = record(i as u32, true, [title, brand, &price]);
+            let b = if i % 2 == 0 {
+                // Clear match: identical content.
+                record(i as u32, false, [title, brand, &price])
+            } else {
+                // Clear non-match: entirely different product.
+                let other = products[(i + 5) % products.len()];
+                record(
+                    i as u32,
+                    false,
+                    [other, brands[(i + 3) % brands.len()], "87.50"],
+                )
+            };
+            EntityPair::new(PairId(i as u32), a, b).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn cache_hits_are_identical_and_free() {
+    let service = ErService::start(Arc::new(SimLlm::new()), bootstrap(), config());
+    let questions = crafted_questions(12);
+
+    // First pass: no hits possible.
+    let first: Vec<_> = questions.iter().map(|q| service.submit(q)).collect();
+    let after_first = service.ledger().snapshot();
+    assert!(
+        after_first.api_calls > 0,
+        "first pass never reached the LLM"
+    );
+
+    // Second pass: every answer must come from the cache, unchanged, at
+    // zero incremental API cost.
+    for (question, first_decision) in questions.iter().zip(&first) {
+        let second = service.submit(question);
+        assert_eq!(second.source, DecisionSource::Cache);
+        assert_eq!(second.label, first_decision.label);
+        assert_eq!(second.fingerprint, first_decision.fingerprint);
+    }
+    let after_second = service.ledger().snapshot();
+    assert_eq!(after_first.api_calls, after_second.api_calls);
+    assert_eq!(after_first.total(), after_second.total());
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 12);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+#[test]
+fn duplicate_workload_costs_less_with_cache_than_without() {
+    // 8 unique questions, each asked three times, sequentially (so the
+    // flush-time dedupe cannot mask the cache's contribution).
+    let questions = crafted_questions(8);
+    let workload: Vec<&EntityPair> = std::iter::repeat_with(|| questions.iter())
+        .take(3)
+        .flatten()
+        .collect();
+
+    let run = |cache_enabled: bool| -> batcher::er_core::CostLedger {
+        let service = ErService::start(
+            Arc::new(SimLlm::new()),
+            bootstrap(),
+            ServiceConfig { cache_enabled, ..config() },
+        );
+        for q in &workload {
+            service.submit(q);
+        }
+        service.ledger().snapshot()
+    };
+
+    let with_cache = run(true);
+    let without_cache = run(false);
+    assert!(
+        with_cache.total() < without_cache.total(),
+        "cache did not save money: with {} vs without {}",
+        with_cache.total(),
+        without_cache.total()
+    );
+    assert!(with_cache.api_calls < without_cache.api_calls);
+}
+
+#[test]
+fn concurrent_clients_with_same_seed_are_deterministic() {
+    let questions = Arc::new(crafted_questions(24));
+    let run = || -> Vec<(PairFingerprint, batcher::er_core::MatchLabel)> {
+        let service = Arc::new(ErService::start(
+            Arc::new(SimLlm::new()),
+            bootstrap(),
+            ServiceConfig { seed: 99, ..config() },
+        ));
+        let mut decisions: Vec<(PairFingerprint, batcher::er_core::MatchLabel)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4usize)
+                    .map(|client| {
+                        let service = Arc::clone(&service);
+                        let questions = Arc::clone(&questions);
+                        scope.spawn(move || {
+                            questions
+                                .iter()
+                                .skip(client)
+                                .step_by(4)
+                                .map(|q| {
+                                    let d = service.submit(q);
+                                    (d.fingerprint, d.label)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+        decisions.sort_by_key(|(fp, _)| *fp);
+        decisions
+    };
+
+    let first = run();
+    let second = run();
+    assert_eq!(first.len(), 24);
+    assert_eq!(first, second, "same seed + same workload diverged");
+}
+
+#[test]
+fn budget_exhaustion_degrades_to_logistic_fallback() {
+    // A budget too small for a single batch: every question must still be
+    // answered — by the fallback — and spend must stay within budget.
+    let service = ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig { budget: Money::from_micros(50), ..config() },
+    );
+    let questions = crafted_questions(10);
+    for q in &questions {
+        let decision = service.submit(q);
+        assert_eq!(decision.source, DecisionSource::Fallback);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.fallback_answered, 10);
+    assert_eq!(stats.llm_answered, 0);
+    assert!(stats.budget_denials > 0, "governor never denied anything");
+    assert!(stats.within_budget(), "spent {} over budget", stats.spend());
+    assert_eq!(stats.api_calls, 0);
+}
+
+#[test]
+fn budget_covers_some_batches_then_falls_back() {
+    // A mid-sized budget: early batches run on the LLM, later ones are
+    // denied; the ledger never crosses the cap.
+    let service = ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig { budget: Money::from_micros(1_500), ..config() },
+    );
+    let questions = crafted_questions(40);
+    let decisions: Vec<_> = questions.iter().map(|q| service.submit(q)).collect();
+    let llm = decisions
+        .iter()
+        .filter(|d| d.source == DecisionSource::Llm)
+        .count();
+    let fallback = decisions
+        .iter()
+        .filter(|d| d.source == DecisionSource::Fallback)
+        .count();
+    let stats = service.stats();
+    assert!(stats.within_budget(), "spent {} over budget", stats.spend());
+    assert!(llm > 0, "budget was never spent on the LLM");
+    assert!(
+        fallback > 0,
+        "budget never ran out: spend {}",
+        stats.spend()
+    );
+}
+
+/// A ChatApi that answers like the simulator but slowly — lets tests put
+/// a batch mid-flight deterministically.
+struct SlowApi {
+    llm: SimLlm,
+    delay: Duration,
+}
+
+impl batcher::llm::ChatApi for SlowApi {
+    fn complete(
+        &self,
+        request: &batcher::llm::ChatRequest,
+    ) -> Result<batcher::llm::ChatResponse, batcher::llm::LlmError> {
+        std::thread::sleep(self.delay);
+        self.llm.complete(request)
+    }
+}
+
+#[test]
+fn identical_questions_in_flight_share_one_llm_call() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SlowApi { llm: SimLlm::new(), delay: Duration::from_millis(400) }),
+        bootstrap(),
+        ServiceConfig {
+            batch_size: 1, // flush immediately; the LLM call itself is slow
+            ..config()
+        },
+    ));
+    let question = crafted_questions(1).remove(0);
+
+    let decisions: Vec<_> = std::thread::scope(|scope| {
+        let first = {
+            let service = Arc::clone(&service);
+            let question = question.clone();
+            scope.spawn(move || service.submit(&question))
+        };
+        // Let the first question's batch reach the (slow) LLM, then pile
+        // two more identical questions on while it is in flight.
+        std::thread::sleep(Duration::from_millis(150));
+        let late: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let question = question.clone();
+                scope.spawn(move || service.submit(&question))
+            })
+            .collect();
+        std::iter::once(first)
+            .chain(late)
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let labels: Vec<_> = decisions.iter().map(|d| d.label).collect();
+    assert!(
+        labels.windows(2).all(|w| w[0] == w[1]),
+        "contradictory answers: {labels:?}"
+    );
+    let stats = service.stats();
+    assert_eq!(
+        stats.api_calls, 1,
+        "identical in-flight questions paid for extra LLM calls"
+    );
+    assert!(
+        stats.coalesced_duplicates >= 2,
+        "late duplicates were not coalesced"
+    );
+}
+
+// ---------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------
+
+fn post_match(addr: std::net::SocketAddr, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /match HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let (status, bytes) = read_response(&mut stream).unwrap();
+    (status, String::from_utf8(bytes).unwrap())
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\n\r\n").unwrap();
+    read_response(&mut stream).unwrap()
+}
+
+#[test]
+fn http_front_end_serves_match_stats_and_health() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        config(),
+    ));
+    let server = MatchServer::start(Arc::clone(&service), ServeOptions::default()).unwrap();
+    let addr = server.addr();
+
+    let body = r#"{"schema":["title","brand"],"left":["pliny the elder","russian river"],"right":["pliny the elder","russian river"]}"#;
+    let (status, first) = post_match(addr, body);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains(r#""label":"matching""#), "{first}");
+
+    // The byte-identical question again: served from the cache.
+    let (_, second) = post_match(addr, body);
+    assert!(second.contains(r#""source":"cache""#), "{second}");
+
+    let (status, stats_bytes) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats: ServiceStats = serde_json::from_slice(&stats_bytes).unwrap();
+    assert!(stats.cache_hits >= 1);
+    assert_eq!(stats.submitted, 2);
+
+    let (status, health) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health, br#"{"status":"ok"}"#);
+
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    let (status, err) = post_match(addr, r#"{"schema":["a"],"left":["x","y"],"right":["z"]}"#);
+    assert_eq!(status, 400, "{err}");
+}
+
+#[test]
+fn http_front_end_symmetric_pairs_share_the_cache_entry() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        config(),
+    ));
+    let server = MatchServer::start(Arc::clone(&service), ServeOptions::default()).unwrap();
+    let addr = server.addr();
+
+    let forward =
+        r#"{"schema":["title"],"left":["guinness extra stout"],"right":["heady topper"]}"#;
+    let mirrored =
+        r#"{"schema":["title"],"left":["heady topper"],"right":["guinness extra stout"]}"#;
+    let (_, first) = post_match(addr, forward);
+    let (_, second) = post_match(addr, mirrored);
+    assert!(second.contains(r#""source":"cache""#), "{second}");
+    // Same canonical fingerprint on both answers.
+    let fp = |s: &str| s.split(r#""fingerprint":""#).nth(1).unwrap()[..16].to_string();
+    assert_eq!(fp(&first), fp(&second));
+}

@@ -26,8 +26,16 @@ fn finding1_batch_beats_standard_on_accuracy_and_cost() {
     for kind in [DatasetKind::WalmartAmazon, DatasetKind::AbtBuy] {
         let d = generate(kind, 77);
         let api = SimLlm::new();
-        let std = run(&d, &api, RunConfig { seed: 1, ..RunConfig::standard_prompting() });
-        let batch = run(&d, &api, RunConfig { seed: 1, ..RunConfig::batch_prompting_fixed() });
+        let std = run(
+            &d,
+            &api,
+            RunConfig { seed: 1, ..RunConfig::standard_prompting() },
+        );
+        let batch = run(
+            &d,
+            &api,
+            RunConfig { seed: 1, ..RunConfig::batch_prompting_fixed() },
+        );
         let saving = std.ledger.api.ratio(batch.ledger.api);
         assert!(
             (3.5..=8.0).contains(&saving),

@@ -85,13 +85,13 @@ fn truncated_outputs_degrade_gracefully() {
     // Forced truncation on every call: answers may be lost, but the run
     // completes and unanswered questions are counted, not dropped.
     let dataset = generate(DatasetKind::Beer, 3);
-    let api = SimLlm::with_config(SimLlmConfig {
-        truncation_rate: 1.0,
-        ..Default::default()
-    });
+    let api = SimLlm::with_config(SimLlmConfig { truncation_rate: 1.0, ..Default::default() });
     let config = RunConfig { max_retries: 1, seed: 7, ..RunConfig::best_design() };
     let result = run(&dataset, &api, config);
     let split = dataset.split_3_1_1(7).unwrap();
     assert_eq!(result.confusion.total() as usize, split.test.len());
-    assert!(result.unanswered > 0, "full truncation should lose some answers");
+    assert!(
+        result.unanswered > 0,
+        "full truncation should lose some answers"
+    );
 }

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], `criterion_group!`, `criterion_main!` — with a
+//! simple but honest wall-clock measurement loop:
+//!
+//! * In **bench mode** (`cargo bench`, detected via the `--bench` flag
+//!   cargo passes) each benchmark is warmed up, then timed over
+//!   `sample_size` samples whose per-sample iteration count is calibrated
+//!   so a sample takes ≳5 ms. The median, minimum and maximum per-iteration
+//!   times are printed.
+//! * In **test mode** (`cargo test` compiles bench targets with
+//!   `harness = false` and runs them) every benchmark body executes once,
+//!   so benches stay smoke-tested without slowing the suite down.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// A harness configured from the process arguments (cargo passes
+    /// `--bench` when invoked as `cargo bench`).
+    pub fn from_args() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { quick: !bench_mode, default_sample_size: 20 }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.quick, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.quick {
+            println!("group {name}");
+        }
+        BenchmarkGroup { harness: self, name, sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.harness.default_sample_size);
+        run_one(&full, self.harness.quick, samples, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the routine
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    /// Median/min/max per-iteration nanoseconds, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // Calibrate the per-sample iteration count to ≳5 ms.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        self.result = Some((median, min, max));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, quick: bool, samples: usize, f: &mut F) {
+    let mut bencher = Bencher { quick, samples: samples.max(2), result: None };
+    f(&mut bencher);
+    if quick {
+        return;
+    }
+    match bencher.result {
+        Some((median, min, max)) => println!(
+            "  {id:<44} {:>12}/iter  (min {}, max {})",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        ),
+        None => println!("  {id:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher { quick: true, samples: 10, result: None };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn measurement_produces_ordered_stats() {
+        let mut b = Bencher { quick: false, samples: 5, result: None };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (median, min, max) = b.result.unwrap();
+        assert!(min <= median && median <= max);
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

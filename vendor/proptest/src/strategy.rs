@@ -1,0 +1,301 @@
+//! The [`Strategy`] trait and its implementations.
+
+use crate::{Arbitrary, TestRng};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.below(span as u64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + unit * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------
+
+/// String literals act as regex strategies, supporting the subset used in
+/// this workspace: one `[class]{lo,hi}` or `\PC{lo,hi}` atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = RegexPattern::parse(self);
+        pattern.generate(rng)
+    }
+}
+
+struct RegexPattern {
+    alphabet: Vec<char>,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+/// Printable sample set for `\PC` (any non-control char): ASCII printable
+/// plus a few multibyte characters so UTF-8 boundary handling gets
+/// exercised.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+    chars.extend(['é', 'ß', 'Ω', '中', '✓']);
+    chars
+}
+
+impl RegexPattern {
+    fn parse(pattern: &str) -> Self {
+        let rest = pattern;
+        let (alphabet, rest) = if let Some(rest) = rest.strip_prefix("\\PC") {
+            (printable_alphabet(), rest)
+        } else if let Some(body_start) = rest.strip_prefix('[') {
+            let close = body_start
+                .find(']')
+                .unwrap_or_else(|| panic!("unterminated class in pattern `{pattern}`"));
+            // `]` cannot be escaped in the supported subset; none of the
+            // workspace patterns contain one.
+            let class = &body_start[..close];
+            (parse_class(class, pattern), &body_start[close + 1..])
+        } else {
+            panic!(
+                "unsupported regex strategy `{pattern}`; the vendored proptest \
+                 supports a single `[class]{{lo,hi}}` or `\\PC{{lo,hi}}` atom"
+            );
+        };
+        let (lo, hi) = parse_repeat(rest, pattern);
+        assert!(
+            !alphabet.is_empty(),
+            "empty character class in pattern `{pattern}`"
+        );
+        Self { alphabet, lo, hi }
+    }
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.hi - self.lo + 1) as u64;
+        let len = self.lo + rng.below(span) as usize;
+        (0..len)
+            .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class(class: &str, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' {
+            let escaped = *chars
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+            out.push(escaped);
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (start, end) = (c as u32, chars[i + 2] as u32);
+            assert!(start <= end, "inverted range in `{pattern}`");
+            for code in start..=end {
+                if let Some(ch) = char::from_u32(code) {
+                    out.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_repeat(rest: &str, pattern: &str) -> (usize, usize) {
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| {
+            panic!("expected `{{lo,hi}}` repetition in pattern `{pattern}`, got `{rest}`")
+        });
+    let (lo, hi) = body
+        .split_once(',')
+        .unwrap_or_else(|| panic!("expected `lo,hi` in `{pattern}`"));
+    let lo: usize = lo.trim().parse().expect("numeric lower bound");
+    let hi: usize = hi.trim().parse().expect("numeric upper bound");
+    assert!(lo <= hi, "inverted repetition in `{pattern}`");
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&a));
+            let b = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&b));
+            let c = (0.0f64..1.0).generate(&mut r);
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn class_patterns_only_emit_class_chars() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c0-1 .,()\\-]{0,18}".generate(&mut r);
+            assert!(s.len() <= 18);
+            for ch in s.chars() {
+                assert!(
+                    matches!(
+                        ch,
+                        'a'..='c' | '0' | '1' | ' ' | '.' | ',' | '(' | ')' | '-'
+                    ),
+                    "unexpected char {ch:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_patterns_exclude_controls() {
+        let mut r = rng();
+        let mut max_len = 0;
+        for _ in 0..300 {
+            let s = "\\PC{0,40}".generate(&mut r);
+            max_len = max_len.max(s.chars().count());
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 40);
+        }
+        assert!(max_len > 20, "length distribution looks truncated");
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut r = rng();
+        let v = collection::vec((0u32..5, "[x-z]{1,2}"), 2..6).generate(&mut r);
+        assert!((2..6).contains(&v.len()));
+        for (n, s) in &v {
+            assert!(*n < 5);
+            assert!((1..=2).contains(&s.len()));
+        }
+        let fixed = collection::vec(0.0f64..1.0, 3).generate(&mut r);
+        assert_eq!(fixed.len(), 3);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = rng();
+        let s = (0u64..10).prop_map(|n| n * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let strat = "\\PC{0,20}";
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

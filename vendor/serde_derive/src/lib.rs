@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — they are unavailable
+//! offline) covering the item shapes this workspace derives on:
+//!
+//! * structs with named fields, honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes;
+//! * single-field tuple structs (serialized transparently, serde's
+//!   newtype convention);
+//! * enums whose variants are all units (serialized as the variant name).
+//!
+//! Anything else — generics, multi-field tuples, data-carrying variants,
+//! other serde attributes — is rejected with a compile error naming the
+//! unsupported construct, so drift between this stub and real serde shows
+//! up loudly at build time rather than silently at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Debug, Clone, PartialEq)]
+enum FieldDefault {
+    /// No default: missing field is an error.
+    Required,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = match &f.default {
+                        FieldDefault::Required => format!(
+                            "return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\
+                             \"missing field `{}` in {}\"))",
+                            f.name, name
+                        ),
+                        FieldDefault::Std => "::std::default::Default::default()".to_owned(),
+                        FieldDefault::Path(path) => format!("{path}()"),
+                    };
+                    format!(
+                        "{n}: match ::serde::Content::get(content, \"{n}\") {{\n\
+                             ::std::option::Option::Some(v) => \
+                                 ::serde::Deserialize::from_content(v)?,\n\
+                             ::std::option::Option::None => {{ {missing} }},\n\
+                         }}",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if content.as_map().is_none() {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                 \"expected map for struct {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(",\n")
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content.as_str() {{\n\
+                             ::std::option::Option::Some(s) => match s {{\n\
+                                 {},\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(::std::format!(\
+                                     \"unknown {name} variant: {{other}}\"))),\n\
+                             }},\n\
+                             ::std::option::Option::None => \
+                                 ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                 \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Outer attributes (doc comments, derives already stripped, serde
+    // container attributes — none of which we support, so reject them).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") {
+                panic!(
+                    "serde container attributes are not supported by the vendored derive: {text}"
+                );
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic items are not supported by the vendored serde derive (item `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "tuple struct `{name}` has {arity} fields; only newtype \
+                         (1-field) tuple structs are supported"
+                    );
+                }
+                Item::NewtypeStruct { name }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::UnitEnum {
+                name: name.clone(),
+                variants: parse_unit_variants(&name, g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Parses `{ attrs vis name: Type, ... }` field lists.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Field attributes.
+        let mut default = FieldDefault::Required;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(d) = parse_serde_default(g.stream()) {
+                    default = d;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = field_name.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Extracts a `FieldDefault` from a `serde(...)` attribute body.
+fn parse_serde_default(stream: TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(kw)] if kw.to_string() == "default" => Some(FieldDefault::Std),
+                [TokenTree::Ident(kw), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if kw.to_string() == "default" && eq.as_char() == '=' =>
+                {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_owned();
+                    Some(FieldDefault::Path(path))
+                }
+                other => panic!(
+                    "unsupported serde field attribute: serde({})",
+                    other
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ),
+            }
+        }
+        _ => None, // not a serde attribute (doc comment etc.)
+    }
+}
+
+/// Counts comma-separated fields of a tuple-struct body at angle depth 0.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses enum variants, insisting they are all units.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attribute (doc comment)
+        }
+        let Some(TokenTree::Ident(v)) = tokens.get(i) else {
+            break;
+        };
+        let variant = v.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "enum `{enum_name}` variant `{variant}` carries data; only \
+                 unit variants are supported by the vendored serde derive"
+            ),
+            Some(other) => panic!("unexpected token after variant `{variant}`: {other}"),
+        }
+        variants.push(variant);
+    }
+    variants
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde
+//! [`Content`] tree to JSON text and parses JSON text back into it.
+//!
+//! Supports the full JSON grammar (objects, arrays, strings with escapes
+//! and `\uXXXX` surrogate pairs, numbers, booleans, null). Numbers parse
+//! to `I64`/`U64` when integral and `F64` otherwise; the vendored serde
+//! numeric impls accept either representation, so `1` and `1.0`
+//! interconvert exactly as with the real crates.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let content = parse(text)?;
+    T::from_content(&content).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::new(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_content(content: &Content, out: &mut String) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error::new("cannot serialize non-finite float as JSON"));
+            }
+            // Rust's Display for f64 is shortest-roundtrip and never uses
+            // exponent notation, both of which are valid JSON.
+            out.push_str(&f.to_string());
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(key, out);
+                out.push(':');
+                write_content(value, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Content, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {} of JSON input",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` in object, got {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` in array, got {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(b) => {
+                    return Err(Error::new(format!(
+                        "unescaped control byte 0x{b:02x} in string at byte {}",
+                        self.pos
+                    )))
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::new("dangling escape at end of input"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair.
+                    if !(self.eat_keyword("\\u")) {
+                        return Err(Error::new("lone high surrogate in string"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(Error::new("invalid low surrogate in string"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| Error::new("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| Error::new("invalid \\u escape"))?
+                }
+            }
+            other => return Err(Error::new(format!("unknown escape `\\{}`", other as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| Error::new("non-ASCII in \\u escape"))?;
+        let value = u32::from_str_radix(text, 16)
+            .map_err(|_| Error::new(format!("bad \\u escape `{text}`")))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 {
+                    Content::U64(n as u64)
+                } else {
+                    Content::I64(n)
+                });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(parse("42").unwrap(), Content::U64(42));
+        assert_eq!(parse("-3").unwrap(), Content::I64(-3));
+        assert_eq!(parse("0.25").unwrap(), Content::F64(0.25));
+        assert_eq!(parse("true").unwrap(), Content::Bool(true));
+        assert_eq!(parse("null").unwrap(), Content::Null);
+        assert_eq!(parse(r#""hi""#).unwrap(), Content::Str("hi".into()));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"a": [1, {"b": "c"}], "d": null}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Content::Seq(vec![
+                Content::U64(1),
+                Content::Map(vec![("b".into(), Content::Str("c".into()))]),
+            ]))
+        );
+        assert_eq!(v.get("d"), Some(&Content::Null));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nquote\"back\\slash\ttab \u{1F600} unicode é";
+        let mut out = String::new();
+        write_json_string(original, &mut out);
+        let back = parse(&out).unwrap();
+        assert_eq!(back, Content::Str(original.into()));
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        assert_eq!(parse(r#""é😀""#).unwrap(), Content::Str("é😀".into()));
+    }
+
+    #[test]
+    fn float_roundtrip_exact() {
+        for f in [0.01f64, 1.0 / 3.0, 1e-9, 123456.789] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{f} did not roundtrip through {text}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+        assert!(parse("12 34").is_err());
+        assert!(from_slice::<u64>(b"\xff\xff").is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip_via_traits() {
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+}
