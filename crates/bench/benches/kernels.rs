@@ -41,6 +41,42 @@ fn bench_embedding(c: &mut Criterion) {
     });
 }
 
+fn bench_matrix_kernels(c: &mut Criterion) {
+    // 2000 rows of 64-dim features — the semantic extractor's shape on a
+    // mid-size question set.
+    let rows: Vec<Vec<f64>> = (0..2000)
+        .map(|i| {
+            (0..64)
+                .map(|d| ((i * 64 + d) as f64 * 0.613).sin())
+                .collect()
+        })
+        .collect();
+    let query = rows[0].clone();
+    let matrix = embed::FeatureMatrix::from_rows(rows.clone());
+    let mut group = c.benchmark_group("matrix_2000x64");
+    group.bench_function("sq_dists_one_to_many", |bench| {
+        let mut out = vec![0.0f64; matrix.len()];
+        bench.iter(|| matrix.sq_dists_to_all(black_box(&query), &mut out))
+    });
+    group.bench_function("scalar_one_to_many", |bench| {
+        // The pointer-chasing per-pair baseline the kernel replaces.
+        bench.iter(|| {
+            rows.iter()
+                .map(|r| embed::euclidean_distance(black_box(&query), r))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("pairwise_chunk_64rows", |bench| {
+        let mut out = vec![0.0f64; 64 * matrix.len()];
+        bench.iter(|| matrix.pairwise_sq_chunk(black_box(0..64), &matrix, &mut out))
+    });
+    group.bench_function("cosine_one_to_many", |bench| {
+        let mut out = vec![0.0f64; matrix.len()];
+        bench.iter(|| matrix.cosine_dists_to_all(black_box(&query), &mut out))
+    });
+    group.finish();
+}
+
 fn bench_clustering(c: &mut Criterion) {
     // 400 points in 4-d, three latent blobs — the scale of a small
     // question set.
@@ -121,6 +157,7 @@ criterion_group!(
     bench_string_kernels,
     bench_tokenizer,
     bench_embedding,
+    bench_matrix_kernels,
     bench_clustering,
     bench_greedy_cover,
     bench_prompt_roundtrip

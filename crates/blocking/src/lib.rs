@@ -62,25 +62,40 @@ impl TokenBlocker {
 
     /// Emits candidate `(a_index, b_index)` pairs between two tables.
     pub fn candidates(&self, table_a: &[Record], table_b: &[Record]) -> Vec<(usize, usize)> {
-        let tokens_of = |r: &Record| -> Vec<String> {
-            let mut toks = Vec::new();
-            let attrs: Vec<usize> = if self.config.attributes.is_empty() {
-                (0..r.schema().arity()).collect()
+        // Attribute list resolved once per table (every record of a table
+        // shares a schema), and one scratch buffer reused across records:
+        // tokenize-sort-dedup in place, then move the exact survivor set
+        // out — no per-record attribute clone, no growth reallocations.
+        let resolve_attrs = |table: &[Record]| -> Vec<usize> {
+            if self.config.attributes.is_empty() {
+                (0..table.first().map_or(0, |r| r.schema().arity())).collect()
             } else {
                 self.config.attributes.clone()
-            };
-            for &i in &attrs {
-                toks.extend(word_tokens(r.value(i).unwrap_or("")));
             }
-            toks.sort_unstable();
-            toks.dedup();
-            toks
+        };
+        let attrs_a = resolve_attrs(table_a);
+        let attrs_b = resolve_attrs(table_b);
+        let mut scratch: Vec<String> = Vec::new();
+        let mut tokens_of = |r: &Record, attrs: &[usize]| -> Vec<String> {
+            scratch.clear();
+            for &i in attrs {
+                scratch.extend(word_tokens(r.value(i).unwrap_or("")));
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            // Not `mem::take`: drain moves the strings out into an
+            // exact-size vec while the scratch buffer keeps its capacity
+            // for the next record, so tokenization never re-grows.
+            #[allow(clippy::drain_collect)]
+            scratch.drain(..).collect()
         };
 
         // Document frequency over both tables for the stop-word filter.
         let mut df: HashMap<String, usize> = HashMap::new();
-        let all_tokens_a: Vec<Vec<String>> = table_a.iter().map(tokens_of).collect();
-        let all_tokens_b: Vec<Vec<String>> = table_b.iter().map(tokens_of).collect();
+        let all_tokens_a: Vec<Vec<String>> =
+            table_a.iter().map(|r| tokens_of(r, &attrs_a)).collect();
+        let all_tokens_b: Vec<Vec<String>> =
+            table_b.iter().map(|r| tokens_of(r, &attrs_b)).collect();
         for toks in all_tokens_a.iter().chain(&all_tokens_b) {
             for t in toks {
                 *df.entry(t.clone()).or_insert(0) += 1;

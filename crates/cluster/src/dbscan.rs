@@ -1,5 +1,23 @@
 //! DBSCAN (Ester et al., KDD 1996) — the paper's default question
 //! clustering algorithm.
+//!
+//! Two front ends, one semantics:
+//!
+//! * [`dbscan`] — the reference implementation over `&[Vec<f64>]` with a
+//!   pluggable distance function and brute-force O(n) region queries.
+//! * [`dbscan_matrix`] — the production path over a contiguous
+//!   [`FeatureMatrix`] (Euclidean metric), built on a [`WindowIndex`]:
+//!   points sorted by distance to one extremal pivot, rows gathered into
+//!   that order, so each ε-query is a binary-searched **contiguous
+//!   window scan** comparing squared distances (no `sqrt` in any hot
+//!   loop). On multiple cores it materializes all region queries in
+//!   parallel shards and runs BFS expansion; on one core it runs an
+//!   allocation-free **union-find** over a symmetric pair sweep. All
+//!   three paths produce identical clusterings (the expansion's output
+//!   is order-free — see [`dbscan_union_find`] — which the tests pin).
+
+use embed::matrix::FeatureMatrix;
+use embed::par::par_map;
 
 use crate::Clustering;
 
@@ -19,7 +37,9 @@ impl Default for DbscanParams {
     }
 }
 
-/// Runs DBSCAN over `points` with distance function `dist`.
+/// Runs DBSCAN over `points` with distance function `dist` (brute-force
+/// region queries; the [`dbscan_matrix`] kernel path is preferred for
+/// Euclidean workloads).
 ///
 /// Noise points are **not** discarded: each becomes its own singleton
 /// cluster, appended after the density clusters. The batching stage must
@@ -29,25 +49,165 @@ pub fn dbscan<D>(points: &[Vec<f64>], params: DbscanParams, dist: D) -> Clusteri
 where
     D: Fn(&[f64], &[f64]) -> f64,
 {
+    let n = points.len();
+    assert!(n < u32::MAX as usize, "point count exceeds index width");
+    expand_clusters(n, params.min_pts, |i| -> Vec<u32> {
+        (0..n as u32)
+            .filter(|&j| dist(&points[i], &points[j as usize]) <= params.eps)
+            .collect()
+    })
+}
+
+/// DBSCAN over a contiguous feature matrix under the Euclidean metric,
+/// with pivot-window-pruned parallel region queries. Produces the same
+/// clustering as `dbscan(points, params, euclidean)` up to floating-point
+/// ties exactly on the ε boundary.
+pub fn dbscan_matrix(matrix: &FeatureMatrix, params: DbscanParams) -> Clustering {
+    let n = matrix.len();
+    assert!(n < u32::MAX as usize, "point count exceeds index width");
+    if n == 0 {
+        return Clustering { assignment: vec![], n_clusters: 0 };
+    }
+    let index = WindowIndex::build(matrix);
+    if embed::par::shard_count(n, 8) > 1 {
+        // Multi-core: materialize every region query up front in parallel
+        // shards, then expand over borrowed lists. This trades memory for
+        // parallelism — with a percentile-derived ε the lists total
+        // Θ(density·n²) ids — which is the right trade for the serving
+        // layer's flush sizes; the single-core branch below stays
+        // allocation-free.
+        let lists: Vec<Vec<u32>> = par_map(n, 8, |i| index.neighbors(matrix, i, params.eps));
+        expand_clusters(n, params.min_pts, |i| lists[i].as_slice())
+    } else {
+        // Single-thread: union-find over one symmetric pair sweep — no
+        // neighbor list is ever materialized. Produces the same labels
+        // as the expansion (see `dbscan_union_find`).
+        dbscan_union_find(&index, params)
+    }
+}
+
+/// Union-find DBSCAN over the window index's symmetric pair sweep.
+///
+/// Equivalent to BFS expansion because the expansion's output is
+/// order-free under the hood:
+///
+/// * core points cluster by ε-connectivity (a pure union-find problem);
+/// * cluster ids follow founding order, and a cluster is always founded
+///   by its minimum-id core point (any earlier core would have founded
+///   it first), so ids are the rank of each component's min core id;
+/// * a border point joins the **earliest-founded** cluster among its
+///   core neighbors — clusters expand one at a time in founding order,
+///   and whichever reaches the border first keeps it;
+/// * leftovers become singleton clusters in id order.
+///
+/// Each unordered within-ε pair is visited twice (a counting pass to
+/// decide core-ness, then a union/attach pass), which costs the same
+/// distance work as one full region query per point but touches no
+/// per-point allocation at all.
+fn dbscan_union_find(index: &WindowIndex, params: DbscanParams) -> Clustering {
+    let n = index.ids.len();
+    let min_pts = params.min_pts;
+
+    // Pass 1: neighbor counts (self excluded here, included by `+ 1`),
+    // recording the hit pattern for the replay pass.
+    let mut counts = vec![0u32; n];
+    let hits = index.sweep_close_pairs(params.eps, |a, b| {
+        counts[a] += 1;
+        counts[b] += 1;
+    });
+    let core: Vec<bool> = counts.iter().map(|&c| c as usize + 1 >= min_pts).collect();
+
+    // Pass 2: union core pairs, record border→core adjacencies. A border
+    // point has fewer than `min_pts` neighbors in total, so its core
+    // list is tiny by definition.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            // Path halving.
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut border: Vec<(u32, u32)> = Vec::new();
+    index.replay_close_pairs(params.eps, &hits, |a, b| match (core[a], core[b]) {
+        (true, true) => {
+            let ra = find(&mut parent, a as u32);
+            let rb = find(&mut parent, b as u32);
+            if ra != rb {
+                // Smaller root id wins — any deterministic rule works,
+                // the component is what matters.
+                if ra < rb {
+                    parent[rb as usize] = ra;
+                } else {
+                    parent[ra as usize] = rb;
+                }
+            }
+        }
+        (true, false) => border.push((b as u32, a as u32)),
+        (false, true) => border.push((a as u32, b as u32)),
+        (false, false) => {}
+    });
+
+    // Labels: cores first (founding order = min-core-id order), then
+    // borders (earliest-founded cluster among core neighbors), then
+    // singletons in id order.
+    const UNSET: usize = usize::MAX;
+    let mut labels = vec![UNSET; n];
+    let mut cluster_of_root = vec![UNSET; n];
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if core[i] {
+            let root = find(&mut parent, i as u32) as usize;
+            if cluster_of_root[root] == UNSET {
+                cluster_of_root[root] = next_cluster;
+                next_cluster += 1;
+            }
+            labels[i] = cluster_of_root[root];
+        }
+    }
+    for &(b, c) in &border {
+        let label = labels[c as usize];
+        if labels[b as usize] == UNSET || label < labels[b as usize] {
+            labels[b as usize] = label;
+        }
+    }
+    for label in labels.iter_mut() {
+        if *label == UNSET {
+            *label = next_cluster;
+            next_cluster += 1;
+        }
+    }
+    Clustering { assignment: labels, n_clusters: next_cluster }
+}
+
+/// The shared expansion core: BFS from each unvisited core point, border
+/// points join the first cluster that reaches them, leftovers become
+/// singleton clusters.
+///
+/// The queue admits only still-unlabeled points (a point already in some
+/// cluster can never be relabeled, so enqueueing it was always dead
+/// work); with percentile-derived ε the neighbor volume is Θ(n²·density)
+/// while the queue now stays O(n) per cluster.
+fn expand_clusters<N, V>(n: usize, min_pts: usize, mut neighbors: N) -> Clustering
+where
+    N: FnMut(usize) -> V,
+    V: AsRef<[u32]>,
+{
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
 
-    let n = points.len();
     let mut labels = vec![UNVISITED; n];
     let mut next_cluster = 0usize;
-
-    let neighbors = |i: usize| -> Vec<usize> {
-        (0..n)
-            .filter(|&j| dist(&points[i], &points[j]) <= params.eps)
-            .collect()
-    };
+    let mut queue: Vec<u32> = Vec::new();
 
     for i in 0..n {
         if labels[i] != UNVISITED {
             continue;
         }
         let seeds = neighbors(i);
-        if seeds.len() < params.min_pts {
+        let seeds = seeds.as_ref();
+        if seeds.len() < min_pts {
             labels[i] = NOISE;
             continue;
         }
@@ -55,10 +215,15 @@ where
         let cid = next_cluster;
         next_cluster += 1;
         labels[i] = cid;
-        let mut queue: Vec<usize> = seeds;
+        queue.clear();
+        queue.extend(
+            seeds
+                .iter()
+                .filter(|&&p| matches!(labels[p as usize], UNVISITED | NOISE)),
+        );
         let mut qi = 0;
         while qi < queue.len() {
-            let p = queue[qi];
+            let p = queue[qi] as usize;
             qi += 1;
             if labels[p] == NOISE {
                 // Border point reachable from a core point.
@@ -69,8 +234,13 @@ where
             }
             labels[p] = cid;
             let p_neighbors = neighbors(p);
-            if p_neighbors.len() >= params.min_pts {
-                queue.extend(p_neighbors);
+            let p_neighbors = p_neighbors.as_ref();
+            if p_neighbors.len() >= min_pts {
+                queue.extend(
+                    p_neighbors
+                        .iter()
+                        .filter(|&&q| matches!(labels[q as usize], UNVISITED | NOISE)),
+                );
             }
         }
     }
@@ -84,6 +254,257 @@ where
     }
 
     Clustering { assignment: labels, n_clusters: next_cluster }
+}
+
+/// Pivot-window pruning index. Points are sorted by their distance to
+/// one extremal pivot; the triangle inequality confines every
+/// ε-neighborhood to a contiguous window of that order, found by binary
+/// search. The feature rows are **gathered into window order** so the
+/// candidate scan streams one contiguous buffer, and survivors are
+/// marked in a bitmap whose sweep emits neighbor ids ascending — the
+/// same order the brute-force scan produces, with no per-list sort.
+struct WindowIndex {
+    /// Feature rows gathered in window order (row `k` = point `ids[k]`).
+    perm: Vec<f64>,
+    dim: usize,
+    /// Original point id at each window position.
+    ids: Vec<u32>,
+    /// Pivot distance at each window position (the binary-search key).
+    sorted_d0: Vec<f64>,
+    /// Pivot distance by original point id.
+    d0: Vec<f64>,
+    /// Additive pruning slack covering the rounding of computed pivot
+    /// distances, so the window never drops a true ε-neighbor.
+    slack: f64,
+}
+
+impl WindowIndex {
+    fn build(matrix: &FeatureMatrix) -> Self {
+        let n = matrix.len();
+        let dim = matrix.dim();
+        // An extremal pivot (farthest point from point 0) spreads the
+        // distance key as widely as the data allows, which is what keeps
+        // the windows narrow.
+        let from_zero = par_map(n, 256, |j| matrix.sq_dist_rows(0, j));
+        let mut pivot = 0usize;
+        let mut far = f64::NEG_INFINITY;
+        for (j, &d) in from_zero.iter().enumerate() {
+            if d > far {
+                far = d;
+                pivot = j;
+            }
+        }
+        let d0: Vec<f64> = par_map(n, 256, |j| matrix.sq_dist_rows(pivot, j).sqrt());
+
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.sort_unstable_by(|&a, &b| d0[a as usize].total_cmp(&d0[b as usize]).then(a.cmp(&b)));
+        let sorted_d0: Vec<f64> = ids.iter().map(|&j| d0[j as usize]).collect();
+        let mut perm = vec![0.0f64; n * dim];
+        for (k, &j) in ids.iter().enumerate() {
+            perm[k * dim..(k + 1) * dim].copy_from_slice(matrix.row(j as usize));
+        }
+        let max_d = sorted_d0.last().copied().unwrap_or(0.0);
+        Self { perm, dim, ids, sorted_d0, d0, slack: 1e-9 + 1e-12 * max_d }
+    }
+
+    /// All points within ε of `i` (including `i`), ascending by id.
+    fn neighbors(&self, matrix: &FeatureMatrix, i: usize, eps: f64) -> Vec<u32> {
+        if self.dim == 0 {
+            // Zero-dimensional space: every point is at distance 0.
+            return (0..self.ids.len() as u32).collect();
+        }
+        let pad = eps + self.slack;
+        let eps_sq = eps * eps;
+        let d0 = self.d0[i];
+        let lo = self.sorted_d0.partition_point(|&v| v < d0 - pad);
+        let hi = self.sorted_d0.partition_point(|&v| v <= d0 + pad);
+        let query = matrix.row(i);
+        let window = &self.perm[lo * self.dim..hi * self.dim];
+        let ids = &self.ids[lo..hi];
+        let n_words = self.ids.len().div_ceil(64);
+        let mut hits = vec![0u64; n_words];
+        let mut count = 0usize;
+        // The shared threshold-scan kernel (monomorphized per small
+        // dimension) marks survivors in an id bitmap.
+        embed::matrix::scan_rows_within::<false>(self.dim, query, window, eps_sq, |k| {
+            let id = ids[k];
+            hits[(id / 64) as usize] |= 1u64 << (id % 64);
+            count += 1;
+        });
+        // Bitmap sweep: ids come out ascending, matching the brute-force
+        // scan's expansion order.
+        let mut out = Vec::with_capacity(count);
+        for (w, &word) in hits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w as u32) * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+impl WindowIndex {
+    /// Visits every unordered pair of points within ε exactly once
+    /// (self-pairs excluded), as `(smaller_original_id, larger)` in a
+    /// deterministic order, and returns the hit pattern as a bit stream
+    /// aligned with the candidate enumeration — one forward half-window
+    /// sweep over the gathered buffer: for sorted position `a`, the
+    /// candidates are positions `a+1..` while the pivot-distance gap
+    /// stays within `ε + slack`. [`WindowIndex::replay_close_pairs`]
+    /// re-delivers the same pairs from the bits without recomputing a
+    /// single distance.
+    fn sweep_close_pairs(&self, eps: f64, mut on_pair: impl FnMut(usize, usize)) -> Vec<u64> {
+        let eps_sq = eps * eps;
+        let ends = self.window_ends(eps);
+        let total: usize = ends
+            .iter()
+            .enumerate()
+            .map(|(a, &hi)| hi as usize - (a + 1))
+            .sum();
+        let mut bits = vec![0u64; total.div_ceil(64)];
+        let mut cursor = 0usize;
+        let mut emit = |a: usize, b: usize| {
+            let (ia, ib) = (self.ids[a] as usize, self.ids[b] as usize);
+            on_pair(ia.min(ib), ia.max(ib));
+        };
+        match self.dim {
+            1 => self.half_sweep::<1>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            2 => self.half_sweep::<2>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            3 => self.half_sweep::<3>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            4 => self.half_sweep::<4>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            5 => self.half_sweep::<5>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            6 => self.half_sweep::<6>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            7 => self.half_sweep::<7>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            8 => self.half_sweep::<8>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
+            dim => {
+                let mut word = 0u64;
+                for (a, &hi) in ends.iter().enumerate() {
+                    let row_a = &self.perm[a * dim..(a + 1) * dim];
+                    for b in a + 1..hi as usize {
+                        let row_b = &self.perm[b * dim..(b + 1) * dim];
+                        let hit = embed::sq_euclidean_distance(row_a, row_b) <= eps_sq;
+                        word |= (hit as u64) << (cursor & 63);
+                        cursor += 1;
+                        if cursor & 63 == 0 {
+                            bits[(cursor >> 6) - 1] = word;
+                            word = 0;
+                        }
+                        if hit {
+                            emit(a, b);
+                        }
+                    }
+                }
+                if cursor & 63 != 0 {
+                    bits[cursor >> 6] = word;
+                }
+            }
+        }
+        bits
+    }
+
+    /// Second pass over the pairs recorded by
+    /// [`WindowIndex::sweep_close_pairs`]: the identical candidate
+    /// enumeration (same ε), with each hit decided by the stored bit —
+    /// no distance arithmetic at all.
+    fn replay_close_pairs(&self, eps: f64, bits: &[u64], mut on_pair: impl FnMut(usize, usize)) {
+        let ends = self.window_ends(eps);
+        let mut cursor = 0usize;
+        for (a, &hi) in ends.iter().enumerate() {
+            // Walk the window's bit range word by word, emitting set bits
+            // only — no per-candidate loop.
+            let start = cursor;
+            let end = cursor + (hi as usize - (a + 1));
+            cursor = end;
+            let mut w = start >> 6;
+            while w << 6 < end {
+                let mut word = bits[w];
+                // Mask off bits outside [start, end).
+                if w << 6 < start {
+                    word &= !0u64 << (start & 63);
+                }
+                if end < (w + 1) << 6 {
+                    word &= (1u64 << (end & 63)) - 1;
+                }
+                while word != 0 {
+                    let bit = (w << 6) + word.trailing_zeros() as usize;
+                    let b = a + 1 + (bit - start);
+                    let (ia, ib) = (self.ids[a] as usize, self.ids[b] as usize);
+                    on_pair(ia.min(ib), ia.max(ib));
+                    word &= word - 1;
+                }
+                w += 1;
+            }
+        }
+    }
+
+    /// Per-position exclusive end of the forward candidate window
+    /// (`sorted_d0[b] ≤ sorted_d0[a] + ε + slack`); always ≥ `a + 1`.
+    fn window_ends(&self, eps: f64) -> Vec<u32> {
+        let pad = eps + self.slack;
+        (0..self.ids.len())
+            .map(|a| {
+                let hi = self
+                    .sorted_d0
+                    .partition_point(|&v| v <= self.sorted_d0[a] + pad);
+                hi.max(a + 1) as u32
+            })
+            .collect()
+    }
+
+    /// Monomorphized forward half-window sweep (positions, not ids):
+    /// records every candidate's verdict as one bit and reports hits.
+    fn half_sweep<const D: usize>(
+        &self,
+        ends: &[u32],
+        eps_sq: f64,
+        bits: &mut [u64],
+        cursor: &mut usize,
+        emit: &mut impl FnMut(usize, usize),
+    ) {
+        // The hit pattern accumulates in a register word, flushed once
+        // per 64 candidates instead of a read-modify-write per candidate.
+        let mut cur = *cursor;
+        let mut word = 0u64;
+        for (a, &hi) in ends.iter().enumerate() {
+            let q: &[f64; D] = self.perm[a * D..(a + 1) * D]
+                .try_into()
+                .expect("row width matches dim");
+            let window = &self.perm[(a + 1) * D..(hi as usize) * D];
+            for (off, row) in window.chunks_exact(D).enumerate() {
+                let mut even = 0.0f64;
+                let mut odd = 0.0f64;
+                let mut d = 0;
+                while d + 1 < D {
+                    let t0 = q[d] - row[d];
+                    let t1 = q[d + 1] - row[d + 1];
+                    even += t0 * t0;
+                    odd += t1 * t1;
+                    d += 2;
+                }
+                if d < D {
+                    let t = q[d] - row[d];
+                    even += t * t;
+                }
+                let hit = even + odd <= eps_sq;
+                word |= (hit as u64) << (cur & 63);
+                cur += 1;
+                if cur & 63 == 0 {
+                    bits[(cur >> 6) - 1] = word;
+                    word = 0;
+                }
+                if hit {
+                    emit(a, a + 1 + off);
+                }
+            }
+        }
+        if cur & 63 != 0 {
+            bits[cur >> 6] = word;
+        }
+        *cursor = cur;
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +557,8 @@ mod tests {
         let c = dbscan(&[], DbscanParams::default(), euclidean);
         assert_eq!(c.n_clusters, 0);
         assert!(c.assignment.is_empty());
+        let m = dbscan_matrix(&FeatureMatrix::from_rows(vec![]), DbscanParams::default());
+        assert_eq!(m.n_clusters, 0);
     }
 
     #[test]
@@ -163,6 +586,80 @@ mod tests {
                 let c = dbscan(&blobs(), DbscanParams { eps, min_pts }, euclidean);
                 assert!(c.is_consistent(), "eps={eps} min_pts={min_pts}");
                 assert_eq!(c.assignment.len(), blobs().len());
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random points: three latent blobs plus a
+    /// scatter of loners, the shape where pivot pruning has to work.
+    fn scattered(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let blob = (i % 4) as f64 * 2.5;
+                (0..dim).map(|_| blob + next() * 0.8).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_path_matches_brute_force() {
+        for (n, dim) in [(1usize, 3usize), (7, 2), (60, 3), (150, 8), (300, 5)] {
+            let pts = scattered(n, dim);
+            let matrix = FeatureMatrix::from_rows(pts.clone());
+            for eps in [0.2, 0.7, 1.5, 4.0] {
+                for min_pts in [1usize, 3, 6] {
+                    let params = DbscanParams { eps, min_pts };
+                    let brute = dbscan(&pts, params, euclidean);
+                    let fast = dbscan_matrix(&matrix, params);
+                    assert_eq!(
+                        brute, fast,
+                        "n={n} dim={dim} eps={eps} min_pts={min_pts} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_path_serial_equals_parallel() {
+        let pts = scattered(200, 6);
+        let matrix = FeatureMatrix::from_rows(pts);
+        let params = DbscanParams { eps: 0.9, min_pts: 3 };
+        let parallel = dbscan_matrix(&matrix, params);
+        let serial = embed::par::with_max_threads(1, || dbscan_matrix(&matrix, params));
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn union_find_and_expansion_paths_agree() {
+        // The serial path runs union-find over the pair sweep, the
+        // multi-core path runs BFS expansion over materialized region
+        // queries; both must equal the brute-force reference exactly.
+        for (n, dim) in [(40usize, 2usize), (150, 4), (260, 7)] {
+            let pts = scattered(n, dim);
+            let matrix = FeatureMatrix::from_rows(pts.clone());
+            for eps in [0.3, 0.9, 2.5] {
+                for min_pts in [1usize, 3, 7] {
+                    let params = DbscanParams { eps, min_pts };
+                    let brute = dbscan(&pts, params, euclidean);
+                    let serial = embed::par::with_max_threads(1, || dbscan_matrix(&matrix, params));
+                    let multi = embed::par::with_max_threads(8, || dbscan_matrix(&matrix, params));
+                    assert_eq!(
+                        brute, serial,
+                        "n={n} dim={dim} eps={eps} min_pts={min_pts} serial"
+                    );
+                    assert_eq!(
+                        brute, multi,
+                        "n={n} dim={dim} eps={eps} min_pts={min_pts} multi"
+                    );
+                }
             }
         }
     }

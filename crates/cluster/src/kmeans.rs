@@ -1,9 +1,21 @@
 //! K-Means with kmeans++ initialization (ablation alternative to DBSCAN).
+//!
+//! One implementation over a contiguous [`FeatureMatrix`]
+//! ([`kmeans_matrix`]): the Lloyd assignment step — the O(n·k·dim) hot
+//! loop — scores centroids with the dot trick
+//! (`argmin ‖x − c‖² = argmin ‖c‖² − 2·x·c`, the `‖x‖²` term being
+//! constant per point) and runs in parallel shards; the update step is a
+//! cheap serial pass so centroid sums accumulate in one fixed order and
+//! the result stays bit-identical whatever the thread count. The slice
+//! front end ([`kmeans`]) packs its input into a matrix and delegates.
 
+use embed::matrix::FeatureMatrix;
+use embed::par::par_map;
+use embed::vecmath::dot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{euclidean, Clustering};
+use crate::Clustering;
 
 /// K-Means parameters.
 #[derive(Debug, Clone, Copy)]
@@ -22,60 +34,77 @@ impl Default for KMeansParams {
     }
 }
 
-/// Runs K-Means (Lloyd's algorithm, kmeans++ seeding, Euclidean metric).
+/// Runs K-Means over per-point vectors (packs into a [`FeatureMatrix`]
+/// and calls [`kmeans_matrix`]).
+pub fn kmeans(points: &[Vec<f64>], params: KMeansParams) -> Clustering {
+    kmeans_matrix(&FeatureMatrix::from_rows(points.to_vec()), params)
+}
+
+/// Runs K-Means (Lloyd's algorithm, kmeans++ seeding, Euclidean metric)
+/// over a contiguous feature matrix.
 ///
 /// Clusters that become empty during iteration are re-seeded with the
 /// point farthest from its assigned centroid, so the output always has
 /// exactly `min(k, n)` non-empty clusters.
-pub fn kmeans(points: &[Vec<f64>], params: KMeansParams) -> Clustering {
-    let n = points.len();
+pub fn kmeans_matrix(matrix: &FeatureMatrix, params: KMeansParams) -> Clustering {
+    let n = matrix.len();
     if n == 0 {
         return Clustering { assignment: vec![], n_clusters: 0 };
     }
     let k = params.k.clamp(1, n);
-    let dim = points[0].len();
+    let dim = matrix.dim();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
-    let mut centroids = init_plus_plus(points, k, &mut rng);
+    // Centroids live in one flat k×dim buffer with cached ‖c‖².
+    let mut centroids = init_plus_plus(matrix, k, &mut rng);
+    let mut cent_sq = centroid_sq_norms(&centroids, k, dim);
     let mut assignment = vec![0usize; n];
 
     for _ in 0..params.max_iters {
-        // Assignment step.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let best = nearest_centroid(p, &centroids);
-            if assignment[i] != best {
-                assignment[i] = best;
-                changed = true;
-            }
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0f64; dim]; k];
+        // Assignment step — parallel; each point's argmin is a pure
+        // function of (row, centroids), so shard count cannot change it.
+        let new_assignment = par_map(n, 64, |i| {
+            nearest_centroid(matrix.row(i), &centroids, &cent_sq, dim)
+        });
+        let mut changed = new_assignment != assignment;
+        assignment = new_assignment;
+
+        // Update step — serial so centroid sums accumulate in input
+        // order (floating-point addition is order-sensitive).
+        let mut sums = vec![0.0f64; k * dim];
         let mut counts = vec![0usize; k];
-        for (i, p) in points.iter().enumerate() {
-            counts[assignment[i]] += 1;
-            for (d, &x) in p.iter().enumerate() {
-                sums[assignment[i]][d] += x;
+        for (i, row) in matrix.rows().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (d, &x) in row.iter().enumerate() {
+                sums[c * dim + d] += x;
             }
         }
         for c in 0..k {
             if counts[c] == 0 {
-                // Re-seed an empty cluster with the worst-fitted point.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = euclidean(&points[a], &centroids[assignment[a]]);
-                        let db = euclidean(&points[b], &centroids[assignment[b]]);
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("n > 0");
-                centroids[c] = points[far].clone();
+                // Re-seed an empty cluster with the worst-fitted point
+                // (last point among ties, matching `Iterator::max_by`).
+                let mut far = 0usize;
+                let mut far_d = f64::NEG_INFINITY;
+                for (i, &a) in assignment.iter().enumerate() {
+                    let d = sq_dist_to_centroid(matrix, i, &centroids, &cent_sq, a, dim);
+                    if d >= far_d {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(matrix.row(far));
                 assignment[far] = c;
                 changed = true;
             } else {
                 for d in 0..dim {
-                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                    centroids[c * dim + d] = sums[c * dim + d] / counts[c] as f64;
                 }
             }
+            cent_sq[c] = dot(
+                &centroids[c * dim..(c + 1) * dim],
+                &centroids[c * dim..(c + 1) * dim],
+            );
         }
         if !changed {
             break;
@@ -86,24 +115,17 @@ pub fn kmeans(points: &[Vec<f64>], params: KMeansParams) -> Clustering {
 }
 
 /// kmeans++ seeding: each next centroid is sampled proportionally to the
-/// squared distance from the nearest already-chosen centroid.
-fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-    let n = points.len();
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..n)].clone());
-    while centroids.len() < k {
-        let d2: Vec<f64> = points
-            .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| {
-                        let d = euclidean(p, c);
-                        d * d
-                    })
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
+/// squared distance from the nearest already-chosen centroid. The
+/// nearest-centroid distances are maintained incrementally (one kernel
+/// pass per new centroid) instead of rescanning all chosen centroids.
+fn init_plus_plus(matrix: &FeatureMatrix, k: usize, rng: &mut StdRng) -> Vec<f64> {
+    let n = matrix.len();
+    let dim = matrix.dim();
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(matrix.row(first));
+    let mut d2: Vec<f64> = (0..n).map(|i| matrix.sq_dist_rows(first, i)).collect();
+    while centroids.len() < k * dim {
         let total: f64 = d2.iter().sum();
         let choice = if total <= 0.0 {
             // All points coincide with existing centroids; any index works.
@@ -120,22 +142,50 @@ fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             }
             idx
         };
-        centroids.push(points[choice].clone());
+        centroids.extend_from_slice(matrix.row(choice));
+        for (i, slot) in d2.iter_mut().enumerate() {
+            *slot = slot.min(matrix.sq_dist_rows(choice, i));
+        }
     }
     centroids
 }
 
-fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+fn centroid_sq_norms(centroids: &[f64], k: usize, dim: usize) -> Vec<f64> {
+    (0..k)
+        .map(|c| {
+            dot(
+                &centroids[c * dim..(c + 1) * dim],
+                &centroids[c * dim..(c + 1) * dim],
+            )
+        })
+        .collect()
+}
+
+/// Argmin over centroids of `‖c‖² − 2·x·c` (first minimum wins, matching
+/// the scalar reference's strict-`<` scan).
+fn nearest_centroid(x: &[f64], centroids: &[f64], cent_sq: &[f64], dim: usize) -> usize {
     let mut best = 0;
-    let mut best_d = f64::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
-        let d = euclidean(p, centroid);
-        if d < best_d {
-            best_d = d;
+    let mut best_score = f64::INFINITY;
+    for (c, &c_sq) in cent_sq.iter().enumerate() {
+        let score = c_sq - 2.0 * dot(x, &centroids[c * dim..(c + 1) * dim]);
+        if score < best_score {
+            best_score = score;
             best = c;
         }
     }
     best
+}
+
+fn sq_dist_to_centroid(
+    matrix: &FeatureMatrix,
+    i: usize,
+    centroids: &[f64],
+    cent_sq: &[f64],
+    c: usize,
+    dim: usize,
+) -> f64 {
+    (matrix.sq_norm(i) + cent_sq[c] - 2.0 * dot(matrix.row(i), &centroids[c * dim..(c + 1) * dim]))
+        .max(0.0)
 }
 
 /// Renumbers cluster ids densely (some may be empty after convergence on
@@ -192,6 +242,15 @@ mod tests {
         let a = kmeans(&blobs(), KMeansParams { k: 4, max_iters: 50, seed: 9 });
         let b = kmeans(&blobs(), KMeansParams { k: 4, max_iters: 50, seed: 9 });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let matrix = FeatureMatrix::from_rows(blobs());
+        let params = KMeansParams { k: 5, max_iters: 40, seed: 11 };
+        let parallel = kmeans_matrix(&matrix, params);
+        let serial = embed::par::with_max_threads(1, || kmeans_matrix(&matrix, params));
+        assert_eq!(parallel, serial);
     }
 
     #[test]

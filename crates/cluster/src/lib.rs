@@ -5,16 +5,19 @@
 //! DBSCAN (its footnote: "the algorithm achieves the best performance");
 //! K-Means is provided for the ablation bench.
 //!
-//! Both algorithms work on `&[Vec<f64>]` and a pluggable distance function,
-//! and return a [`Clustering`]: a cluster id per point, where DBSCAN noise
-//! points each form a singleton cluster (the batcher must still query every
-//! question, so no point may be dropped).
+//! Both algorithms accept either `&[Vec<f64>]` (reference slice front
+//! ends) or a contiguous [`embed::FeatureMatrix`] ([`dbscan_matrix`],
+//! [`kmeans_matrix`] — the production kernel paths: pivot-pruned region
+//! queries, dot-trick assignment, parallel shards), and return a
+//! [`Clustering`]: a cluster id per point, where DBSCAN noise points each
+//! form a singleton cluster (the batcher must still query every question,
+//! so no point may be dropped).
 
 pub mod dbscan;
 pub mod kmeans;
 
-pub use dbscan::{dbscan, DbscanParams};
-pub use kmeans::{kmeans, KMeansParams};
+pub use dbscan::{dbscan, dbscan_matrix, DbscanParams};
+pub use kmeans::{kmeans, kmeans_matrix, KMeansParams};
 
 /// A clustering result: `assignment[i]` is the cluster id of point `i`;
 /// ids are dense in `0..n_clusters`.

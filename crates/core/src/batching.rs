@@ -1,7 +1,7 @@
 //! Question batching (§III): random, similarity-based and diversity-based
 //! strategies over clustered questions.
 
-use cluster::{dbscan, kmeans, Clustering, DbscanParams, KMeansParams};
+use cluster::{dbscan_matrix, kmeans_matrix, Clustering, DbscanParams, KMeansParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -95,15 +95,14 @@ pub fn cluster_questions(
     match clustering {
         ClusteringKind::Dbscan => {
             let eps = space.distance_percentile(15.0, 200_000, seed).max(1e-9);
-            dbscan(
-                space.vectors(),
-                DbscanParams { eps, min_pts: 3 },
-                cluster::euclidean,
-            )
+            // Clustering always runs Euclidean over the contiguous matrix
+            // (pivot-pruned region queries); only ε derives from the
+            // space's configured distance.
+            dbscan_matrix(space.matrix(), DbscanParams { eps, min_pts: 3 })
         }
         ClusteringKind::KMeans => {
             let k = space.len().div_ceil(batch_size).max(1);
-            kmeans(space.vectors(), KMeansParams { k, max_iters: 30, seed })
+            kmeans_matrix(space.matrix(), KMeansParams { k, max_iters: 30, seed })
         }
     }
 }

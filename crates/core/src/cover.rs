@@ -21,9 +21,12 @@
 /// `new_coverage / weight` until no candidate adds coverage — i.e. until
 /// `f(D_s) = f(D)`, the achievable maximum (line 2 of Algorithm 1).
 ///
-/// Returns selected candidate indices in selection order. Uses lazy greedy
-/// evaluation (gains are submodular, so stale heap entries can only
-/// overestimate), which turns the quadratic rescan into near-linear work.
+/// Returns selected candidate indices in selection order. Gains are
+/// maintained **decrementally** through an inverted element → candidates
+/// index (covering an element subtracts 1 from every candidate that also
+/// covers it), so a lazy-heap pop checks staleness in O(1) instead of
+/// rescanning the candidate's coverage list — the total gain-maintenance
+/// work is one decrement per (element, covering candidate) pair.
 pub fn greedy_weighted_cover<W>(n_elements: usize, coverage: &[Vec<u32>], weight: W) -> Vec<usize>
 where
     W: Fn(usize) -> f64,
@@ -35,7 +38,6 @@ where
     struct Entry {
         ratio: f64,
         candidate: usize,
-        stamp: u64,
     }
     impl PartialEq for Entry {
         fn eq(&self, other: &Self) -> bool {
@@ -54,48 +56,131 @@ where
         }
     }
 
+    // Inverted index (CSR): which candidates cover each element, in one
+    // flat buffer — counting pass, prefix offsets, fill pass.
+    let mut offsets = vec![0usize; n_elements + 1];
+    for c in coverage {
+        for &e in c {
+            offsets[e as usize + 1] += 1;
+        }
+    }
+    for e in 0..n_elements {
+        offsets[e + 1] += offsets[e];
+    }
+    let mut covering = vec![0u32; offsets[n_elements]];
+    let mut fill = offsets.clone();
+    for (d, c) in coverage.iter().enumerate() {
+        for &e in c {
+            covering[fill[e as usize]] = d as u32;
+            fill[e as usize] += 1;
+        }
+    }
+    let mut gain: Vec<usize> = coverage.iter().map(Vec::len).collect();
     let mut covered = vec![false; n_elements];
     let mut selected = Vec::new();
-    let mut stamp = 0u64;
 
-    let gain = |covered: &[bool], d: usize| -> usize {
-        coverage[d]
-            .iter()
-            .filter(|&&e| !covered[e as usize])
-            .count()
-    };
-
+    let ratio_of = |g: usize, d: usize| g as f64 / weight(d).max(f64::MIN_POSITIVE);
     let mut heap: BinaryHeap<Entry> = coverage
         .iter()
         .enumerate()
         .filter(|(_, c)| !c.is_empty())
-        .map(|(d, c)| Entry {
-            ratio: c.len() as f64 / weight(d).max(f64::MIN_POSITIVE),
-            candidate: d,
-            stamp: 0,
-        })
+        .map(|(d, c)| Entry { ratio: ratio_of(c.len(), d), candidate: d })
         .collect();
 
     while let Some(top) = heap.pop() {
-        // Lazily refresh stale entries: recompute the gain and re-push
-        // unless the entry is already up to date.
-        let g = gain(&covered, top.candidate);
+        let g = gain[top.candidate];
         if g == 0 {
             continue;
         }
-        let fresh_ratio = g as f64 / weight(top.candidate).max(f64::MIN_POSITIVE);
+        let fresh_ratio = ratio_of(g, top.candidate);
+        // Gains only shrink, so a stale entry can only overestimate: the
+        // popped entry is still the maximum if its fresh ratio matches
+        // what was recorded or still beats the next-best entry.
         let is_fresh =
-            top.stamp == stamp || heap.peek().is_none_or(|next| fresh_ratio >= next.ratio);
+            fresh_ratio == top.ratio || heap.peek().is_none_or(|next| fresh_ratio >= next.ratio);
         if !is_fresh {
-            heap.push(Entry { ratio: fresh_ratio, candidate: top.candidate, stamp });
+            heap.push(Entry { ratio: fresh_ratio, candidate: top.candidate });
             continue;
         }
-        // Select.
+        // Select, decrementing the gain of every candidate sharing a
+        // newly covered element.
         for &e in &coverage[top.candidate] {
-            covered[e as usize] = true;
+            let e = e as usize;
+            if !covered[e] {
+                covered[e] = true;
+                for &d in &covering[offsets[e]..offsets[e + 1]] {
+                    gain[d as usize] -= 1;
+                }
+            }
         }
         selected.push(top.candidate);
-        stamp += 1;
+    }
+    selected
+}
+
+/// Greedy **unit-weight** set cover: same selection rule as
+/// [`greedy_weighted_cover`] with `weight ≡ 1`, but gains are integers,
+/// so the lazy priority queue becomes a bucket array (gain → candidates)
+/// with O(1) refile instead of a float heap — the shape phase 1 of the
+/// covering strategy runs at scale.
+pub fn greedy_unit_cover(n_elements: usize, coverage: &[Vec<u32>]) -> Vec<usize> {
+    // Inverted CSR index, as in the weighted variant.
+    let mut offsets = vec![0usize; n_elements + 1];
+    for c in coverage {
+        for &e in c {
+            offsets[e as usize + 1] += 1;
+        }
+    }
+    for e in 0..n_elements {
+        offsets[e + 1] += offsets[e];
+    }
+    let mut covering = vec![0u32; offsets[n_elements]];
+    let mut fill = offsets.clone();
+    for (d, c) in coverage.iter().enumerate() {
+        for &e in c {
+            covering[fill[e as usize]] = d as u32;
+            fill[e as usize] += 1;
+        }
+    }
+
+    let mut gain: Vec<usize> = coverage.iter().map(Vec::len).collect();
+    let max_gain = gain.iter().copied().max().unwrap_or(0);
+    // Buckets hold lazily-filed candidates; a candidate's authoritative
+    // gain lives in `gain[]`, and entries refile downward on pop.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_gain + 1];
+    for (d, &g) in gain.iter().enumerate() {
+        if g > 0 {
+            buckets[g].push(d as u32);
+        }
+    }
+    let mut covered = vec![false; n_elements];
+    let mut selected = Vec::new();
+    let mut level = max_gain;
+    while level > 0 {
+        let Some(candidate) = buckets[level].pop() else {
+            level -= 1;
+            continue;
+        };
+        let d = candidate as usize;
+        let g = gain[d];
+        if g < level {
+            // Stale entry: refile at its true gain (gains only shrink).
+            if g > 0 {
+                buckets[g].push(candidate);
+            }
+            continue;
+        }
+        // g == level: the maximum gain — select.
+        for &e in &coverage[d] {
+            let e = e as usize;
+            if !covered[e] {
+                covered[e] = true;
+                for &other in &covering[offsets[e]..offsets[e + 1]] {
+                    gain[other as usize] -= 1;
+                }
+            }
+        }
+        selected.push(d);
     }
     selected
 }
@@ -106,23 +191,28 @@ where
 /// question `q` (distance below `t`). Returns the selected pool indices:
 /// a small set covering every coverable question, found greedily with unit
 /// weights.
+///
+/// Coverage lists are built in parallel shards over the pool (`Sync`
+/// bound); each demo's list depends only on that demo, so shard count
+/// cannot change the result. The kernel-backed covering path in
+/// [`crate::selection`] builds its lists from one-to-many distance sweeps
+/// instead of a per-pair oracle; this entry point remains for callers
+/// with arbitrary coverage predicates.
 pub fn demonstration_set_generation<F>(
     n_questions: usize,
     n_pool: usize,
     covers_question: F,
 ) -> Vec<usize>
 where
-    F: Fn(usize, usize) -> bool,
+    F: Fn(usize, usize) -> bool + Sync,
 {
-    let coverage: Vec<Vec<u32>> = (0..n_pool)
-        .map(|d| {
-            (0..n_questions)
-                .filter(|&q| covers_question(d, q))
-                .map(|q| q as u32)
-                .collect()
-        })
-        .collect();
-    greedy_weighted_cover(n_questions, &coverage, |_| 1.0)
+    let coverage: Vec<Vec<u32>> = embed::par::par_map(n_pool, 8, |d| {
+        (0..n_questions)
+            .filter(|&q| covers_question(d, q))
+            .map(|q| q as u32)
+            .collect()
+    });
+    greedy_unit_cover(n_questions, &coverage)
 }
 
 /// Phase 2 — Batch Covering (§V-B).
@@ -140,18 +230,16 @@ pub fn batch_covering<F, W>(
     tokens: W,
 ) -> Vec<usize>
 where
-    F: Fn(usize, usize) -> bool,
+    F: Fn(usize, usize) -> bool + Sync,
     W: Fn(usize) -> f64,
 {
-    let coverage: Vec<Vec<u32>> = demo_set
-        .iter()
-        .map(|&d| {
-            (0..batch_len)
-                .filter(|&q| covers(d, q))
-                .map(|q| q as u32)
-                .collect()
-        })
-        .collect();
+    // One batch is small; shards only kick in for oversized demo sets.
+    let coverage: Vec<Vec<u32>> = embed::par::par_map(demo_set.len(), 64, |i| {
+        (0..batch_len)
+            .filter(|&q| covers(demo_set[i], q))
+            .map(|q| q as u32)
+            .collect()
+    });
     greedy_weighted_cover(batch_len, &coverage, |i| tokens(demo_set[i]))
 }
 

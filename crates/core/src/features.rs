@@ -1,5 +1,20 @@
 //! Feature extractors (§III-B): structure-aware and semantics-based.
+//!
+//! A [`FeatureSpace`] stores its vectors in a contiguous row-major
+//! [`FeatureMatrix`] (cached squared norms, batch kernels) rather than a
+//! `Vec<Vec<f64>>`: every downstream consumer — DBSCAN region queries,
+//! k-means assignment, the percentile threshold, top-k selection, the
+//! covering sweep — streams over the same buffer. Extraction itself runs
+//! in parallel shards (one pair's features never depend on another's).
+//!
+//! Hot-path comparisons use **ranking distances**
+//! ([`FeatureSpace::ranking_cross_dists`]): squared Euclidean (no `sqrt`)
+//! or plain cosine distance, both monotone in the true distance, so
+//! thresholds are squared once ([`FeatureSpace::ranking_threshold`]) and
+//! argmins/order statistics are unchanged.
 
+use embed::matrix::FeatureMatrix;
+use embed::par::par_map;
 use embed::{Embedder, EmbedderConfig};
 use er_core::EntityPair;
 use text_sim::{jaccard_tokens, levenshtein_ratio, normalize};
@@ -55,97 +70,164 @@ impl DistanceKind {
     }
 }
 
-/// A materialized feature space: one vector per pair, plus the distance
-/// function to compare them.
+/// Minimum pairs per extraction shard: a structure vector costs a few µs
+/// (Levenshtein over every attribute), an embedding tens of µs — 64 per
+/// shard keeps spawn overhead under a percent.
+const EXTRACT_MIN_PER_SHARD: usize = 64;
+
+/// A materialized feature space: one vector per pair in a contiguous
+/// matrix, plus the distance function to compare them.
 #[derive(Debug, Clone)]
 pub struct FeatureSpace {
-    vectors: Vec<Vec<f64>>,
+    matrix: FeatureMatrix,
     distance: DistanceKind,
 }
 
 impl FeatureSpace {
-    /// Extracts features for `pairs` with the given extractor.
+    /// Extracts features for `pairs` with the given extractor, sharded
+    /// across threads.
     ///
     /// The semantic embedder runs at 64 dimensions — enough for lexical
-    /// clustering while keeping the O(|pool|·|questions|) covering
-    /// distance sweep tractable on the largest benchmark (DBLP-Scholar).
+    /// clustering while keeping the pool×questions covering distance
+    /// sweep tractable on the largest benchmark (DBLP-Scholar).
     pub fn extract<'p, I>(pairs: I, extractor: ExtractorKind, distance: DistanceKind) -> Self
     where
         I: IntoIterator<Item = &'p EntityPair>,
     {
-        let vectors = match extractor {
-            ExtractorKind::LevenshteinRatio => pairs
-                .into_iter()
-                .map(|p| structure_vector(p, levenshtein_ratio))
-                .collect(),
-            ExtractorKind::Jaccard => pairs
-                .into_iter()
-                .map(|p| structure_vector(p, jaccard_tokens))
-                .collect(),
+        let pairs: Vec<&EntityPair> = pairs.into_iter().collect();
+        let rows = match extractor {
+            ExtractorKind::LevenshteinRatio => par_map(pairs.len(), EXTRACT_MIN_PER_SHARD, |i| {
+                structure_vector(pairs[i], levenshtein_ratio)
+            }),
+            ExtractorKind::Jaccard => par_map(pairs.len(), EXTRACT_MIN_PER_SHARD, |i| {
+                structure_vector(pairs[i], jaccard_tokens)
+            }),
             ExtractorKind::Semantic => {
                 let embedder = Embedder::new(EmbedderConfig { dim: 64, ..Default::default() });
-                pairs
-                    .into_iter()
-                    .map(|p| embedder.embed(&p.serialize()))
-                    .collect()
+                par_map(pairs.len(), EXTRACT_MIN_PER_SHARD, |i| {
+                    embedder.embed(&pairs[i].serialize())
+                })
             }
         };
-        Self { vectors, distance }
+        Self { matrix: FeatureMatrix::from_rows(rows), distance }
     }
 
     /// Builds a feature space from precomputed vectors (used by tests and
     /// the ablation benches).
     pub fn from_vectors(vectors: Vec<Vec<f64>>, distance: DistanceKind) -> Self {
-        Self { vectors, distance }
+        Self { matrix: FeatureMatrix::from_rows(vectors), distance }
     }
 
     /// Number of vectors.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.matrix.len()
     }
 
     /// True when no vectors are present.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.matrix.is_empty()
     }
 
     /// The feature vector of item `i`.
     pub fn vector(&self, i: usize) -> &[f64] {
-        &self.vectors[i]
+        self.matrix.row(i)
     }
 
-    /// All vectors.
-    pub fn vectors(&self) -> &[Vec<f64>] {
-        &self.vectors
+    /// The backing contiguous matrix (the kernel consumers' entry point).
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.matrix
+    }
+
+    /// The configured distance function.
+    pub fn distance_kind(&self) -> DistanceKind {
+        self.distance
     }
 
     /// Distance between items `i` and `j` of this space.
     pub fn dist(&self, i: usize, j: usize) -> f64 {
-        self.distance.distance(&self.vectors[i], &self.vectors[j])
+        match self.distance {
+            DistanceKind::Euclidean => self.matrix.sq_dist_rows(i, j).sqrt(),
+            DistanceKind::Cosine => self.cosine_rows(i, &self.matrix, j),
+        }
     }
 
     /// Distance between item `i` of this space and item `j` of `other`
     /// (e.g. question ↔ demonstration). Spaces must share an extractor.
     pub fn cross_dist(&self, i: usize, other: &FeatureSpace, j: usize) -> f64 {
-        self.distance.distance(&self.vectors[i], &other.vectors[j])
+        match self.distance {
+            DistanceKind::Euclidean => {
+                let x = self.matrix.row(i);
+                other
+                    .matrix
+                    .sq_dist_to_row(x, self.matrix.sq_norm(i), j)
+                    .sqrt()
+            }
+            DistanceKind::Cosine => self.cosine_rows(i, &other.matrix, j),
+        }
+    }
+
+    fn cosine_rows(&self, i: usize, other: &FeatureMatrix, j: usize) -> f64 {
+        let na = self.matrix.sq_norm(i).sqrt();
+        let nb = other.sq_norm(j).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            1.0
+        } else {
+            1.0 - embed::dot(self.matrix.row(i), other.row(j)) / (na * nb)
+        }
+    }
+
+    /// Fills `out[j]` with the **ranking distance** from item `i` of this
+    /// space to item `j` of `other`: squared Euclidean or cosine
+    /// distance. Ranking distances order exactly like true distances;
+    /// compare them against [`FeatureSpace::ranking_threshold`], never
+    /// against raw distances.
+    pub fn ranking_cross_dists(&self, i: usize, other: &FeatureSpace, out: &mut [f64]) {
+        match self.distance {
+            DistanceKind::Euclidean => other.matrix.sq_dists_to_all(self.matrix.row(i), out),
+            DistanceKind::Cosine => other.matrix.cosine_dists_to_all(self.matrix.row(i), out),
+        }
+    }
+
+    /// Maps a true-distance threshold into ranking-distance units
+    /// (squares it for Euclidean).
+    pub fn ranking_threshold(&self, t: f64) -> f64 {
+        match self.distance {
+            DistanceKind::Euclidean => t * t,
+            DistanceKind::Cosine => t,
+        }
     }
 
     /// The `pct`-th percentile (0–100) of pairwise distances, estimated on
     /// at most `max_samples` deterministic index pairs. Used to derive the
     /// covering threshold `t` (§VI-A: the 8th percentile).
+    ///
+    /// Selection runs on ranking distances with `select_nth_unstable`
+    /// (order statistics commute with the monotone `sqrt`), so no full
+    /// sort and no per-sample `sqrt` ever happens.
     pub fn distance_percentile(&self, pct: f64, max_samples: usize, seed: u64) -> f64 {
-        let n = self.vectors.len();
+        let n = self.matrix.len();
         if n < 2 {
             return 0.0;
         }
         let total = n * (n - 1) / 2;
-        let mut samples: Vec<f64> = Vec::new();
-        if total <= max_samples {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    samples.push(self.dist(i, j));
+        let mut samples: Vec<f64> = if total <= max_samples {
+            // Exhaustive: row i contributes pairs (i, i+1..n); rows are
+            // computed in parallel, concatenated in row order. The
+            // percentile is an order statistic, so sample order is
+            // irrelevant anyway — this just keeps the buffer identical to
+            // the serial enumeration.
+            let row_dists = par_map(n, 8, |i| {
+                let mut row = vec![0.0f64; n - 1 - i];
+                for (slot, j) in row.iter_mut().zip(i + 1..n) {
+                    *slot = self.ranking_dist_rows(i, j);
                 }
+                row
+            });
+            let mut out = Vec::with_capacity(total);
+            for row in row_dists {
+                out.extend_from_slice(&row);
             }
+            out
         } else {
             // Deterministic xorshift stream over index pairs.
             let mut state = seed | 1;
@@ -155,18 +237,37 @@ impl FeatureSpace {
                 state ^= state << 17;
                 state
             };
-            for _ in 0..max_samples {
-                let i = (step() % n as u64) as usize;
-                let mut j = (step() % n as u64) as usize;
-                if i == j {
-                    j = (j + 1) % n;
-                }
-                samples.push(self.dist(i, j));
-            }
+            (0..max_samples)
+                .map(|_| {
+                    let i = (step() % n as u64) as usize;
+                    // Redraw collisions so every off-diagonal pair stays
+                    // equally likely (the old `(j + 1) % n` remap skewed
+                    // mass onto successor pairs).
+                    let j = loop {
+                        let j = (step() % n as u64) as usize;
+                        if j != i {
+                            break j;
+                        }
+                    };
+                    self.ranking_dist_rows(i, j)
+                })
+                .collect()
+        };
+        let rank =
+            (((pct / 100.0) * (samples.len() - 1) as f64).round() as usize).min(samples.len() - 1);
+        let (_, value, _) = samples.select_nth_unstable_by(rank, f64::total_cmp);
+        match self.distance {
+            DistanceKind::Euclidean => value.sqrt(),
+            DistanceKind::Cosine => *value,
         }
-        samples.sort_by(f64::total_cmp);
-        let rank = ((pct / 100.0) * (samples.len() - 1) as f64).round() as usize;
-        samples[rank.min(samples.len() - 1)]
+    }
+
+    /// Ranking distance between two rows of this space.
+    fn ranking_dist_rows(&self, i: usize, j: usize) -> f64 {
+        match self.distance {
+            DistanceKind::Euclidean => self.matrix.sq_dist_rows(i, j),
+            DistanceKind::Cosine => self.cosine_rows(i, &self.matrix, j),
+        }
     }
 }
 
@@ -212,7 +313,7 @@ mod tests {
         );
         assert_eq!(space.len(), ps.len());
         assert_eq!(space.vector(0).len(), 4); // Beer has 4 attributes
-        for v in space.vectors() {
+        for v in space.matrix().rows() {
             for &x in v {
                 assert!((0.0..=1.0).contains(&x));
             }
@@ -228,6 +329,30 @@ mod tests {
             DistanceKind::Cosine,
         );
         assert_eq!(space.vector(0).len(), 64);
+    }
+
+    #[test]
+    fn extraction_parallel_matches_serial() {
+        let ps = pairs();
+        for extractor in ExtractorKind::ALL {
+            let parallel = FeatureSpace::extract(
+                ps.iter().map(|p| &p.pair),
+                extractor,
+                DistanceKind::Euclidean,
+            );
+            let serial = embed::par::with_max_threads(1, || {
+                FeatureSpace::extract(
+                    ps.iter().map(|p| &p.pair),
+                    extractor,
+                    DistanceKind::Euclidean,
+                )
+            });
+            assert_eq!(
+                parallel.matrix(),
+                serial.matrix(),
+                "{extractor:?} extraction differs across thread counts"
+            );
+        }
     }
 
     #[test]
@@ -273,6 +398,40 @@ mod tests {
     }
 
     #[test]
+    fn ranking_distances_order_like_true_distances() {
+        let space = FeatureSpace::from_vectors(
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![3.0, 4.0],
+                vec![0.1, 0.0],
+            ],
+            DistanceKind::Euclidean,
+        );
+        let other = FeatureSpace::from_vectors(
+            vec![vec![0.0, 0.1], vec![2.0, 2.0], vec![5.0, 5.0]],
+            DistanceKind::Euclidean,
+        );
+        let mut ranking = vec![0.0; other.len()];
+        space.ranking_cross_dists(0, &other, &mut ranking);
+        let true_d: Vec<f64> = (0..other.len())
+            .map(|j| space.cross_dist(0, &other, j))
+            .collect();
+        for j in 0..other.len() {
+            assert!((ranking[j] - true_d[j] * true_d[j]).abs() < 1e-12);
+        }
+        // The threshold maps consistently: d < t ⟺ ranking < ranking_threshold(t).
+        let t = 2.9;
+        for j in 0..other.len() {
+            assert_eq!(
+                true_d[j] < t,
+                ranking[j] < space.ranking_threshold(t),
+                "threshold inconsistency at {j}"
+            );
+        }
+    }
+
+    #[test]
     fn percentile_monotone_and_bounded() {
         let ps = pairs();
         let space = FeatureSpace::extract(
@@ -298,6 +457,11 @@ mod tests {
         assert_eq!(
             space.distance_percentile(8.0, 1000, 9),
             space.distance_percentile(8.0, 1000, 9)
+        );
+        // And across thread counts (the exhaustive branch shards by row).
+        assert_eq!(
+            space.distance_percentile(8.0, 1_000_000, 9),
+            embed::par::with_max_threads(1, || space.distance_percentile(8.0, 1_000_000, 9))
         );
     }
 

@@ -1,10 +1,19 @@
 //! Demonstration selection (§IV): fixed, top-k-batch, top-k-question and
 //! covering-based strategies.
+//!
+//! The relevance-driven strategies are distance sweeps over
+//! question × pool, and run on the feature-matrix kernels: one-to-many
+//! ranking distances (squared Euclidean — no `sqrt` in any hot loop),
+//! `select_nth_unstable` top-k instead of full sorts, and one thread
+//! shard per batch ([`embed::par`]). Each batch's result is a pure
+//! function of the two spaces, so the parallel plan is bit-identical to
+//! the serial one.
 
+use embed::par::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cover::{batch_covering, demonstration_set_generation};
+use crate::cover::{greedy_unit_cover, greedy_weighted_cover};
 use crate::features::FeatureSpace;
 
 /// The four selection strategies of Table I.
@@ -81,7 +90,7 @@ impl Default for SelectionParams {
 /// * `batches` — question indices per batch, from
 ///   [`crate::batching::make_batches`].
 /// * `demo_tokens(d)` — token count of pool demo `d`, the weight used by
-///   batch covering.
+///   batch covering (`Sync`: batches are covered on shard threads).
 pub fn select_demonstrations<W>(
     strategy: SelectionStrategy,
     questions: &FeatureSpace,
@@ -91,7 +100,7 @@ pub fn select_demonstrations<W>(
     demo_tokens: W,
 ) -> SelectionPlan
 where
-    W: Fn(usize) -> f64,
+    W: Fn(usize) -> f64 + Sync,
 {
     assert!(params.k > 0, "k must be positive");
     match strategy {
@@ -115,6 +124,20 @@ fn fixed(pool: &FeatureSpace, batches: &[Vec<usize>], params: SelectionParams) -
     SelectionPlan { per_batch: vec![demos.clone(); batches.len()], labeled: demos, threshold: None }
 }
 
+/// The `k` pool indices with the smallest ranking distances, ordered by
+/// `(distance, index)` — the same order a full sort of `scored` would
+/// put first, found via `select_nth_unstable` on the tail-partition
+/// instead.
+fn top_k_indices(scored: &mut [(f64, usize)], k: usize) -> Vec<usize> {
+    let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k, cmp);
+    }
+    let head = &mut scored[..k];
+    head.sort_unstable_by(cmp);
+    head.iter().map(|&(_, d)| d).collect()
+}
+
 fn topk_batch(
     questions: &FeatureSpace,
     pool: &FeatureSpace,
@@ -122,24 +145,32 @@ fn topk_batch(
     params: SelectionParams,
 ) -> SelectionPlan {
     let k = params.k.min(pool.len());
-    let mut per_batch = Vec::with_capacity(batches.len());
-    let mut labeled: Vec<usize> = Vec::new();
-    for batch in batches {
-        // dist*(B, d) = min over questions in the batch (Eq. 6).
-        let mut scored: Vec<(f64, usize)> = (0..pool.len())
-            .map(|d| {
-                let dist = batch
-                    .iter()
-                    .map(|&q| questions.cross_dist(q, pool, d))
-                    .fold(f64::INFINITY, f64::min);
-                (dist, d)
-            })
-            .collect();
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let demos: Vec<usize> = scored[..k].iter().map(|&(_, d)| d).collect();
-        labeled.extend(&demos);
-        per_batch.push(demos);
+    if k == 0 {
+        return SelectionPlan {
+            per_batch: vec![Vec::new(); batches.len()],
+            labeled: Vec::new(),
+            threshold: None,
+        };
     }
+    // One shard per batch: each batch's sweep reads shared immutable
+    // spaces and writes only its own result.
+    let per_batch: Vec<Vec<usize>> = par_map(batches.len(), 1, |bi| {
+        // dist*(B, d) = min over questions in the batch (Eq. 6), as an
+        // elementwise min of one-to-many ranking sweeps (min is exact,
+        // so accumulation order cannot change the value).
+        let mut best = vec![f64::INFINITY; pool.len()];
+        let mut buf = vec![0.0f64; pool.len()];
+        for &q in &batches[bi] {
+            questions.ranking_cross_dists(q, pool, &mut buf);
+            for (slot, &v) in best.iter_mut().zip(&buf) {
+                *slot = slot.min(v);
+            }
+        }
+        let mut scored: Vec<(f64, usize)> =
+            best.into_iter().enumerate().map(|(d, v)| (v, d)).collect();
+        top_k_indices(&mut scored, k)
+    });
+    let mut labeled: Vec<usize> = per_batch.iter().flatten().copied().collect();
     labeled.sort_unstable();
     labeled.dedup();
     SelectionPlan { per_batch, labeled, threshold: None }
@@ -151,27 +182,37 @@ fn topk_question(
     batches: &[Vec<usize>],
     params: SelectionParams,
 ) -> SelectionPlan {
-    let mut per_batch = Vec::with_capacity(batches.len());
-    let mut labeled: Vec<usize> = Vec::new();
-    for batch in batches {
+    if pool.is_empty() {
+        return SelectionPlan {
+            per_batch: vec![Vec::new(); batches.len()],
+            labeled: Vec::new(),
+            threshold: None,
+        };
+    }
+    let per_batch: Vec<Vec<usize>> = par_map(batches.len(), 1, |bi| {
+        let batch = &batches[bi];
         // k per question so the per-batch total stays comparable to the
         // other strategies (Fig. 5 uses k = 1 at batch size 8).
         let k_q = (params.k / batch.len().max(1)).max(1).min(pool.len());
         let mut demos: Vec<usize> = Vec::new();
+        let mut buf = vec![0.0f64; pool.len()];
         for &q in batch {
-            let mut scored: Vec<(f64, usize)> = (0..pool.len())
-                .map(|d| (questions.cross_dist(q, pool, d), d))
+            questions.ranking_cross_dists(q, pool, &mut buf);
+            let mut scored: Vec<(f64, usize)> = buf
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(d, v)| (v, d))
                 .collect();
-            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            for &(_, d) in &scored[..k_q] {
+            for d in top_k_indices(&mut scored, k_q) {
                 if !demos.contains(&d) {
                     demos.push(d);
                 }
             }
         }
-        labeled.extend(&demos);
-        per_batch.push(demos);
-    }
+        demos
+    });
+    let mut labeled: Vec<usize> = per_batch.iter().flatten().copied().collect();
     labeled.sort_unstable();
     labeled.dedup();
     SelectionPlan { per_batch, labeled, threshold: None }
@@ -185,52 +226,147 @@ fn covering<W>(
     demo_tokens: W,
 ) -> SelectionPlan
 where
-    W: Fn(usize) -> f64,
+    W: Fn(usize) -> f64 + Sync,
 {
     // t = the configured percentile of pairwise question distances
     // (§VI-A: 8th percentile balances labeling cost against accuracy).
     let t = questions
         .distance_percentile(params.cover_percentile, 200_000, params.seed)
         .max(1e-9);
+    let t_rank = questions.ranking_threshold(t);
 
-    // Phase 1: one demonstration set covering all questions.
-    let demo_set = demonstration_set_generation(questions.len(), pool.len(), |d, q| {
-        questions.cross_dist(q, pool, d) < t
+    // Phase 1 sweep: which questions each pool demo covers, one window
+    // pass per demo, demos sharded across threads. Under the Euclidean
+    // metric the sweep is pruned by the triangle inequality against one
+    // extremal pivot question: questions sorted by pivot distance once,
+    // each demo only scans the `±t` window of that order — and the
+    // covering threshold is a *low* percentile, so the windows are thin.
+    let n_q = questions.len();
+    let euclidean = matches!(
+        questions.distance_kind(),
+        crate::features::DistanceKind::Euclidean
+    );
+    // The window needs at least one question row to pivot on; with none,
+    // the fallback sweep below is a no-op over an empty set anyway.
+    let pivot_window = (euclidean && n_q > 0).then(|| {
+        let q_matrix = questions.matrix();
+        // Farthest question from question 0 spreads the distance key.
+        let mut pivot = 0usize;
+        let mut far = f64::NEG_INFINITY;
+        for j in 0..n_q {
+            let d = q_matrix.sq_dist_rows(0, j);
+            if d > far {
+                far = d;
+                pivot = j;
+            }
+        }
+        let dist_to_pivot: Vec<f64> = (0..n_q)
+            .map(|j| q_matrix.sq_dist_rows(pivot, j).sqrt())
+            .collect();
+        let mut order: Vec<u32> = (0..n_q as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            dist_to_pivot[a as usize]
+                .total_cmp(&dist_to_pivot[b as usize])
+                .then(a.cmp(&b))
+        });
+        let sorted: Vec<f64> = order.iter().map(|&q| dist_to_pivot[q as usize]).collect();
+        let slack = 1e-9 + 1e-12 * sorted.last().copied().unwrap_or(0.0);
+        let pivot_row = q_matrix.row(pivot).to_vec();
+        // Question rows gathered into window order, so each demo's
+        // candidate scan streams one contiguous buffer.
+        let dim = q_matrix.dim();
+        let mut perm = vec![0.0f64; n_q * dim];
+        for (k, &q) in order.iter().enumerate() {
+            perm[k * dim..(k + 1) * dim].copy_from_slice(q_matrix.row(q as usize));
+        }
+        (order, sorted, slack, pivot_row, perm)
     });
+    let coverage: Vec<Vec<u32>> = if n_q == 0 {
+        // Nothing to cover; the one-to-many sweeps below assume at least
+        // one question row (the matrices' dimensions must line up).
+        vec![Vec::new(); pool.len()]
+    } else {
+        par_map(pool.len(), 4, |d| {
+            if let Some((order, sorted, slack, pivot_row, perm)) = &pivot_window {
+                let row = pool.matrix().row(d);
+                let dim = questions.matrix().dim();
+                let d_pivot = embed::sq_euclidean_distance(pivot_row, row).sqrt();
+                let pad = t + slack;
+                let lo = sorted.partition_point(|&v| v < d_pivot - pad);
+                let hi = sorted.partition_point(|&v| v <= d_pivot + pad);
+                // Window order is deterministic; no consumer needs the
+                // ids sorted (greedy gains and the phase-2 inversion are
+                // both order-free), so the per-list sort is skipped.
+                let mut covered: Vec<u32> = Vec::new();
+                embed::matrix::scan_rows_within::<true>(
+                    dim,
+                    row,
+                    &perm[lo * dim..hi * dim],
+                    t_rank,
+                    |k| covered.push(order[lo + k]),
+                );
+                covered
+            } else {
+                let mut dists = vec![0.0f64; n_q];
+                pool.ranking_cross_dists(d, questions, &mut dists);
+                dists
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v < t_rank)
+                    .map(|(q, _)| q as u32)
+                    .collect()
+            }
+        })
+    };
 
-    // Phase 2: per batch, the cheapest (token-weighted) covering subset.
-    let mut per_batch = Vec::with_capacity(batches.len());
-    for batch in batches {
-        let picked = batch_covering(
-            batch.len(),
-            &demo_set,
-            |d, qi| questions.cross_dist(batch[qi], pool, d) < t,
-            &demo_tokens,
-        );
+    // Phase 1 cover: one demonstration set covering all questions.
+    let demo_set = greedy_unit_cover(n_q, &coverage);
+
+    // Inverted coverage for phase 2: per question, the demo-set indices
+    // covering it. Batch coverage then assembles by iterating each
+    // batch's questions — no per-(demo, question) membership probes.
+    let mut covering_demos: Vec<Vec<u32>> = vec![Vec::new(); n_q];
+    for (di, &d) in demo_set.iter().enumerate() {
+        for &q in &coverage[d] {
+            covering_demos[q as usize].push(di as u32);
+        }
+    }
+
+    // Phase 2: per batch, the cheapest (token-weighted) covering subset —
+    // batches sharded across threads.
+    let per_batch: Vec<Vec<usize>> = par_map(batches.len(), 1, |bi| {
+        let batch = &batches[bi];
+        let mut batch_cov: Vec<Vec<u32>> = vec![Vec::new(); demo_set.len()];
+        for (qi, &q) in batch.iter().enumerate() {
+            for &di in &covering_demos[q] {
+                batch_cov[di as usize].push(qi as u32);
+            }
+        }
+        let picked = greedy_weighted_cover(batch.len(), &batch_cov, |i| demo_tokens(demo_set[i]));
         let mut demos: Vec<usize> = picked.iter().map(|&i| demo_set[i]).collect();
         if demos.is_empty() && !demo_set.is_empty() {
             // Uncoverable batch (all its questions beyond t from every
             // demo): fall back to the nearest labeled demo so the prompt
             // still carries one worked example.
-            let nearest = demo_set
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    let da = batch
-                        .iter()
-                        .map(|&q| questions.cross_dist(q, pool, a))
-                        .fold(f64::INFINITY, f64::min);
-                    let db = batch
-                        .iter()
-                        .map(|&q| questions.cross_dist(q, pool, b))
-                        .fold(f64::INFINITY, f64::min);
-                    da.total_cmp(&db)
-                })
-                .expect("demo_set checked non-empty");
-            demos.push(nearest);
+            let mut mins = vec![f64::INFINITY; demo_set.len()];
+            let mut buf = vec![0.0f64; pool.len()];
+            for &q in batch {
+                questions.ranking_cross_dists(q, pool, &mut buf);
+                for (slot, &d) in mins.iter_mut().zip(&demo_set) {
+                    *slot = slot.min(buf[d]);
+                }
+            }
+            // First minimum wins, like the scalar `min_by` scan did.
+            let mut nearest = 0usize;
+            for (i, &v) in mins.iter().enumerate() {
+                if v < mins[nearest] {
+                    nearest = i;
+                }
+            }
+            demos.push(demo_set[nearest]);
         }
-        per_batch.push(demos);
-    }
+        demos
+    });
     SelectionPlan { per_batch, labeled: demo_set, threshold: Some(t) }
 }
 
@@ -418,6 +554,34 @@ mod tests {
             let a = select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0);
             let b = select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0);
             assert_eq!(a, b, "{strategy:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_all_strategies() {
+        let (q, p) = spaces();
+        for strategy in SelectionStrategy::ALL {
+            let parallel = select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0);
+            let serial = embed::par::with_max_threads(1, || {
+                select_demonstrations(strategy, &q, &p, &batches(), PARAMS, |_| 1.0)
+            });
+            assert_eq!(
+                parallel, serial,
+                "{strategy:?} differs across thread counts"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_question_space_yields_empty_plans() {
+        // Regression: the covering pivot window must not be built over an
+        // empty question matrix (its dimension is 0, mismatching pool
+        // rows). Every strategy returns an empty-but-valid plan.
+        let questions = FeatureSpace::from_vectors(vec![], DistanceKind::Euclidean);
+        let pool = FeatureSpace::from_vectors(vec![vec![0.5], vec![1.5]], DistanceKind::Euclidean);
+        for strategy in SelectionStrategy::ALL {
+            let plan = select_demonstrations(strategy, &questions, &pool, &[], PARAMS, |_| 1.0);
+            assert!(plan.per_batch.is_empty(), "{strategy:?} invented batches");
         }
     }
 

@@ -1,0 +1,94 @@
+//! Parallel-vs-serial determinism for the whole planning pipeline.
+//!
+//! The kernel layer shards feature extraction, clustering, top-k
+//! selection and the covering sweep across threads. Every shard computes
+//! a pure per-element function, so the planner's output must be **bit
+//! identical** whether it runs on one thread or many — the property the
+//! serving layer's reproducible-answers guarantee rests on. These tests
+//! pin it for every strategy combination of Table I.
+
+use batcher_core::batching::{make_batches, BatchingStrategy, ClusteringKind};
+use batcher_core::plan::{plan_question_batches, BatchPlanConfig};
+use batcher_core::selection::SelectionStrategy;
+use batcher_core::{DistanceKind, ExtractorKind, FeatureSpace};
+use datagen::{generate, DatasetKind};
+use embed::par::with_max_threads;
+use er_core::{EntityPair, LabeledPair};
+
+fn fixtures() -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    let pairs = generate(DatasetKind::Beer, 3).pairs().to_vec();
+    let pool = pairs[..48].to_vec();
+    let questions = pairs[48..120].to_vec();
+    (pool, questions)
+}
+
+#[test]
+fn plan_is_bit_identical_across_thread_counts() {
+    let (pool, questions) = fixtures();
+    let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+    let p: Vec<&LabeledPair> = pool.iter().collect();
+    for batching in BatchingStrategy::ALL {
+        for selection in SelectionStrategy::ALL {
+            for clustering in [ClusteringKind::Dbscan, ClusteringKind::KMeans] {
+                let config = BatchPlanConfig {
+                    batching,
+                    selection,
+                    clustering,
+                    seed: 17,
+                    ..BatchPlanConfig::default()
+                };
+                let parallel = plan_question_batches(&q, &p, &config);
+                let serial = with_max_threads(1, || plan_question_batches(&q, &p, &config));
+                assert_eq!(
+                    parallel, serial,
+                    "{batching:?}/{selection:?}/{clustering:?} differs across thread counts"
+                );
+                let two_threads = with_max_threads(2, || plan_question_batches(&q, &p, &config));
+                assert_eq!(
+                    parallel, two_threads,
+                    "{batching:?}/{selection:?}/{clustering:?} differs at 2 threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_is_bit_identical_for_every_extractor_and_distance() {
+    let (pool, questions) = fixtures();
+    let q: Vec<&EntityPair> = questions.iter().map(|p| &p.pair).collect();
+    let p: Vec<&LabeledPair> = pool.iter().collect();
+    for extractor in ExtractorKind::ALL {
+        for distance in [DistanceKind::Euclidean, DistanceKind::Cosine] {
+            let config =
+                BatchPlanConfig { extractor, distance, seed: 5, ..BatchPlanConfig::default() };
+            let parallel = plan_question_batches(&q, &p, &config);
+            let serial = with_max_threads(1, || plan_question_batches(&q, &p, &config));
+            assert_eq!(
+                parallel, serial,
+                "{extractor:?}/{distance:?} differs across thread counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn batches_are_bit_identical_across_thread_counts() {
+    // make_batches in isolation (the clustering stage), both algorithms.
+    let (_, questions) = fixtures();
+    let space = FeatureSpace::extract(
+        questions.iter().map(|p| &p.pair),
+        ExtractorKind::LevenshteinRatio,
+        DistanceKind::Euclidean,
+    );
+    for strategy in BatchingStrategy::ALL {
+        for clustering in [ClusteringKind::Dbscan, ClusteringKind::KMeans] {
+            let parallel = make_batches(&space, strategy, clustering, 8, 23);
+            let serial = with_max_threads(1, || make_batches(&space, strategy, clustering, 8, 23));
+            assert_eq!(
+                parallel, serial,
+                "{strategy:?}/{clustering:?} batches differ across thread counts"
+            );
+        }
+    }
+}

@@ -14,9 +14,15 @@
 //! signal — exactly the weakness of semantics-based extraction the paper
 //! reports in Table VII (structure-aware features win).
 
+pub mod matrix;
+pub mod par;
 pub mod vecmath;
 
-pub use vecmath::{cosine_distance, cosine_similarity, euclidean_distance, l2_normalize};
+pub use matrix::FeatureMatrix;
+pub use vecmath::{
+    cosine_distance, cosine_similarity, dot, euclidean_distance, l2_normalize,
+    sq_euclidean_distance,
+};
 
 use text_sim::{qgrams, word_tokens};
 

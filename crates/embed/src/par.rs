@@ -1,0 +1,162 @@
+//! Scoped-thread sharding for the dense kernels.
+//!
+//! The planning pipeline parallelizes by splitting an output buffer into
+//! disjoint contiguous shards and computing each shard on its own
+//! `std::thread::scope` thread (no rayon — the workspace builds against
+//! vendored deps only). Every sharded computation here is a pure
+//! per-element function of immutable input, so the result is **bit
+//! identical** regardless of shard count: serial (`with_max_threads(1)`)
+//! and parallel runs produce the same bytes, which the determinism tests
+//! assert end-to-end.
+//!
+//! Shard counts come from [`std::thread::available_parallelism`], capped
+//! by a thread-local override ([`with_max_threads`]) so tests can force
+//! the serial path without process-global state, and floored by a
+//! per-shard minimum work size so tiny inputs (e.g. an online flush of a
+//! few dozen questions) never pay thread-spawn overhead.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 = no override (use `available_parallelism`).
+    static MAX_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's shard count capped at `threads`
+/// (`1` forces every kernel under `f` onto the calling thread). The cap
+/// applies only to work started from the calling thread; it restores on
+/// exit, including on panic.
+pub fn with_max_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = MAX_THREADS.with(|cell| {
+        let prev = cell.get();
+        cell.set(threads.max(1));
+        Restore(prev)
+    });
+    f()
+}
+
+/// The effective thread budget: the thread-local override if set,
+/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+pub fn max_threads() -> usize {
+    let cap = MAX_THREADS.with(Cell::get);
+    if cap != 0 {
+        cap
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Number of shards for `n_items` units of work with at least
+/// `min_per_shard` units each; always in `1..=max_threads()`.
+pub fn shard_count(n_items: usize, min_per_shard: usize) -> usize {
+    let by_work = n_items / min_per_shard.max(1);
+    max_threads().min(by_work).max(1)
+}
+
+/// Splits `out` into near-equal contiguous shards and runs
+/// `f(start_index, shard)` for each, in parallel when the thread budget
+/// and `min_per_shard` allow. `start_index` is the shard's offset into
+/// `out`, so `f` can compute `out[start_index + k]` from the element's
+/// global index alone — the contract that makes sharding bit-exact.
+pub fn par_chunks_mut<T, F>(out: &mut [T], min_per_shard: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let shards = shard_count(n, min_per_shard);
+    if shards <= 1 {
+        f(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(shards);
+    std::thread::scope(|scope| {
+        for (s, shard) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(s * chunk, shard));
+        }
+    });
+}
+
+/// Maps `f` over `0..n`, sharded. Equivalent to
+/// `(0..n).map(f).collect()` — including element order — but computed on
+/// `shard_count(n, min_per_shard)` threads.
+pub fn par_map<R, F>(n: usize, min_per_shard: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    par_chunks_mut(&mut out, min_per_shard, |start, shard| {
+        for (k, slot) in shard.iter_mut().enumerate() {
+            *slot = Some(f(start + k));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every shard fills its slots"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_caps_and_restores() {
+        let outer = max_threads();
+        with_max_threads(1, || {
+            assert_eq!(max_threads(), 1);
+            assert_eq!(shard_count(1_000_000, 1), 1);
+            with_max_threads(3, || assert_eq!(max_threads(), 3));
+            assert_eq!(max_threads(), 1);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn shard_count_respects_min_work() {
+        with_max_threads(8, || {
+            assert_eq!(shard_count(7, 8), 1);
+            assert_eq!(shard_count(16, 8), 2);
+            assert_eq!(shard_count(1000, 8), 8);
+            assert_eq!(shard_count(0, 8), 1);
+        });
+    }
+
+    #[test]
+    fn par_chunks_fill_disjointly() {
+        let mut out = vec![0usize; 1003];
+        par_chunks_mut(&mut out, 1, |start, shard| {
+            for (k, slot) in shard.iter_mut().enumerate() {
+                *slot = (start + k) * 2;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let parallel = par_map(517, 4, |i| i as f64 * 1.5 - 3.0);
+        let serial = with_max_threads(1, || par_map(517, 4, |i| i as f64 * 1.5 - 3.0));
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), 517);
+        assert_eq!(parallel[10], 12.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = par_map(0, 1, |_| 0u8);
+        assert!(out.is_empty());
+        let mut empty: [u8; 0] = [];
+        par_chunks_mut(&mut empty, 1, |_, _| panic!("no shards for empty output"));
+    }
+}

@@ -5,6 +5,7 @@
 /// # Panics
 /// Panics on length mismatch — comparing vectors from different embedding
 /// spaces is always a caller bug.
+#[inline]
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
     a.iter()
@@ -14,7 +15,70 @@ pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
         .sqrt()
 }
 
+/// Squared Euclidean distance — the `sqrt`-free comparison kernel for hot
+/// paths (threshold tests, argmin/argmax, order statistics), where the
+/// monotone map `d ↦ d²` preserves every comparison.
+///
+/// Four independent accumulator lanes let the compiler vectorize the loop
+/// without fast-math; the lane split is fixed, so the result is a
+/// deterministic function of the inputs.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn sq_euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut acc = [0.0f64; 4];
+    let lanes = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < lanes {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+        i += 4;
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    while i < a.len() {
+        let d = a[i] - b[i];
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+/// Dot product with the same fixed four-lane accumulation as
+/// [`sq_euclidean_distance`].
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut acc = [0.0f64; 4];
+    let lanes = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < lanes {
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    while i < a.len() {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
 /// Cosine similarity in `[-1, 1]`; 0 when either vector is all-zero.
+#[inline]
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
     let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
@@ -28,12 +92,14 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Cosine distance `1 − cosine_similarity`, in `[0, 2]`.
+#[inline]
 pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
     1.0 - cosine_similarity(a, b)
 }
 
 /// Normalizes `v` to unit L2 norm in place; leaves the zero vector
 /// untouched.
+#[inline]
 pub fn l2_normalize(v: &mut [f64]) {
     let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm > 0.0 {
@@ -51,6 +117,30 @@ mod tests {
     fn euclidean_basics() {
         assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn sq_euclidean_matches_euclidean() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.731).sin()).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 0.377).cos()).collect();
+        let d = euclidean_distance(&a, &b);
+        assert!((sq_euclidean_distance(&a, &b) - d * d).abs() < 1e-12);
+        assert_eq!(sq_euclidean_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // Odd lengths exercise the scalar tail after the 4-lane body.
+        let a: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        assert_eq!(dot(&a, &a), 204.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

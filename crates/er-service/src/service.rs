@@ -178,6 +178,12 @@ struct Counters {
     fallback_answered: AtomicU64,
     batches_flushed: AtomicU64,
     retries: AtomicU64,
+    /// Planning passes (one per non-empty flush).
+    plans: AtomicU64,
+    /// Wall time of the most recent planning pass, microseconds.
+    plan_last_us: AtomicU64,
+    /// Cumulative planning wall time, microseconds (for the average).
+    plan_total_us: AtomicU64,
 }
 
 struct Inner {
@@ -334,8 +340,13 @@ impl ErService {
     pub fn stats(&self) -> ServiceStats {
         let inner = &*self.inner;
         let ledger = inner.governor.ledger().snapshot();
+        let plans = inner.counters.plans.load(Ordering::Relaxed);
+        let plan_total_us = inner.counters.plan_total_us.load(Ordering::Relaxed);
         ServiceStats {
             submitted: inner.counters.submitted.load(Ordering::Relaxed),
+            plans,
+            plan_last_us: inner.counters.plan_last_us.load(Ordering::Relaxed),
+            plan_avg_us: plan_total_us.checked_div(plans).unwrap_or(0),
             cache_hits: inner.cache.hits(),
             cache_misses: inner.cache.misses(),
             cache_entries: inner.cache.len() as u64,
@@ -514,7 +525,18 @@ fn flush(inner: &Inner, drained: Vec<Pending>, work_tx: &Sender<WorkItem>) {
 
     let question_refs: Vec<&EntityPair> = unique.iter().map(|(_, p)| p).collect();
     let plan_config = BatchPlanConfig { seed: flush_seed, ..inner.plan_template };
+    let plan_started = Instant::now();
     let plan = plan_with_prepared_pool(&question_refs, &inner.prepared_pool, &plan_config);
+    let plan_us = u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    inner.counters.plans.fetch_add(1, Ordering::Relaxed);
+    inner
+        .counters
+        .plan_last_us
+        .store(plan_us, Ordering::Relaxed);
+    inner
+        .counters
+        .plan_total_us
+        .fetch_add(plan_us, Ordering::Relaxed);
 
     inner
         .counters

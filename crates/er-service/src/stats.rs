@@ -26,6 +26,13 @@ pub struct ServiceStats {
     pub fallback_answered: u64,
     /// Batches flushed out of the coalescing queue.
     pub batches_flushed: u64,
+    /// Planning passes run (one per non-empty flush).
+    pub plans: u64,
+    /// Wall time of the most recent planning pass, microseconds — the
+    /// kernel layer's speedup, observable online.
+    pub plan_last_us: u64,
+    /// Mean planning wall time across all passes, microseconds.
+    pub plan_avg_us: u64,
     /// Executor retries (rate limits + malformed output).
     pub retries: u64,
     /// LLM API calls issued.
@@ -91,6 +98,9 @@ mod tests {
             llm_answered: 4,
             fallback_answered: 1,
             batches_flushed: 1,
+            plans: 2,
+            plan_last_us: 180,
+            plan_avg_us: 210,
             retries: 0,
             api_calls: 1,
             prompt_tokens: 900,

@@ -129,6 +129,13 @@ fn cache_hits_are_identical_and_free() {
     let stats = service.stats();
     assert_eq!(stats.cache_hits, 12);
     assert!(stats.cache_hit_rate() > 0.0);
+    // The first pass planned at least one flush; plan latency gauges are
+    // live (cache hits on the second pass plan nothing).
+    assert!(stats.plans > 0, "no planning pass recorded");
+    assert!(
+        stats.plan_avg_us > 0 || stats.plan_last_us > 0,
+        "plan timing never recorded"
+    );
 }
 
 #[test]
