@@ -1,5 +1,7 @@
-//! Shared harness utilities for the table/figure reproduction binaries.
+//! Shared harness utilities for the table/figure reproduction binaries
+//! and the planning-path benches.
 
+pub mod synth;
 pub mod tables;
 
 use datagen::{generate, DatasetKind};

@@ -86,6 +86,34 @@ pub fn dbscan_matrix(matrix: &FeatureMatrix, params: DbscanParams) -> Clustering
     }
 }
 
+/// Materializes every ε-region query of `matrix` (Euclidean metric) via
+/// the pivot-window index: `lists[i]` holds the ids of all points within
+/// ε of point `i` — **including `i` itself** — ascending.
+///
+/// This is exactly the neighbor structure the multi-core
+/// [`dbscan_matrix`] path expands over; callers that maintain the lists
+/// incrementally (the batcher's incremental planner) rebuild them here on
+/// a full re-plan and feed them back through
+/// [`dbscan_from_neighbor_lists`].
+pub fn dbscan_neighbor_lists(matrix: &FeatureMatrix, eps: f64) -> Vec<Vec<u32>> {
+    let n = matrix.len();
+    assert!(n < u32::MAX as usize, "point count exceeds index width");
+    if n == 0 {
+        return Vec::new();
+    }
+    let index = WindowIndex::build(matrix);
+    par_map(n, 8, |i| index.neighbors(matrix, i, eps))
+}
+
+/// DBSCAN expansion over pre-materialized region queries: `lists[i]` must
+/// contain every point within ε of `i`, including `i` itself (the output
+/// of [`dbscan_neighbor_lists`], or lists maintained incrementally under
+/// the same ε). Produces the identical clustering to [`dbscan_matrix`]
+/// over the matrix the lists were derived from.
+pub fn dbscan_from_neighbor_lists(lists: &[Vec<u32>], min_pts: usize) -> Clustering {
+    expand_clusters(lists.len(), min_pts, |i| lists[i].as_slice())
+}
+
 /// Union-find DBSCAN over the window index's symmetric pair sweep.
 ///
 /// Equivalent to BFS expansion because the expansion's output is

@@ -50,6 +50,14 @@ pub enum ClusteringKind {
     KMeans,
 }
 
+/// `min_pts` used by the DBSCAN batching stage everywhere in the crate
+/// (the incremental planner's graph repair must agree with the full
+/// pipeline on core-ness).
+pub const DBSCAN_MIN_PTS: usize = 3;
+
+/// Percentile of pairwise question distances defining the DBSCAN ε.
+pub const DBSCAN_EPS_PERCENTILE: f64 = 15.0;
+
 /// Groups the question set into batches of (at most) `batch_size`.
 ///
 /// Every question lands in exactly one batch, and every batch except
@@ -62,8 +70,28 @@ pub fn make_batches(
     batch_size: usize,
     seed: u64,
 ) -> Vec<Vec<usize>> {
+    // Checked again in batches_for_clustering, but asserted here first so
+    // a zero batch size fails by name before any clustering work runs.
     assert!(batch_size > 0, "batch size must be positive");
-    let n = space.len();
+    let clusters = (strategy != BatchingStrategy::Random)
+        .then(|| cluster_questions(space, clustering, batch_size, seed));
+    batches_for_clustering(space.len(), clusters.as_ref(), strategy, batch_size, seed)
+}
+
+/// The batch-assembly half of [`make_batches`]: groups `0..n` questions
+/// into batches given an already-computed clustering (`None` is accepted
+/// for — and only for — the random strategy, which ignores clusters).
+///
+/// Split out so a caller that *maintains* the clustering incrementally
+/// can reuse the exact assembly semantics without re-clustering.
+pub fn batches_for_clustering(
+    n: usize,
+    clusters: Option<&Clustering>,
+    strategy: BatchingStrategy,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
     if n == 0 {
         return Vec::new();
     }
@@ -75,12 +103,14 @@ pub fn make_batches(
             order.chunks(batch_size).map(<[usize]>::to_vec).collect()
         }
         BatchingStrategy::Similarity => {
-            let clusters = cluster_questions(space, clustering, batch_size, seed);
-            similarity_batches(&clusters, batch_size, &mut rng)
+            let clusters = clusters.expect("similarity batching requires a clustering");
+            assert_eq!(clusters.assignment.len(), n, "clustering size mismatch");
+            similarity_batches(clusters, batch_size, &mut rng)
         }
         BatchingStrategy::Diversity => {
-            let clusters = cluster_questions(space, clustering, batch_size, seed);
-            diversity_batches(&clusters, batch_size, &mut rng)
+            let clusters = clusters.expect("diversity batching requires a clustering");
+            assert_eq!(clusters.assignment.len(), n, "clustering size mismatch");
+            diversity_batches(clusters, batch_size, &mut rng)
         }
     }
 }
@@ -92,17 +122,40 @@ pub fn cluster_questions(
     batch_size: usize,
     seed: u64,
 ) -> Clustering {
+    cluster_questions_pinned(space, clustering, batch_size, seed, None).0
+}
+
+/// Like [`cluster_questions`], but with an optional pinned DBSCAN ε
+/// (`eps_override`). Returns the clustering together with the ε actually
+/// used (`None` for K-Means), so callers that freeze the threshold across
+/// incremental re-plans can record it.
+pub fn cluster_questions_pinned(
+    space: &FeatureSpace,
+    clustering: ClusteringKind,
+    batch_size: usize,
+    seed: u64,
+    eps_override: Option<f64>,
+) -> (Clustering, Option<f64>) {
     match clustering {
         ClusteringKind::Dbscan => {
-            let eps = space.distance_percentile(15.0, 200_000, seed).max(1e-9);
+            let eps = eps_override.unwrap_or_else(|| {
+                space
+                    .distance_percentile(DBSCAN_EPS_PERCENTILE, 200_000, seed)
+                    .max(1e-9)
+            });
             // Clustering always runs Euclidean over the contiguous matrix
             // (pivot-pruned region queries); only ε derives from the
             // space's configured distance.
-            dbscan_matrix(space.matrix(), DbscanParams { eps, min_pts: 3 })
+            let clusters = dbscan_matrix(
+                space.matrix(),
+                DbscanParams { eps, min_pts: DBSCAN_MIN_PTS },
+            );
+            (clusters, Some(eps))
         }
         ClusteringKind::KMeans => {
             let k = space.len().div_ceil(batch_size).max(1);
-            kmeans_matrix(space.matrix(), KMeansParams { k, max_iters: 30, seed })
+            let clusters = kmeans_matrix(space.matrix(), KMeansParams { k, max_iters: 30, seed });
+            (clusters, None)
         }
     }
 }

@@ -118,6 +118,12 @@ impl FeatureSpace {
         Self { matrix: FeatureMatrix::from_rows(vectors), distance }
     }
 
+    /// Builds a feature space around an existing matrix (the incremental
+    /// planner gathers cached rows into one contiguous buffer per epoch).
+    pub(crate) fn from_matrix(matrix: FeatureMatrix, distance: DistanceKind) -> Self {
+        Self { matrix, distance }
+    }
+
     /// Number of vectors.
     pub fn len(&self) -> usize {
         self.matrix.len()
@@ -267,6 +273,22 @@ impl FeatureSpace {
         match self.distance {
             DistanceKind::Euclidean => self.matrix.sq_dist_rows(i, j),
             DistanceKind::Cosine => self.cosine_rows(i, &self.matrix, j),
+        }
+    }
+}
+
+/// Extracts the feature vector of a single pair — bit-identical to the
+/// row [`FeatureSpace::extract`] produces for the same pair (every
+/// extractor is a pure per-pair function), so rows cached one at a time
+/// by the incremental planner interleave exactly with batch-extracted
+/// spaces.
+pub(crate) fn extract_row(pair: &EntityPair, extractor: ExtractorKind) -> Vec<f64> {
+    match extractor {
+        ExtractorKind::LevenshteinRatio => structure_vector(pair, levenshtein_ratio),
+        ExtractorKind::Jaccard => structure_vector(pair, jaccard_tokens),
+        ExtractorKind::Semantic => {
+            let embedder = Embedder::new(EmbedderConfig { dim: 64, ..Default::default() });
+            embedder.embed(&pair.serialize())
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod cover;
 pub mod estimate;
 pub mod executor;
 pub mod features;
+pub mod incremental;
 pub mod plan;
 pub mod prompt;
 pub mod runner;
@@ -43,9 +44,10 @@ pub use cover::{
 pub use estimate::CostEstimate;
 pub use executor::{ExecutionOutcome, Executor};
 pub use features::{DistanceKind, ExtractorKind, FeatureSpace};
+pub use incremental::{EpochPlan, PlanKind, PlanState, PlanStateStats};
 pub use plan::{
-    plan_question_batches, plan_with_prepared_pool, BatchPlanConfig, PreparedPool,
-    QuestionBatchPlan,
+    plan_question_batches, plan_with_prepared_pool, plan_with_prepared_pool_pinned,
+    BatchPlanConfig, PlanThresholds, PreparedPool, QuestionBatchPlan,
 };
 pub use prompt::{build_batch_prompt, task_description};
 pub use runner::{run, run_design_space_cell, run_on_split, RunConfig, RunResult};

@@ -9,10 +9,14 @@
 
 use er_core::{EntityPair, LabeledPair};
 
-use crate::batching::{make_batches, BatchingStrategy, ClusteringKind};
+use crate::batching::{
+    batches_for_clustering, cluster_questions_pinned, BatchingStrategy, ClusteringKind,
+};
 use crate::features::{DistanceKind, ExtractorKind, FeatureSpace};
 use crate::runner::RunConfig;
-use crate::selection::{select_demonstrations, SelectionParams, SelectionPlan, SelectionStrategy};
+use crate::selection::{
+    select_demonstrations_pinned, SelectionParams, SelectionPlan, SelectionStrategy,
+};
 
 /// Configuration of one planning pass — the batching/selection slice of a
 /// [`RunConfig`], without the execution-side knobs (model, retries).
@@ -101,6 +105,26 @@ pub struct PreparedPool {
 }
 
 impl PreparedPool {
+    /// The pool's feature space.
+    pub(crate) fn space(&self) -> &FeatureSpace {
+        &self.space
+    }
+
+    /// Token counts per pool demonstration (covering weights).
+    pub(crate) fn token_weights(&self) -> &[f64] {
+        &self.token_weights
+    }
+
+    /// The extractor the pool was featurized with.
+    pub(crate) fn extractor_kind(&self) -> ExtractorKind {
+        self.extractor
+    }
+
+    /// The distance function the pool was featurized with.
+    pub(crate) fn distance_kind(&self) -> DistanceKind {
+        self.distance
+    }
+
     /// Featurizes `pool` with the given extractor/distance. Question
     /// featurization during planning uses the same pair, overriding
     /// whatever the per-call config says — the two spaces must agree.
@@ -160,6 +184,30 @@ pub fn plan_with_prepared_pool(
     pool: &PreparedPool,
     config: &BatchPlanConfig,
 ) -> QuestionBatchPlan {
+    plan_with_prepared_pool_pinned(questions, pool, config, PlanThresholds::default())
+}
+
+/// Pinned distance thresholds for a planning pass. `None` fields derive
+/// from the question set as usual; `Some` fields replace the derivation —
+/// the contract the incremental planner's equivalence rests on: a plan
+/// maintained under frozen thresholds must equal a from-scratch plan with
+/// the same thresholds pinned.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanThresholds {
+    /// DBSCAN ε for the batching stage.
+    pub eps: Option<f64>,
+    /// Covering threshold `t` for demonstration selection.
+    pub cover_t: Option<f64>,
+}
+
+/// [`plan_with_prepared_pool`] with pinned thresholds (see
+/// [`PlanThresholds`]).
+pub fn plan_with_prepared_pool_pinned(
+    questions: &[&EntityPair],
+    pool: &PreparedPool,
+    config: &BatchPlanConfig,
+    thresholds: PlanThresholds,
+) -> QuestionBatchPlan {
     if questions.is_empty() {
         return QuestionBatchPlan {
             batches: Vec::new(),
@@ -170,10 +218,20 @@ pub fn plan_with_prepared_pool(
     }
 
     let q_space = FeatureSpace::extract(questions.iter().copied(), pool.extractor, pool.distance);
-    let batches = make_batches(
-        &q_space,
+    let clusters = (config.batching != BatchingStrategy::Random).then(|| {
+        cluster_questions_pinned(
+            &q_space,
+            config.clustering,
+            config.batch_size,
+            config.seed,
+            thresholds.eps,
+        )
+        .0
+    });
+    let batches = batches_for_clustering(
+        q_space.len(),
+        clusters.as_ref(),
         config.batching,
-        config.clustering,
         config.batch_size,
         config.seed,
     );
@@ -189,7 +247,7 @@ pub fn plan_with_prepared_pool(
     }
 
     let demo_tokens = |d: usize| pool.token_weights[d];
-    let SelectionPlan { per_batch, labeled, threshold } = select_demonstrations(
+    let SelectionPlan { per_batch, labeled, threshold } = select_demonstrations_pinned(
         config.selection,
         &q_space,
         &pool.space,
@@ -199,6 +257,7 @@ pub fn plan_with_prepared_pool(
             cover_percentile: config.cover_percentile,
             seed: config.seed,
         },
+        thresholds.cover_t,
         demo_tokens,
     );
 

@@ -102,13 +102,53 @@ pub fn select_demonstrations<W>(
 where
     W: Fn(usize) -> f64 + Sync,
 {
+    select_demonstrations_pinned(
+        strategy,
+        questions,
+        pool,
+        batches,
+        params,
+        None,
+        demo_tokens,
+    )
+}
+
+/// Like [`select_demonstrations`], but with an optional pinned covering
+/// threshold `t` (`threshold_override`) instead of deriving it from the
+/// question-distance percentile. Only the covering strategy consults the
+/// override; callers that freeze `t` across incremental re-plans pass the
+/// recorded value so the plan stays equivalent to the one that froze it.
+pub fn select_demonstrations_pinned<W>(
+    strategy: SelectionStrategy,
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    params: SelectionParams,
+    threshold_override: Option<f64>,
+    demo_tokens: W,
+) -> SelectionPlan
+where
+    W: Fn(usize) -> f64 + Sync,
+{
     assert!(params.k > 0, "k must be positive");
     match strategy {
         SelectionStrategy::Fixed => fixed(pool, batches, params),
         SelectionStrategy::TopKBatch => topk_batch(questions, pool, batches, params),
         SelectionStrategy::TopKQuestion => topk_question(questions, pool, batches, params),
-        SelectionStrategy::Covering => covering(questions, pool, batches, params, demo_tokens),
+        SelectionStrategy::Covering => {
+            let t = threshold_override.unwrap_or_else(|| covering_threshold(questions, params));
+            let coverage = compute_coverage(questions, pool, t);
+            covering_with_coverage(questions, pool, batches, &coverage, t, demo_tokens)
+        }
     }
+}
+
+/// The covering threshold `t`: the configured percentile of pairwise
+/// question distances (§VI-A: 8th percentile), floored away from zero.
+pub(crate) fn covering_threshold(questions: &FeatureSpace, params: SelectionParams) -> f64 {
+    questions
+        .distance_percentile(params.cover_percentile, 200_000, params.seed)
+        .max(1e-9)
 }
 
 fn fixed(pool: &FeatureSpace, batches: &[Vec<usize>], params: SelectionParams) -> SelectionPlan {
@@ -218,21 +258,16 @@ fn topk_question(
     SelectionPlan { per_batch, labeled, threshold: None }
 }
 
-fn covering<W>(
+/// Phase-1 coverage lists: `coverage[d]` holds the question indices demo
+/// `d` covers (distance strictly below `t`), in an arbitrary order — the
+/// greedy gains and the phase-2 inversion are both order-free, which is
+/// also what lets an incrementally maintained coverage cache substitute
+/// for this sweep.
+pub(crate) fn compute_coverage(
     questions: &FeatureSpace,
     pool: &FeatureSpace,
-    batches: &[Vec<usize>],
-    params: SelectionParams,
-    demo_tokens: W,
-) -> SelectionPlan
-where
-    W: Fn(usize) -> f64 + Sync,
-{
-    // t = the configured percentile of pairwise question distances
-    // (§VI-A: 8th percentile balances labeling cost against accuracy).
-    let t = questions
-        .distance_percentile(params.cover_percentile, 200_000, params.seed)
-        .max(1e-9);
+    t: f64,
+) -> Vec<Vec<u32>> {
     let t_rank = questions.ranking_threshold(t);
 
     // Phase 1 sweep: which questions each pool demo covers, one window
@@ -281,7 +316,7 @@ where
         }
         (order, sorted, slack, pivot_row, perm)
     });
-    let coverage: Vec<Vec<u32>> = if n_q == 0 {
+    if n_q == 0 {
         // Nothing to cover; the one-to-many sweeps below assume at least
         // one question row (the matrices' dimensions must line up).
         vec![Vec::new(); pool.len()]
@@ -317,10 +352,29 @@ where
                     .collect()
             }
         })
-    };
+    }
+}
 
+/// The covering strategy downstream of coverage computation: phase-1
+/// greedy demonstration-set generation, the phase-2 per-batch weighted
+/// cover, and the nearest-demo fallback for uncoverable batches.
+/// `coverage` must satisfy the [`compute_coverage`] contract for the same
+/// `questions`/`pool`/`t` (computed fresh or maintained incrementally) —
+/// the output is a pure, order-insensitive function of it.
+pub(crate) fn covering_with_coverage<W>(
+    questions: &FeatureSpace,
+    pool: &FeatureSpace,
+    batches: &[Vec<usize>],
+    coverage: &[Vec<u32>],
+    t: f64,
+    demo_tokens: W,
+) -> SelectionPlan
+where
+    W: Fn(usize) -> f64 + Sync,
+{
+    let n_q = questions.len();
     // Phase 1 cover: one demonstration set covering all questions.
-    let demo_set = greedy_unit_cover(n_q, &coverage);
+    let demo_set = greedy_unit_cover(n_q, coverage);
 
     // Inverted coverage for phase 2: per question, the demo-set indices
     // covering it. Batch coverage then assembles by iterating each

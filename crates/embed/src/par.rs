@@ -41,15 +41,35 @@ pub fn with_max_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// The effective thread budget: the thread-local override if set,
-/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+/// Process-wide default cap from the `BATCHER_MAX_THREADS` environment
+/// variable, read once: 0 = unset/invalid (no cap). Unlike the
+/// thread-local override it applies to *every* thread — including service
+/// worker pools — which is what a deterministic single-thread CI run
+/// needs.
+fn env_max_threads() -> usize {
+    use std::sync::OnceLock;
+    static ENV_CAP: OnceLock<usize> = OnceLock::new();
+    *ENV_CAP.get_or_init(|| {
+        std::env::var("BATCHER_MAX_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The effective thread budget: the thread-local override if set, then
+/// the `BATCHER_MAX_THREADS` environment cap, otherwise
+/// [`std::thread::available_parallelism`] (1 when unknown).
 pub fn max_threads() -> usize {
     let cap = MAX_THREADS.with(Cell::get);
     if cap != 0 {
-        cap
-    } else {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        return cap;
     }
+    let env_cap = env_max_threads();
+    if env_cap != 0 {
+        return env_cap;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Number of shards for `n_items` units of work with at least

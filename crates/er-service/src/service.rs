@@ -33,9 +33,10 @@ use std::time::{Duration, Instant};
 
 use baselines::features::base_features;
 use baselines::logistic::{LogisticModel, TrainConfig};
+use batcher_core::incremental::{PlanKind, PlanState, DEFAULT_MAX_DELTA_FRACTION};
 use batcher_core::{
-    build_batch_prompt, plan_with_prepared_pool, task_description, BatchPlanConfig, DistanceKind,
-    ExecutionOutcome, Executor, ExtractorKind, PreparedPool,
+    build_batch_prompt, task_description, BatchPlanConfig, DistanceKind, ExecutionOutcome,
+    Executor, ExtractorKind, PreparedPool,
 };
 use er_core::{
     CostLedger, EntityPair, LabeledPair, MatchLabel, Money, SharedCostLedger, TokenCount,
@@ -112,6 +113,12 @@ pub struct ServiceConfig {
     /// cost (the simulator's rationale lines quote question content, so
     /// an answer is bounded by the question plus this overhead).
     pub completion_allowance: u64,
+    /// Fallback threshold of the incremental planner: when the questions
+    /// inserted + retired since the last plan exceed this fraction of the
+    /// previously planned pool, the planner re-plans from scratch
+    /// (re-deriving its frozen clustering/covering thresholds) instead of
+    /// applying the delta.
+    pub max_plan_delta_fraction: f64,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +135,7 @@ impl Default for ServiceConfig {
             workers: 2,
             domain: "Product".to_owned(),
             completion_allowance: 24,
+            max_plan_delta_fraction: DEFAULT_MAX_DELTA_FRACTION,
         }
     }
 }
@@ -137,13 +145,45 @@ struct Pending {
     fp: PairFingerprint,
     pair: EntityPair,
     waiter: Sender<MatchDecision>,
+    /// Arrival time at `submit` — carried into the planner so a held
+    /// partial-batch question's dispatch deadline anchors to when the
+    /// client actually asked, keeping `flush_deadline` a true bound on
+    /// queue+hold wait.
+    enqueued: Instant,
 }
 
 struct QueueState {
     pending: Vec<Pending>,
     /// Set when the first pending item arrived (deadline anchor).
     oldest: Option<Instant>,
+    /// When the oldest *planned-but-held* partial-batch question must be
+    /// dispatched (set by the planner, armed under the queue lock so the
+    /// dispatcher's wait cannot miss it).
+    straggler_deadline: Option<Instant>,
     stopping: bool,
+}
+
+/// One question the planner holds: planned into a partial batch and kept
+/// for the next epoch in the hope of fuller co-batched traffic.
+struct QueuedQuestion {
+    pair: EntityPair,
+    waiters: Vec<Sender<MatchDecision>>,
+    /// First arrival time — partial batches dispatch once this exceeds
+    /// the flush deadline.
+    since: Instant,
+}
+
+/// The epoch-tracked planner: the incremental [`PlanState`] plus the
+/// service-side bookkeeping of which questions it currently owns.
+///
+/// Lifecycle of a question: `insert` on first arrival (later identical
+/// arrivals attach their waiters), planned every epoch, `retire` at
+/// dispatch (execution owns it from there, via `in_flight`). Questions
+/// persisting across epochs — partial-batch stragglers — are exactly
+/// what makes the next epoch a small delta.
+struct Planner {
+    state: PlanState,
+    queued: HashMap<PairFingerprint, QueuedQuestion>,
 }
 
 /// One planned batch handed to the worker pool.
@@ -162,7 +202,10 @@ struct BatchJob {
 /// the queue past its deadline under sustained load.
 enum WorkItem {
     /// A drained queue generation to dedupe, plan and split into batches.
-    Plan(Vec<Pending>),
+    /// `urgent` marks deadline- or shutdown-triggered flushes: every
+    /// planned batch dispatches, including partial ones (a size-triggered
+    /// flush may instead hold partial batches for the next epoch).
+    Plan { drained: Vec<Pending>, urgent: bool },
     /// One planned batch to execute against the LLM.
     Batch(BatchJob),
     /// Terminate one worker (the dispatcher sends one per worker).
@@ -180,6 +223,14 @@ struct Counters {
     retries: AtomicU64,
     /// Planning passes (one per non-empty flush).
     plans: AtomicU64,
+    /// Planning passes that re-derived thresholds and rebuilt caches.
+    plans_full: AtomicU64,
+    /// Planning passes that reused the incremental planner's caches.
+    plans_incremental: AtomicU64,
+    /// Questions inserted into the planner by the most recent pass.
+    plan_last_inserted: AtomicU64,
+    /// Questions retired from the planner by the most recent pass.
+    plan_last_retired: AtomicU64,
     /// Wall time of the most recent planning pass, microseconds.
     plan_last_us: AtomicU64,
     /// Cumulative planning wall time, microseconds (for the average).
@@ -206,6 +257,14 @@ struct Inner {
     governor: CostGovernor,
     queue: Mutex<QueueState>,
     queue_cond: Condvar,
+    /// The epoch-tracked incremental planner (see [`Planner`]).
+    planner: Mutex<Planner>,
+    /// Workers still running. The last worker out drains any questions
+    /// the planner still holds, so a straggler planned *after* the
+    /// dispatcher's shutdown drain can never strand its waiters — their
+    /// dropped senders disconnect the receivers, which degrade to the
+    /// local fallback.
+    live_workers: AtomicU64,
     counters: Counters,
 }
 
@@ -271,6 +330,11 @@ impl ErService {
             PreparedPool::prepare(&pool_refs, ExtractorKind::Semantic, DistanceKind::Euclidean);
         drop(pool_refs);
 
+        let planner = Planner {
+            state: PlanState::from_prepared(prepared_pool.clone(), plan_template)
+                .with_max_delta_fraction(config.max_plan_delta_fraction),
+            queued: HashMap::new(),
+        };
         let inner = Arc::new(Inner {
             plan_template,
             api,
@@ -280,10 +344,17 @@ impl ErService {
             fallback,
             cache: AnswerCache::new(config.cache_enabled, config.cache_capacity),
             governor: CostGovernor::new(SharedCostLedger::new(), config.budget),
-            queue: Mutex::new(QueueState { pending: Vec::new(), oldest: None, stopping: false }),
+            queue: Mutex::new(QueueState {
+                pending: Vec::new(),
+                oldest: None,
+                straggler_deadline: None,
+                stopping: false,
+            }),
             queue_cond: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
+            planner: Mutex::new(planner),
             counters: Counters::default(),
+            live_workers: AtomicU64::new(config.workers as u64),
             config,
         });
 
@@ -325,9 +396,12 @@ impl ErService {
             if queue.pending.is_empty() {
                 queue.oldest = Some(Instant::now());
             }
-            queue
-                .pending
-                .push(Pending { fp, pair: pair.clone(), waiter: tx });
+            queue.pending.push(Pending {
+                fp,
+                pair: pair.clone(),
+                waiter: tx,
+                enqueued: Instant::now(),
+            });
             inner.queue_cond.notify_all();
         }
         // A dead dispatcher/worker (disconnected sender) degrades to the
@@ -345,6 +419,10 @@ impl ErService {
         ServiceStats {
             submitted: inner.counters.submitted.load(Ordering::Relaxed),
             plans,
+            plan_full: inner.counters.plans_full.load(Ordering::Relaxed),
+            plan_incremental: inner.counters.plans_incremental.load(Ordering::Relaxed),
+            plan_last_inserted: inner.counters.plan_last_inserted.load(Ordering::Relaxed),
+            plan_last_retired: inner.counters.plan_last_retired.load(Ordering::Relaxed),
             plan_last_us: inner.counters.plan_last_us.load(Ordering::Relaxed),
             plan_avg_us: plan_total_us.checked_div(plans).unwrap_or(0),
             cache_hits: inner.cache.hits(),
@@ -423,33 +501,48 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
     let batch_size = inner.config.batch_size;
     let deadline = inner.config.flush_deadline;
     loop {
-        let drained: Vec<Pending> = {
+        // A drain is *urgent* when a deadline forced it (oldest pending
+        // question, oldest planner-held straggler, or shutdown): the plan
+        // must then dispatch every batch, partial or not. A size-triggered
+        // drain may instead hold partial batches for the next epoch.
+        let (drained, urgent, flush_stragglers): (Vec<Pending>, bool, bool) = {
             let mut queue = lock(&inner.queue);
-            loop {
-                if queue.stopping || queue.pending.len() >= batch_size {
-                    break;
+            let urgent = loop {
+                if queue.stopping {
+                    break true;
                 }
-                match queue.oldest {
+                let now = Instant::now();
+                let pending_deadline = queue.oldest.map(|oldest| oldest + deadline);
+                let overdue = pending_deadline.is_some_and(|t| now >= t)
+                    || queue.straggler_deadline.is_some_and(|t| now >= t);
+                if overdue {
+                    break true;
+                }
+                if queue.pending.len() >= batch_size {
+                    break false;
+                }
+                let next = match (pending_deadline, queue.straggler_deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match next {
                     None => {
                         queue = inner
                             .queue_cond
                             .wait(queue)
                             .unwrap_or_else(PoisonError::into_inner);
                     }
-                    Some(oldest) => {
-                        let age = oldest.elapsed();
-                        if age >= deadline {
-                            break;
-                        }
+                    Some(t) => {
                         let (q, _) = inner
                             .queue_cond
-                            .wait_timeout(queue, deadline - age)
+                            .wait_timeout(queue, t - now)
                             .unwrap_or_else(PoisonError::into_inner);
                         queue = q;
                     }
                 }
-            }
-            if queue.stopping && queue.pending.is_empty() {
+            };
+            let flush_stragglers = urgent && queue.straggler_deadline.is_some();
+            if queue.stopping && queue.pending.is_empty() && queue.straggler_deadline.is_none() {
                 // One sentinel per worker; each worker consumes exactly
                 // one and exits.
                 for _ in 0..inner.config.workers {
@@ -458,25 +551,38 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
                 return;
             }
             queue.oldest = None;
-            std::mem::take(&mut queue.pending)
+            // Disarm the straggler timer before handing off; the planner
+            // re-arms it (under this lock) if held questions remain.
+            queue.straggler_deadline = None;
+            (std::mem::take(&mut queue.pending), urgent, flush_stragglers)
         };
         // Planning is O(flush²); it runs on the worker pool so the
         // dispatcher returns to its wait loop immediately and later
         // arrivals are not stalled past their deadline.
-        if !drained.is_empty() && work_tx.send(WorkItem::Plan(drained)).is_err() {
+        if (!drained.is_empty() || flush_stragglers)
+            && work_tx.send(WorkItem::Plan { drained, urgent }).is_err()
+        {
             return; // workers gone
         }
     }
 }
 
-/// Dedupes, plans and enqueues one drained queue generation.
-fn flush(inner: &Inner, drained: Vec<Pending>, work_tx: &Sender<WorkItem>) {
-    // Dedupe by fingerprint. Three ways a question avoids its own LLM
+/// Dedupes one drained queue generation into the epoch-tracked planner,
+/// re-plans (incrementally when the delta allows), and dispatches batches.
+///
+/// Dispatch policy: full batches always dispatch; partial batches
+/// dispatch only on an `urgent` flush (deadline or shutdown) and are
+/// otherwise *held* in the planner as next epoch's standing pool — the
+/// paper's batch economics improve when a straggler waits (bounded by the
+/// flush deadline) for co-batched traffic instead of flying alone.
+fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<WorkItem>) {
+    // Dedupe by fingerprint. Four ways a question avoids its own LLM
     // slot: answered into the cache while it sat in the queue, identical
     // to a question an executing batch is already asking (attach to its
-    // in-flight entry), or identical to another question in this flush.
+    // in-flight entry), identical to another question in this flush, or
+    // identical to a question the planner already holds (attach below).
     let mut waiters: HashMap<PairFingerprint, Vec<Sender<MatchDecision>>> = HashMap::new();
-    let mut unique: Vec<(PairFingerprint, EntityPair)> = Vec::new();
+    let mut unique: Vec<(PairFingerprint, EntityPair, Instant)> = Vec::new();
     let mut coalesced = 0u64;
     for item in drained {
         if let Some(label) = inner.cache.peek(item.fp) {
@@ -503,53 +609,98 @@ fn flush(inner: &Inner, drained: Vec<Pending>, work_tx: &Sender<WorkItem>) {
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(vec![item.waiter]);
-                unique.push((item.fp, item.pair));
+                // The queue drains in arrival order, so the first item
+                // seen for a fingerprint carries its earliest arrival.
+                unique.push((item.fp, item.pair, item.enqueued));
             }
         }
+    }
+
+    let mut planner = lock(&inner.planner);
+    // The plan timer covers delta application too (per-insert feature
+    // extraction and cache-extension scans are planning work the old
+    // from-scratch path paid inside plan_with_prepared_pool), so the
+    // plan_last_us/plan_avg_us gauges keep their meaning: the planning
+    // cost of this flush.
+    let plan_started = Instant::now();
+    // Apply the insertion half of the delta: brand-new questions enter
+    // the plan state; duplicates of questions the planner already holds
+    // attach their waiters. The in-flight check repeats here *under the
+    // planner lock*: a concurrent flush dispatches (and registers) its
+    // batches while holding this lock, so the lock-free check above can
+    // race a question straight out of `queued` into `in_flight` — without
+    // the re-check both flushes would buy the question an LLM slot.
+    for (fp, pair, enqueued) in unique {
+        let senders = waiters.remove(&fp).unwrap_or_default();
+        if let Some(held) = planner.queued.get_mut(&fp) {
+            // Only the primary item coalesces here; its within-flush
+            // duplicates were already counted in the dedupe loop.
+            coalesced += 1;
+            held.waiters.extend(senders);
+            continue;
+        }
+        {
+            let mut in_flight = lock(&inner.in_flight);
+            if let Some(attached) = in_flight.get_mut(&fp) {
+                coalesced += 1;
+                attached.extend(senders);
+                continue;
+            }
+        }
+        planner.state.insert(fp.0, &pair);
+        planner.queued.insert(
+            fp,
+            QueuedQuestion { pair, waiters: senders, since: enqueued },
+        );
     }
     inner
         .counters
         .coalesced_duplicates
         .fetch_add(coalesced, Ordering::Relaxed);
-    if unique.is_empty() {
+    if planner.queued.is_empty() {
         return;
     }
 
-    // Arrival-order independence: the plan sees questions in fingerprint
-    // order, so one flush's batches depend only on *what* is pending,
-    // not on thread scheduling.
-    unique.sort_by_key(|(fp, _)| *fp);
-    let flush_seed = unique
+    // Arrival-order independence: the epoch seed folds over the active
+    // fingerprints in sorted order, so a plan depends only on *what* is
+    // pending, not on thread scheduling.
+    let mut fps: Vec<PairFingerprint> = planner.queued.keys().copied().collect();
+    fps.sort_unstable();
+    let flush_seed = fps
         .iter()
-        .fold(inner.config.seed, |acc, (fp, _)| acc.rotate_left(7) ^ fp.0);
+        .fold(inner.config.seed, |acc, fp| acc.rotate_left(7) ^ fp.0);
 
-    let question_refs: Vec<&EntityPair> = unique.iter().map(|(_, p)| p).collect();
-    let plan_config = BatchPlanConfig { seed: flush_seed, ..inner.plan_template };
-    let plan_started = Instant::now();
-    let plan = plan_with_prepared_pool(&question_refs, &inner.prepared_pool, &plan_config);
+    let epoch = planner.state.plan(flush_seed);
     let plan_us = u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    inner.counters.plans.fetch_add(1, Ordering::Relaxed);
-    inner
-        .counters
-        .plan_last_us
-        .store(plan_us, Ordering::Relaxed);
-    inner
-        .counters
-        .plan_total_us
-        .fetch_add(plan_us, Ordering::Relaxed);
+    let counters = &inner.counters;
+    counters.plans.fetch_add(1, Ordering::Relaxed);
+    match epoch.kind {
+        PlanKind::Full => counters.plans_full.fetch_add(1, Ordering::Relaxed),
+        PlanKind::Incremental => counters.plans_incremental.fetch_add(1, Ordering::Relaxed),
+    };
+    counters
+        .plan_last_inserted
+        .store(epoch.inserted as u64, Ordering::Relaxed);
+    counters
+        .plan_last_retired
+        .store(epoch.retired as u64, Ordering::Relaxed);
+    counters.plan_last_us.store(plan_us, Ordering::Relaxed);
+    counters.plan_total_us.fetch_add(plan_us, Ordering::Relaxed);
 
-    inner
-        .counters
-        .batches_flushed
-        .fetch_add(plan.batches.len() as u64, Ordering::Relaxed);
-
-    for (bi, batch) in plan.batches.iter().enumerate() {
+    for (bi, batch) in epoch.plan.batches.iter().enumerate() {
+        if !urgent && batch.len() < inner.config.batch_size {
+            continue; // held for the next epoch
+        }
         let questions: Vec<(PairFingerprint, EntityPair, Vec<Sender<MatchDecision>>)> = batch
             .iter()
             .map(|&qi| {
-                let (fp, pair) = &unique[qi];
-                let senders = waiters.get_mut(fp).map(std::mem::take).unwrap_or_default();
-                (*fp, pair.clone(), senders)
+                let fp = PairFingerprint(epoch.keys[qi]);
+                let queued = planner
+                    .queued
+                    .remove(&fp)
+                    .expect("planned question is held by the planner");
+                planner.state.retire(fp.0);
+                (fp, queued.pair, queued.waiters)
             })
             .collect();
         // Register the batch's questions as in flight *before* handing
@@ -562,18 +713,42 @@ fn flush(inner: &Inner, drained: Vec<Pending>, work_tx: &Sender<WorkItem>) {
                 in_flight.entry(*fp).or_default();
             }
         }
+        inner
+            .counters
+            .batches_flushed
+            .fetch_add(1, Ordering::Relaxed);
         let job = BatchJob {
             questions,
-            demo_indices: plan.demos_per_batch[bi].clone(),
+            demo_indices: epoch.plan.demos_per_batch[bi].clone(),
             seed: flush_seed ^ ((bi as u64) << 16),
         };
         if work_tx.send(WorkItem::Batch(job)).is_err() {
             // Workers gone (shutdown): unregister and let the dropped
-            // senders push the waiters onto the local fallback.
+            // senders push the waiters onto the local fallback. Held
+            // waiters drop with the planner when the service tears down.
             clear_in_flight(inner, &fps);
             return;
         }
     }
+
+    // Re-arm the straggler timer for anything held back — under the
+    // queue lock so the dispatcher's wait cannot miss the update, and
+    // *before* releasing the planner lock so a concurrent flush cannot
+    // interleave its own (newer) deadline between our computation and
+    // our write. Lock order planner → queue matches the dispatch path.
+    let straggler_deadline = planner
+        .queued
+        .values()
+        .map(|q| q.since + inner.config.flush_deadline)
+        .min();
+    {
+        let mut queue = lock(&inner.queue);
+        queue.straggler_deadline = straggler_deadline;
+        if straggler_deadline.is_some() {
+            inner.queue_cond.notify_all();
+        }
+    }
+    drop(planner);
 }
 
 /// Removes in-flight registrations, dropping any attached waiters (their
@@ -596,15 +771,30 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
             rx.recv()
         };
         match item {
-            Ok(WorkItem::Plan(drained)) => {
+            Ok(WorkItem::Plan { drained, urgent }) => {
                 // A panicking plan (e.g. a poisoned question) must not
                 // take the worker down: containment drops the drained
                 // senders, their waiters observe the disconnect and fall
                 // back locally, and the pool keeps serving.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    flush(inner, drained, work_tx);
+                    flush(inner, drained, urgent, work_tx);
                 }));
                 if result.is_err() {
+                    // The planner may hold half-applied state and waiters
+                    // whose questions will never dispatch: reset it.
+                    // Dropping the held waiters disconnects their
+                    // receivers, which degrade to the local fallback.
+                    let mut planner = lock(&inner.planner);
+                    planner.queued.clear();
+                    planner.state =
+                        PlanState::from_prepared(inner.prepared_pool.clone(), inner.plan_template)
+                            .with_max_delta_fraction(inner.config.max_plan_delta_fraction);
+                    // Disarm the straggler timer *before* releasing the
+                    // planner lock — the same ordering the flush path's
+                    // re-arm uses — so this None cannot overwrite a
+                    // deadline a concurrent healthy flush just armed.
+                    lock(&inner.queue).straggler_deadline = None;
+                    drop(planner);
                     eprintln!("er-service: flush planning panicked; affected requests fall back");
                 }
             }
@@ -623,7 +813,20 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
                     eprintln!("er-service: batch execution panicked; affected requests fall back");
                 }
             }
-            Ok(WorkItem::Shutdown) | Err(_) => return,
+            Ok(WorkItem::Shutdown) | Err(_) => {
+                // Plan items always precede the shutdown sentinels in the
+                // channel, and a worker busy planning holds its sentinel
+                // slot until it finishes — so when the *last* worker
+                // exits, no flush can run anymore and whatever the
+                // planner still holds (partial batches planned after the
+                // dispatcher's final drain) would wait forever. Drop
+                // those waiters now; their receivers disconnect and the
+                // blocked submits degrade to the local fallback.
+                if inner.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    lock(&inner.planner).queued.clear();
+                }
+                return;
+            }
         }
     }
 }

@@ -28,6 +28,16 @@ pub struct ServiceStats {
     pub batches_flushed: u64,
     /// Planning passes run (one per non-empty flush).
     pub plans: u64,
+    /// Planning passes that took the full path (thresholds re-derived,
+    /// caches rebuilt).
+    pub plan_full: u64,
+    /// Planning passes that reused the incremental planner's cached
+    /// geometry.
+    pub plan_incremental: u64,
+    /// Questions inserted into the planner by the most recent pass.
+    pub plan_last_inserted: u64,
+    /// Questions retired from the planner by the most recent pass.
+    pub plan_last_retired: u64,
     /// Wall time of the most recent planning pass, microseconds — the
     /// kernel layer's speedup, observable online.
     pub plan_last_us: u64,
@@ -99,6 +109,10 @@ mod tests {
             fallback_answered: 1,
             batches_flushed: 1,
             plans: 2,
+            plan_full: 1,
+            plan_incremental: 1,
+            plan_last_inserted: 3,
+            plan_last_retired: 1,
             plan_last_us: 180,
             plan_avg_us: 210,
             retries: 0,

@@ -36,6 +36,18 @@ pub struct SimLlmConfig {
     pub rate_limit_rate: f64,
 }
 
+/// One fault injected by a deterministic failure schedule
+/// ([`SimLlm::with_failure_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Reject the request with [`LlmError::RateLimited`].
+    RateLimited,
+    /// Return garbled output the answer parser cannot read.
+    Malformed,
+    /// Cut the completion in half with [`FinishReason::Length`].
+    Truncated,
+}
+
 /// Aggregate statistics of a [`SimLlm`] endpoint (observability surface
 /// for tests and harnesses).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +72,9 @@ pub struct SimLlmStats {
 pub struct SimLlm {
     config: SimLlmConfig,
     stats: Mutex<SimLlmStats>,
+    /// Deterministic per-call fault queue; `None` entries are healthy
+    /// calls, an exhausted queue serves healthily forever.
+    schedule: Mutex<std::collections::VecDeque<Option<InjectedFault>>>,
 }
 
 impl SimLlm {
@@ -70,7 +85,21 @@ impl SimLlm {
 
     /// An endpoint with the given fault-injection configuration.
     pub fn with_config(config: SimLlmConfig) -> Self {
-        Self { config, stats: Mutex::new(SimLlmStats::default()) }
+        Self { config, ..Self::default() }
+    }
+
+    /// An endpoint that fails on an explicit per-call schedule: the i-th
+    /// `complete` call consumes `schedule[i]` (`Some(fault)` injects that
+    /// fault, `None` serves healthily); calls beyond the schedule are
+    /// healthy. Unlike the probabilistic [`SimLlm::with_config`] rates —
+    /// whose per-call verdicts depend on the prompt text and therefore
+    /// shift whenever planning changes batch composition — a schedule
+    /// pins exactly which calls fail, whatever the plan looks like.
+    pub fn with_failure_schedule<I>(schedule: I) -> Self
+    where
+        I: IntoIterator<Item = Option<InjectedFault>>,
+    {
+        Self { schedule: Mutex::new(schedule.into_iter().collect()), ..Self::default() }
     }
 
     /// Snapshot of the endpoint statistics.
@@ -92,8 +121,11 @@ impl ChatApi for SimLlm {
             });
         }
 
+        let injected = self.schedule.lock().pop_front().flatten();
         let mut rng = call_rng(request.seed, &request.prompt);
-        if rng.gen::<f64>() < self.config.rate_limit_rate {
+        if injected == Some(InjectedFault::RateLimited)
+            || rng.gen::<f64>() < self.config.rate_limit_rate
+        {
             self.stats.lock().rate_limited += 1;
             return Err(LlmError::RateLimited);
         }
@@ -114,7 +146,9 @@ impl ChatApi for SimLlm {
         };
 
         let mut finish_reason = FinishReason::Stop;
-        if rng.gen::<f64>() < self.config.truncation_rate {
+        if injected == Some(InjectedFault::Truncated)
+            || rng.gen::<f64>() < self.config.truncation_rate
+        {
             // Cut at the nearest char boundary at or below the midpoint.
             let mut cut = content.len() / 2;
             while cut > 0 && !content.is_char_boundary(cut) {
@@ -123,7 +157,9 @@ impl ChatApi for SimLlm {
             content.truncate(cut);
             finish_reason = FinishReason::Length;
         }
-        if rng.gen::<f64>() < self.config.malformed_rate {
+        if injected == Some(InjectedFault::Malformed)
+            || rng.gen::<f64>() < self.config.malformed_rate
+        {
             // Garble: strip the line structure the client's parser needs.
             content = content.replace(['Q', 'q'], "#").replace(':', ";");
         }
@@ -243,6 +279,37 @@ mod tests {
             .complete(&ChatRequest::new(ModelKind::Gpt4, simple_prompt(), 1))
             .unwrap();
         assert_eq!(resp.finish_reason, FinishReason::Length);
+    }
+
+    #[test]
+    fn failure_schedule_is_positional_and_exhausts() {
+        let llm = SimLlm::with_failure_schedule([
+            Some(InjectedFault::RateLimited),
+            None,
+            Some(InjectedFault::Malformed),
+            Some(InjectedFault::Truncated),
+        ]);
+        let req = |seed| ChatRequest::new(ModelKind::Gpt4, simple_prompt(), seed);
+        // Call 1: rate limited, whatever the prompt/seed.
+        assert_eq!(llm.complete(&req(1)).unwrap_err(), LlmError::RateLimited);
+        // Call 2: healthy.
+        let ok = llm.complete(&req(2)).unwrap();
+        assert!(parse_answers(&ok.content, 2).is_ok());
+        // Call 3: malformed output.
+        let bad = llm.complete(&req(3)).unwrap();
+        assert!(parse_answers(&bad.content, 2).is_err());
+        // Call 4: truncated.
+        assert_eq!(
+            llm.complete(&req(4)).unwrap().finish_reason,
+            FinishReason::Length
+        );
+        // Schedule exhausted: healthy forever after.
+        for seed in 5..8 {
+            let resp = llm.complete(&req(seed)).unwrap();
+            assert_eq!(resp.finish_reason, FinishReason::Stop);
+            assert!(parse_answers(&resp.content, 2).is_ok());
+        }
+        assert_eq!(llm.stats().rate_limited, 1);
     }
 
     #[test]
