@@ -27,6 +27,10 @@ pub struct ExecutionOutcome {
     pub retries: u32,
     /// Times an oversized batch was split to fit the context window.
     pub context_splits: u32,
+    /// Wall time of each individual API call, microseconds, in issue
+    /// order (failed calls included — they cost latency too). The serving
+    /// layer feeds these into its LLM-call-latency histogram.
+    pub call_latencies_us: Vec<u64>,
 }
 
 impl<'a> Executor<'a> {
@@ -61,7 +65,12 @@ impl<'a> Executor<'a> {
         let mut attempt = 0u32;
         loop {
             let request = ChatRequest::new(self.model, prompt.clone(), seed ^ u64::from(attempt));
-            match self.api.complete(&request) {
+            let call_started = std::time::Instant::now();
+            let result = self.api.complete(&request);
+            outcome
+                .call_latencies_us
+                .push(u64::try_from(call_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            match result {
                 Ok(resp) => {
                     outcome.ledger.record_api_call(
                         resp.usage.prompt_tokens,

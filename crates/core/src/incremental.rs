@@ -101,6 +101,9 @@ pub struct PlanStateStats {
     pub last_inserted: u64,
     /// Delta sizes of the most recent plan.
     pub last_retired: u64,
+    /// Wall time of the most recent plan, microseconds (insert/retire
+    /// delta application is timed by the caller; this covers `plan`).
+    pub last_plan_us: u64,
     /// Currently active questions.
     pub active: u64,
     /// Allocated slots (active + tombstoned; compaction resets to active).
@@ -373,6 +376,7 @@ impl PlanState {
     /// [`crate::plan::plan_question_batches`]. Pass a pure function of
     /// the active set for arrival-order independence.
     pub fn plan(&mut self, seed: u64) -> EpochPlan {
+        let plan_started = std::time::Instant::now();
         let inserted = std::mem::take(&mut self.inserted_since_plan);
         let retired = std::mem::take(&mut self.retired_since_plan);
         self.stats.epochs += 1;
@@ -382,6 +386,8 @@ impl PlanState {
         if self.n_active == 0 {
             self.planned_len = Some(0);
             self.stats.incremental_plans += 1;
+            self.stats.last_plan_us =
+                u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
             return EpochPlan {
                 plan: QuestionBatchPlan {
                     batches: Vec::new(),
@@ -421,6 +427,8 @@ impl PlanState {
             PlanKind::Full => self.stats.full_plans += 1,
             PlanKind::Incremental => self.stats.incremental_plans += 1,
         }
+        self.stats.last_plan_us =
+            u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         EpochPlan { inserted, retired, ..epoch }
     }
 

@@ -105,6 +105,11 @@ pub struct RunResult {
     pub unanswered: usize,
     /// Executor retries.
     pub retries: u32,
+    /// Wall time of the planning stage (featurize + batch + select),
+    /// microseconds.
+    pub plan_us: u64,
+    /// Wall time of the execution stage (every batch call), microseconds.
+    pub exec_us: u64,
 }
 
 impl RunResult {
@@ -140,15 +145,18 @@ pub fn run_on_split(
     // 1-3. Featurize, batch and select demonstrations — shared with the
     // serving layer through the externally-usable planning step.
     let question_pairs: Vec<&er_core::EntityPair> = questions.iter().map(|p| &p.pair).collect();
+    let plan_started = std::time::Instant::now();
     let plan = plan_question_batches(
         &question_pairs,
         pool,
         &BatchPlanConfig::from_run_config(&config),
     );
+    let plan_us = u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     // 4. Execute every batch.
     let description = task_description(dataset.domain());
     let executor = Executor::new(api, config.model, config.max_retries);
+    let exec_started = std::time::Instant::now();
     let mut outcome = ExecutionOutcome::default();
     let mut question_order: Vec<usize> = Vec::with_capacity(questions.len());
     for (bi, batch) in plan.batches.iter().enumerate() {
@@ -167,6 +175,7 @@ pub fn run_on_split(
         question_order.extend(batch.iter().copied());
     }
     debug_assert_eq!(question_order.len(), outcome.answers.len());
+    let exec_us = u64::try_from(exec_started.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     // 5. Labeling cost: every unique selected demonstration is annotated
     // once (§VI-A's AMT pricing).
@@ -190,6 +199,8 @@ pub fn run_on_split(
         demos_labeled: plan.labeled.len(),
         unanswered,
         retries: outcome.retries,
+        plan_us,
+        exec_us,
     }
 }
 

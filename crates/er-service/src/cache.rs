@@ -17,10 +17,10 @@
 //! without bound, and every operation stays O(1).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use er_core::MatchLabel;
+use obs::{Counter, Gauge};
 
 use crate::fingerprint::PairFingerprint;
 use crate::sync::{read, write};
@@ -38,8 +38,11 @@ pub struct AnswerCache {
     /// Hot-generation size that triggers rotation (half the capacity).
     rotate_at: usize,
     generations: RwLock<Generations>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    /// Live-entry mirror, maintained under the write lock, so `/stats`
+    /// and `/metrics` read a plain atomic instead of the `RwLock`.
+    entries: Arc<Gauge>,
 }
 
 impl AnswerCache {
@@ -51,17 +54,32 @@ impl AnswerCache {
             enabled,
             rotate_at: (capacity / 2).max(1),
             generations: RwLock::new(Generations::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            entries: Gauge::detached(),
         }
+    }
+
+    /// Swaps in registry-backed metric handles: hit/miss counters and
+    /// the live-entry gauge.
+    pub fn with_metrics(
+        mut self,
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        entries: Arc<Gauge>,
+    ) -> Self {
+        self.hits = hits;
+        self.misses = misses;
+        self.entries = entries;
+        self
     }
 
     /// Looks up a fingerprint, counting the hit or miss.
     pub fn get(&self, fp: PairFingerprint) -> Option<MatchLabel> {
         let found = self.peek(fp);
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -90,16 +108,18 @@ impl AnswerCache {
         if generations.hot.len() >= self.rotate_at {
             generations.cold = std::mem::take(&mut generations.hot);
         }
+        self.entries
+            .set((generations.hot.len() + generations.cold.len()) as i64);
     }
 
     /// Lookup hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookup misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Live entries across both generations (an upper bound: a

@@ -10,10 +10,10 @@
 //! answers, they just stop costing money. Settling replaces the
 //! reservation with the actual spend recorded by the executor.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use er_core::{CostLedger, Money, SharedCostLedger};
+use obs::{Counter, Gauge, Histogram};
 
 /// Budget enforcement over a [`SharedCostLedger`].
 #[derive(Debug)]
@@ -22,7 +22,13 @@ pub struct CostGovernor {
     budget: Money,
     /// Committed-but-unsettled projections.
     reserved: Mutex<Money>,
-    denials: AtomicU64,
+    denials: Arc<Counter>,
+    /// Reservation / settlement latency (detached unless wired via
+    /// [`CostGovernor::with_metrics`]).
+    reserve_us: Arc<Histogram>,
+    settle_us: Arc<Histogram>,
+    /// Mirror of `reserved` in micro-dollars, for `/metrics`.
+    reserved_gauge: Arc<Gauge>,
 }
 
 /// A granted budget reservation; must be settled exactly once.
@@ -33,9 +39,34 @@ pub struct Reservation {
 }
 
 impl CostGovernor {
-    /// A governor enforcing `budget` over `ledger`.
+    /// A governor enforcing `budget` over `ledger`. Metric handles start
+    /// detached (recording, but not exported anywhere).
     pub fn new(ledger: SharedCostLedger, budget: Money) -> Self {
-        Self { ledger, budget, reserved: Mutex::new(Money::ZERO), denials: AtomicU64::new(0) }
+        Self {
+            ledger,
+            budget,
+            reserved: Mutex::new(Money::ZERO),
+            denials: Counter::detached(),
+            reserve_us: Arc::new(Histogram::detached()),
+            settle_us: Arc::new(Histogram::detached()),
+            reserved_gauge: Gauge::detached(),
+        }
+    }
+
+    /// Swaps in registry-backed metric handles: the denial counter, the
+    /// reserve/settle latency histograms and the reserved-budget gauge.
+    pub fn with_metrics(
+        mut self,
+        denials: Arc<Counter>,
+        reserve_us: Arc<Histogram>,
+        settle_us: Arc<Histogram>,
+        reserved_gauge: Arc<Gauge>,
+    ) -> Self {
+        self.denials = denials;
+        self.reserve_us = reserve_us;
+        self.settle_us = settle_us;
+        self.reserved_gauge = reserved_gauge;
+        self
     }
 
     /// The configured budget cap.
@@ -50,14 +81,16 @@ impl CostGovernor {
 
     /// Attempts to reserve `projected` spend; `None` means over budget.
     pub fn try_reserve(&self, projected: Money) -> Option<Reservation> {
+        let _timer = self.reserve_us.start_timer();
         let mut reserved = self.lock_reserved();
         let committed = self.ledger.total() + *reserved + projected;
         if committed > self.budget {
             drop(reserved);
-            self.denials.fetch_add(1, Ordering::Relaxed);
+            self.denials.inc();
             return None;
         }
         *reserved += projected;
+        self.reserved_gauge.set(reserved.micros());
         Some(Reservation { projected })
     }
 
@@ -70,9 +103,11 @@ impl CostGovernor {
         // reads the ledger), so no concurrent reservation can observe
         // the batch double-counted — as both actual spend and still-held
         // projection — and be spuriously denied.
+        let _timer = self.settle_us.start_timer();
         let mut reserved = self.lock_reserved();
         self.ledger.merge(actual);
         *reserved = *reserved - reservation.projected;
+        self.reserved_gauge.set(reserved.micros());
     }
 
     /// Releases a reservation without any spend (batch aborted before the
@@ -80,6 +115,7 @@ impl CostGovernor {
     pub fn release(&self, reservation: Reservation) {
         let mut reserved = self.lock_reserved();
         *reserved = *reserved - reservation.projected;
+        self.reserved_gauge.set(reserved.micros());
     }
 
     /// Budget not yet spent or reserved (floored at zero).
@@ -95,7 +131,7 @@ impl CostGovernor {
 
     /// Number of denied reservations so far.
     pub fn denials(&self) -> u64 {
-        self.denials.load(Ordering::Relaxed)
+        self.denials.get()
     }
 
     fn lock_reserved(&self) -> std::sync::MutexGuard<'_, Money> {

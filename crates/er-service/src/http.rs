@@ -5,8 +5,11 @@
 //!
 //! * `POST /match` — body `{"schema": [...], "left": [...], "right": [...]}`;
 //!   answers `{"label": "matching"|"non_matching", "source":
-//!   "cache"|"llm"|"fallback", "fingerprint": "<hex>"}`.
+//!   "cache"|"llm"|"fallback", "fingerprint": "<hex>", "trace_id": n}`.
 //! * `GET /stats` — the [`ServiceStats`] snapshot as JSON.
+//! * `GET /metrics` — Prometheus text exposition of every metric family.
+//! * `GET /trace?n=K` — the `K` most recent completed lifecycle spans as
+//!   JSON, newest first (default 32).
 //! * `GET /healthz` — liveness.
 
 use std::sync::Arc;
@@ -39,6 +42,9 @@ pub struct MatchResponseWire {
     pub source: String,
     /// Canonical question fingerprint (hex), for client-side dedup.
     pub fingerprint: String,
+    /// Lifecycle span id for `/trace` correlation (0 = tracing off).
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 /// Error body shared with the LLM service's wire dialect.
@@ -57,6 +63,7 @@ impl MatchResponseWire {
             },
             source: decision.source.name().to_owned(),
             fingerprint: decision.fingerprint.to_string(),
+            trace_id: decision.trace_id,
         }
     }
 }
@@ -98,7 +105,11 @@ impl MatchServer {
 }
 
 fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/match") => {
             let wire: MatchRequestWire = match serde_json::from_slice(&request.body) {
                 Ok(w) => w,
@@ -115,10 +126,26 @@ fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
             let stats: ServiceStats = service.stats();
             json(200, &stats)
         }
+        ("GET", "/metrics") => HttpResponse::text(200, service.render_metrics().into_bytes()),
+        ("GET", "/trace") => {
+            let n = query_param(query, "n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(32);
+            HttpResponse::json(200, service.trace_json(n).into_bytes())
+        }
         ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
         ("GET", _) | ("POST", _) => error(404, &format!("no such route: {}", request.path)),
         _ => error(405, "method not allowed"),
     }
+}
+
+/// First value of `name` in a raw query string (`a=1&b=2`).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
 }
 
 fn json<T: Serialize>(status: u16, value: &T) -> HttpResponse {

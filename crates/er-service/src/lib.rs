@@ -22,8 +22,14 @@
 //!   (`baselines::logistic`) instead of failing.
 //! * **Worker pool + HTTP front end** ([`http`]) — batches execute
 //!   concurrently over any [`llm::ChatApi`]; the front end (`POST
-//!   /match`, `GET /stats`, `GET /healthz`) runs on the same bounded
-//!   accept loop as the LLM loopback service (`llm_service::serve`).
+//!   /match`, `GET /stats`, `GET /metrics`, `GET /trace`, `GET
+//!   /healthz`) runs on the same bounded accept loop as the LLM loopback
+//!   service (`llm_service::serve`).
+//! * **Telemetry** ([`telemetry`]) — histogram-backed metrics (queue
+//!   wait, plan wall time, LLM call latency, end-to-end answer latency,
+//!   spend per batch) rendered as Prometheus text at `/metrics`, plus a
+//!   per-question lifecycle trace log served at `/trace`. Recording is
+//!   lock-free; a scraper can never stall `submit`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -48,6 +54,7 @@ pub mod http;
 pub mod service;
 pub mod stats;
 mod sync;
+pub mod telemetry;
 
 pub use cache::AnswerCache;
 pub use fingerprint::{pair_fingerprint, PairFingerprint};
@@ -55,3 +62,4 @@ pub use governor::{CostGovernor, Reservation};
 pub use http::{MatchRequestWire, MatchResponseWire, MatchServer};
 pub use service::{DecisionSource, ErService, MatchDecision, ServiceConfig};
 pub use stats::ServiceStats;
+pub use telemetry::Telemetry;

@@ -49,6 +49,7 @@ use crate::fingerprint::{pair_fingerprint, PairFingerprint};
 use crate::governor::CostGovernor;
 use crate::stats::ServiceStats;
 use crate::sync::lock;
+use crate::telemetry::Telemetry;
 
 /// Who produced a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +83,9 @@ pub struct MatchDecision {
     pub source: DecisionSource,
     /// The canonical fingerprint of the question.
     pub fingerprint: PairFingerprint,
+    /// Id of the submitting call's lifecycle span (0 when tracing is
+    /// off), echoed on the wire so clients can correlate with `/trace`.
+    pub trace_id: u64,
 }
 
 /// Service configuration.
@@ -119,6 +123,11 @@ pub struct ServiceConfig {
     /// (re-deriving its frozen clustering/covering thresholds) instead of
     /// applying the delta.
     pub max_plan_delta_fraction: f64,
+    /// Telemetry switch: metrics registry + lifecycle tracing. Off, every
+    /// handle is a single-branch no-op (the serving bench prices this).
+    pub telemetry: bool,
+    /// Completed lifecycle spans retained for `GET /trace`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -136,15 +145,27 @@ impl Default for ServiceConfig {
             domain: "Product".to_owned(),
             completion_allowance: 24,
             max_plan_delta_fraction: DEFAULT_MAX_DELTA_FRACTION,
+            telemetry: true,
+            trace_capacity: 1024,
         }
     }
+}
+
+/// One waiting `submit` call: its decision channel plus its lifecycle
+/// span, stamped by pipeline stages as the question moves. The span is
+/// finished only by the `submit` call that opened it (on receipt), so a
+/// span reaches its terminal stage exactly once no matter which path —
+/// batch, coalesce, fallback, disconnect — produced the decision.
+struct Waiter {
+    tx: Sender<MatchDecision>,
+    trace: u64,
 }
 
 /// One question waiting in the coalescing queue.
 struct Pending {
     fp: PairFingerprint,
     pair: EntityPair,
-    waiter: Sender<MatchDecision>,
+    waiter: Waiter,
     /// Arrival time at `submit` — carried into the planner so a held
     /// partial-batch question's dispatch deadline anchors to when the
     /// client actually asked, keeping `flush_deadline` a true bound on
@@ -167,7 +188,7 @@ struct QueueState {
 /// for the next epoch in the hope of fuller co-batched traffic.
 struct QueuedQuestion {
     pair: EntityPair,
-    waiters: Vec<Sender<MatchDecision>>,
+    waiters: Vec<Waiter>,
     /// First arrival time — partial batches dispatch once this exceeds
     /// the flush deadline.
     since: Instant,
@@ -189,7 +210,7 @@ struct Planner {
 /// One planned batch handed to the worker pool.
 struct BatchJob {
     /// `(fingerprint, pair, waiters)` per question.
-    questions: Vec<(PairFingerprint, EntityPair, Vec<Sender<MatchDecision>>)>,
+    questions: Vec<(PairFingerprint, EntityPair, Vec<Waiter>)>,
     /// Demonstration indices into the shared pool.
     demo_indices: Vec<usize>,
     /// Executor seed for this batch.
@@ -212,31 +233,6 @@ enum WorkItem {
     Shutdown,
 }
 
-/// Monotonic counters surfaced through [`ServiceStats`].
-#[derive(Debug, Default)]
-struct Counters {
-    submitted: AtomicU64,
-    coalesced_duplicates: AtomicU64,
-    llm_answered: AtomicU64,
-    fallback_answered: AtomicU64,
-    batches_flushed: AtomicU64,
-    retries: AtomicU64,
-    /// Planning passes (one per non-empty flush).
-    plans: AtomicU64,
-    /// Planning passes that re-derived thresholds and rebuilt caches.
-    plans_full: AtomicU64,
-    /// Planning passes that reused the incremental planner's caches.
-    plans_incremental: AtomicU64,
-    /// Questions inserted into the planner by the most recent pass.
-    plan_last_inserted: AtomicU64,
-    /// Questions retired from the planner by the most recent pass.
-    plan_last_retired: AtomicU64,
-    /// Wall time of the most recent planning pass, microseconds.
-    plan_last_us: AtomicU64,
-    /// Cumulative planning wall time, microseconds (for the average).
-    plan_total_us: AtomicU64,
-}
-
 struct Inner {
     config: ServiceConfig,
     plan_template: BatchPlanConfig,
@@ -251,7 +247,7 @@ struct Inner {
     /// Questions currently being asked by an executing batch. Later
     /// arrivals for the same fingerprint attach here instead of paying
     /// for a second LLM slot (and risking a contradictory answer).
-    in_flight: Mutex<HashMap<PairFingerprint, Vec<Sender<MatchDecision>>>>,
+    in_flight: Mutex<HashMap<PairFingerprint, Vec<Waiter>>>,
     fallback: LogisticModel,
     cache: AnswerCache,
     governor: CostGovernor,
@@ -265,7 +261,7 @@ struct Inner {
     /// dropped senders disconnect the receivers, which degrade to the
     /// local fallback.
     live_workers: AtomicU64,
-    counters: Counters,
+    telemetry: Telemetry,
 }
 
 /// The running service. Cloneable via `Arc`; dropping the last handle
@@ -335,6 +331,18 @@ impl ErService {
                 .with_max_delta_fraction(config.max_plan_delta_fraction),
             queued: HashMap::new(),
         };
+        let telemetry = Telemetry::new(config.telemetry, config.trace_capacity);
+        let cache = AnswerCache::new(config.cache_enabled, config.cache_capacity).with_metrics(
+            Arc::clone(&telemetry.cache_hits),
+            Arc::clone(&telemetry.cache_misses),
+            Arc::clone(&telemetry.cache_entries),
+        );
+        let governor = CostGovernor::new(SharedCostLedger::new(), config.budget).with_metrics(
+            Arc::clone(&telemetry.budget_denials),
+            Arc::clone(&telemetry.governor_reserve_us),
+            Arc::clone(&telemetry.governor_settle_us),
+            Arc::clone(&telemetry.governor_reserved_micros),
+        );
         let inner = Arc::new(Inner {
             plan_template,
             api,
@@ -342,8 +350,8 @@ impl ErService {
             pool: bootstrap,
             labeled: Mutex::new(HashSet::new()),
             fallback,
-            cache: AnswerCache::new(config.cache_enabled, config.cache_capacity),
-            governor: CostGovernor::new(SharedCostLedger::new(), config.budget),
+            cache,
+            governor,
             queue: Mutex::new(QueueState {
                 pending: Vec::new(),
                 oldest: None,
@@ -353,7 +361,7 @@ impl ErService {
             queue_cond: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
             planner: Mutex::new(planner),
-            counters: Counters::default(),
+            telemetry,
             live_workers: AtomicU64::new(config.workers as u64),
             config,
         });
@@ -378,12 +386,28 @@ impl ErService {
 
     /// Resolves one pair question, blocking until a decision is available
     /// (cache hits return immediately; queue misses wait for their batch).
+    ///
+    /// This call owns the question's lifecycle span: it opens it, and it
+    /// is the only place that finishes it (terminal stage `answered`) —
+    /// so every span reaches a terminal stage exactly once, on every
+    /// path a decision can take.
     pub fn submit(&self, pair: &EntityPair) -> MatchDecision {
         let inner = &*self.inner;
-        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let tel = &inner.telemetry;
+        tel.submitted.inc();
+        let started = Instant::now();
         let fp = pair_fingerprint(pair);
+        let trace = tel.trace.begin(fp.0, "submitted");
         if let Some(label) = inner.cache.get(fp) {
-            return MatchDecision { label, source: DecisionSource::Cache, fingerprint: fp };
+            tel.answer_cache_us.record_duration_us(started.elapsed());
+            tel.trace
+                .finish(trace, "answered", Some("cache".to_owned()));
+            return MatchDecision {
+                label,
+                source: DecisionSource::Cache,
+                fingerprint: fp,
+                trace_id: trace,
+            };
         }
 
         let (tx, rx): (Sender<MatchDecision>, Receiver<MatchDecision>) = channel();
@@ -391,7 +415,11 @@ impl ErService {
             let mut queue = lock(&inner.queue);
             if queue.stopping {
                 drop(queue);
-                return fallback_decision(inner, fp, pair);
+                let decision = fallback_decision(inner, fp, pair);
+                tel.answer_fallback_us.record_duration_us(started.elapsed());
+                tel.trace
+                    .finish(trace, "answered", Some("fallback".to_owned()));
+                return MatchDecision { trace_id: trace, ..decision };
             }
             if queue.pending.is_empty() {
                 queue.oldest = Some(Instant::now());
@@ -399,40 +427,66 @@ impl ErService {
             queue.pending.push(Pending {
                 fp,
                 pair: pair.clone(),
-                waiter: tx,
+                waiter: Waiter { tx, trace },
                 enqueued: Instant::now(),
             });
+            tel.queue_depth.set(queue.pending.len() as i64);
             inner.queue_cond.notify_all();
         }
+        tel.trace.stamp(trace, "enqueued");
         // A dead dispatcher/worker (disconnected sender) degrades to the
         // fallback instead of hanging the caller.
-        rx.recv()
-            .unwrap_or_else(|_| fallback_decision(inner, fp, pair))
+        let decision = rx
+            .recv()
+            .unwrap_or_else(|_| fallback_decision(inner, fp, pair));
+        let latency = started.elapsed();
+        match decision.source {
+            DecisionSource::Cache => tel.answer_cache_us.record_duration_us(latency),
+            DecisionSource::Llm => tel.answer_llm_us.record_duration_us(latency),
+            DecisionSource::Fallback => tel.answer_fallback_us.record_duration_us(latency),
+        }
+        tel.trace
+            .finish(trace, "answered", Some(decision.source.name().to_owned()));
+        MatchDecision { trace_id: trace, ..decision }
     }
 
     /// A point-in-time statistics snapshot (the `/stats` payload).
+    ///
+    /// A thin view over the telemetry registry: everything here reads
+    /// lock-free handles or folds histogram shards — a slow or hammering
+    /// scraper can never stall `submit` or the flush path.
     pub fn stats(&self) -> ServiceStats {
         let inner = &*self.inner;
+        let tel = &inner.telemetry;
         let ledger = inner.governor.ledger().snapshot();
-        let plans = inner.counters.plans.load(Ordering::Relaxed);
-        let plan_total_us = inner.counters.plan_total_us.load(Ordering::Relaxed);
+        let plan_full = tel.plans_full.get();
+        let plan_incremental = tel.plans_incremental.get();
+        let mut plan_wall = tel.plan_full_us.snapshot();
+        plan_wall.merge(&tel.plan_incremental_us.snapshot());
+        let mut answer = tel.answer_cache_us.snapshot();
+        answer.merge(&tel.answer_llm_us.snapshot());
+        answer.merge(&tel.answer_fallback_us.snapshot());
         ServiceStats {
-            submitted: inner.counters.submitted.load(Ordering::Relaxed),
-            plans,
-            plan_full: inner.counters.plans_full.load(Ordering::Relaxed),
-            plan_incremental: inner.counters.plans_incremental.load(Ordering::Relaxed),
-            plan_last_inserted: inner.counters.plan_last_inserted.load(Ordering::Relaxed),
-            plan_last_retired: inner.counters.plan_last_retired.load(Ordering::Relaxed),
-            plan_last_us: inner.counters.plan_last_us.load(Ordering::Relaxed),
-            plan_avg_us: plan_total_us.checked_div(plans).unwrap_or(0),
-            cache_hits: inner.cache.hits(),
-            cache_misses: inner.cache.misses(),
-            cache_entries: inner.cache.len() as u64,
-            coalesced_duplicates: inner.counters.coalesced_duplicates.load(Ordering::Relaxed),
-            llm_answered: inner.counters.llm_answered.load(Ordering::Relaxed),
-            fallback_answered: inner.counters.fallback_answered.load(Ordering::Relaxed),
-            batches_flushed: inner.counters.batches_flushed.load(Ordering::Relaxed),
-            retries: inner.counters.retries.load(Ordering::Relaxed),
+            submitted: tel.submitted.get(),
+            plans: plan_full + plan_incremental,
+            plan_full,
+            plan_incremental,
+            plan_last_inserted: tel.plan_last_inserted.get() as u64,
+            plan_last_retired: tel.plan_last_retired.get() as u64,
+            plan_last_us: tel.plan_last_us.get() as u64,
+            plan_avg_us: plan_wall.mean(),
+            plan_p50_us: plan_wall.quantile(0.5),
+            plan_p99_us: plan_wall.quantile(0.99),
+            answer_p50_us: answer.quantile(0.5),
+            answer_p99_us: answer.quantile(0.99),
+            cache_hits: tel.cache_hits.get(),
+            cache_misses: tel.cache_misses.get(),
+            cache_entries: tel.cache_entries.get() as u64,
+            coalesced_duplicates: tel.coalesced.get(),
+            llm_answered: tel.llm_answered.get(),
+            fallback_answered: tel.fallback_answered.get(),
+            batches_flushed: tel.batches_flushed.get(),
+            retries: tel.retries.get(),
             api_calls: ledger.api_calls,
             prompt_tokens: ledger.prompt_tokens.get(),
             completion_tokens: ledger.completion_tokens.get(),
@@ -444,6 +498,23 @@ impl ErService {
             remaining_micros: inner.governor.remaining().micros(),
             budget_denials: inner.governor.denials(),
         }
+    }
+
+    /// The service's telemetry bundle (registry + trace log).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Renders every metric family in Prometheus text exposition format
+    /// (the `GET /metrics` payload).
+    pub fn render_metrics(&self) -> String {
+        self.inner.telemetry.registry.render_prometheus()
+    }
+
+    /// The most recent `n` completed lifecycle spans as JSON, newest
+    /// first (the `GET /trace` payload).
+    pub fn trace_json(&self, n: usize) -> String {
+        self.inner.telemetry.trace.recent_json(n)
     }
 
     /// The shared cost ledger (for tests and embedding harnesses).
@@ -482,15 +553,12 @@ fn fallback_decision(inner: &Inner, fp: PairFingerprint, pair: &EntityPair) -> M
         features.last().copied().unwrap_or(0.0) >= 0.5
     };
     let label = MatchLabel::from_bool(is_match);
-    inner
-        .counters
-        .fallback_answered
-        .fetch_add(1, Ordering::Relaxed);
+    inner.telemetry.fallback_answered.inc();
     // Deliberately NOT cached: a denial can be transient (another
     // worker's conservative reservation in flight), and recomputing the
     // logistic verdict is free — caching it would pin lower-quality
     // answers on hot pairs forever.
-    MatchDecision { label, source: DecisionSource::Fallback, fingerprint: fp }
+    MatchDecision { label, source: DecisionSource::Fallback, fingerprint: fp, trace_id: 0 }
 }
 
 // ---------------------------------------------------------------------
@@ -554,6 +622,7 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
             // Disarm the straggler timer before handing off; the planner
             // re-arms it (under this lock) if held questions remain.
             queue.straggler_deadline = None;
+            inner.telemetry.queue_depth.set(0);
             (std::mem::take(&mut queue.pending), urgent, flush_stragglers)
         };
         // Planning is O(flush²); it runs on the worker pool so the
@@ -576,21 +645,27 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
 /// paper's batch economics improve when a straggler waits (bounded by the
 /// flush deadline) for co-batched traffic instead of flying alone.
 fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<WorkItem>) {
+    let tel = &inner.telemetry;
     // Dedupe by fingerprint. Four ways a question avoids its own LLM
     // slot: answered into the cache while it sat in the queue, identical
     // to a question an executing batch is already asking (attach to its
     // in-flight entry), identical to another question in this flush, or
     // identical to a question the planner already holds (attach below).
-    let mut waiters: HashMap<PairFingerprint, Vec<Sender<MatchDecision>>> = HashMap::new();
+    let mut waiters: HashMap<PairFingerprint, Vec<Waiter>> = HashMap::new();
     let mut unique: Vec<(PairFingerprint, EntityPair, Instant)> = Vec::new();
     let mut coalesced = 0u64;
     for item in drained {
+        tel.queue_wait_us
+            .record_duration_us(item.enqueued.elapsed());
         if let Some(label) = inner.cache.peek(item.fp) {
             coalesced += 1;
-            let _ = item.waiter.send(MatchDecision {
+            tel.trace
+                .stamp_with(item.waiter.trace, "coalesced", "cache".to_owned());
+            let _ = item.waiter.tx.send(MatchDecision {
                 label,
                 source: DecisionSource::Cache,
                 fingerprint: item.fp,
+                trace_id: 0,
             });
             continue;
         }
@@ -598,6 +673,8 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             let mut in_flight = lock(&inner.in_flight);
             if let Some(attached) = in_flight.get_mut(&item.fp) {
                 coalesced += 1;
+                tel.trace
+                    .stamp_with(item.waiter.trace, "coalesced", "in_flight".to_owned());
                 attached.push(item.waiter);
                 continue;
             }
@@ -605,6 +682,8 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         match waiters.entry(item.fp) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 coalesced += 1;
+                tel.trace
+                    .stamp_with(item.waiter.trace, "coalesced", "duplicate".to_owned());
                 e.get_mut().push(item.waiter);
             }
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -617,6 +696,9 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
     }
 
     let mut planner = lock(&inner.planner);
+    // Measures how long this flush keeps every other flush (and the
+    // dispatch path) waiting; drop-guard so early returns count too.
+    let _lock_hold = tel.planner_lock_hold_us.start_timer();
     // The plan timer covers delta application too (per-insert feature
     // extraction and cache-extension scans are planning work the old
     // from-scratch path paid inside plan_with_prepared_pool), so the
@@ -636,6 +718,10 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             // Only the primary item coalesces here; its within-flush
             // duplicates were already counted in the dedupe loop.
             coalesced += 1;
+            for w in &senders {
+                tel.trace
+                    .stamp_with(w.trace, "coalesced", "held".to_owned());
+            }
             held.waiters.extend(senders);
             continue;
         }
@@ -643,6 +729,10 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             let mut in_flight = lock(&inner.in_flight);
             if let Some(attached) = in_flight.get_mut(&fp) {
                 coalesced += 1;
+                for w in &senders {
+                    tel.trace
+                        .stamp_with(w.trace, "coalesced", "in_flight".to_owned());
+                }
                 attached.extend(senders);
                 continue;
             }
@@ -653,10 +743,7 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             QueuedQuestion { pair, waiters: senders, since: enqueued },
         );
     }
-    inner
-        .counters
-        .coalesced_duplicates
-        .fetch_add(coalesced, Ordering::Relaxed);
+    tel.coalesced.add(coalesced);
     if planner.queued.is_empty() {
         return;
     }
@@ -672,26 +759,27 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
 
     let epoch = planner.state.plan(flush_seed);
     let plan_us = u64::try_from(plan_started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    let counters = &inner.counters;
-    counters.plans.fetch_add(1, Ordering::Relaxed);
-    match epoch.kind {
-        PlanKind::Full => counters.plans_full.fetch_add(1, Ordering::Relaxed),
-        PlanKind::Incremental => counters.plans_incremental.fetch_add(1, Ordering::Relaxed),
+    let plan_kind = match epoch.kind {
+        PlanKind::Full => {
+            tel.plans_full.inc();
+            tel.plan_full_us.record(plan_us);
+            "full"
+        }
+        PlanKind::Incremental => {
+            tel.plans_incremental.inc();
+            tel.plan_incremental_us.record(plan_us);
+            "incremental"
+        }
     };
-    counters
-        .plan_last_inserted
-        .store(epoch.inserted as u64, Ordering::Relaxed);
-    counters
-        .plan_last_retired
-        .store(epoch.retired as u64, Ordering::Relaxed);
-    counters.plan_last_us.store(plan_us, Ordering::Relaxed);
-    counters.plan_total_us.fetch_add(plan_us, Ordering::Relaxed);
+    tel.plan_last_inserted.set(epoch.inserted as i64);
+    tel.plan_last_retired.set(epoch.retired as i64);
+    tel.plan_last_us.set(plan_us as i64);
 
     for (bi, batch) in epoch.plan.batches.iter().enumerate() {
         if !urgent && batch.len() < inner.config.batch_size {
             continue; // held for the next epoch
         }
-        let questions: Vec<(PairFingerprint, EntityPair, Vec<Sender<MatchDecision>>)> = batch
+        let questions: Vec<(PairFingerprint, EntityPair, Vec<Waiter>)> = batch
             .iter()
             .map(|&qi| {
                 let fp = PairFingerprint(epoch.keys[qi]);
@@ -700,6 +788,11 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
                     .remove(&fp)
                     .expect("planned question is held by the planner");
                 planner.state.retire(fp.0);
+                for w in &queued.waiters {
+                    tel.trace
+                        .stamp_with(w.trace, "planned", plan_kind.to_owned());
+                    tel.trace.stamp(w.trace, "dispatched");
+                }
                 (fp, queued.pair, queued.waiters)
             })
             .collect();
@@ -713,10 +806,7 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
                 in_flight.entry(*fp).or_default();
             }
         }
-        inner
-            .counters
-            .batches_flushed
-            .fetch_add(1, Ordering::Relaxed);
+        tel.batches_flushed.inc();
         let job = BatchJob {
             questions,
             demo_indices: epoch.plan.demos_per_batch[bi].clone(),
@@ -893,10 +983,15 @@ fn execute_job(inner: &Inner, job: BatchJob) {
     let mut outcome = ExecutionOutcome::default();
     executor.run_batch(&description, &demos, &questions, job.seed, &mut outcome);
     outcome.ledger.record_labeling(newly_labeled.len() as u64);
-    inner
-        .counters
-        .retries
-        .fetch_add(u64::from(outcome.retries), Ordering::Relaxed);
+    let tel = &inner.telemetry;
+    tel.retries.add(u64::from(outcome.retries));
+    for &latency in &outcome.call_latencies_us {
+        tel.llm_call_us.record(latency);
+    }
+    tel.batch_spend_micros
+        .record(u64::try_from(outcome.ledger.total().micros()).unwrap_or(0));
+    tel.batch_prompt_tokens
+        .record(outcome.ledger.prompt_tokens.get());
     debug_assert!(
         ledger_within(&outcome.ledger, projected),
         "executor spend exceeded the governor projection"
@@ -906,9 +1001,9 @@ fn execute_job(inner: &Inner, job: BatchJob) {
     for (slot, (fp, pair, senders)) in job.questions.iter().enumerate() {
         let decision = match outcome.answers.get(slot).copied().flatten() {
             Some(label) => {
-                inner.counters.llm_answered.fetch_add(1, Ordering::Relaxed);
+                tel.llm_answered.inc();
                 inner.cache.insert(*fp, label);
-                MatchDecision { label, source: DecisionSource::Llm, fingerprint: *fp }
+                MatchDecision { label, source: DecisionSource::Llm, fingerprint: *fp, trace_id: 0 }
             }
             // No parseable answer after retries: conservative local call.
             None => fallback_decision(inner, *fp, pair),
@@ -923,16 +1018,24 @@ fn ledger_within(actual: &CostLedger, projected: Money) -> bool {
 
 /// Delivers a decision to a question's own waiters plus any waiters that
 /// attached to its in-flight entry from later flushes, and unregisters
-/// the question.
+/// the question. Stamps each waiter's span with how the answer was
+/// produced and its settlement; the terminal stage stays with `submit`.
 fn resolve_question(
     inner: &Inner,
     fp: PairFingerprint,
     decision: MatchDecision,
-    senders: &[Sender<MatchDecision>],
+    senders: &[Waiter],
 ) {
+    let stage = match decision.source {
+        DecisionSource::Llm => "llm_called",
+        DecisionSource::Fallback => "fallback",
+        DecisionSource::Cache => "cache_filled",
+    };
     let attached = lock(&inner.in_flight).remove(&fp).unwrap_or_default();
-    for sender in senders.iter().chain(&attached) {
-        let _ = sender.send(decision);
+    for waiter in senders.iter().chain(&attached) {
+        inner.telemetry.trace.stamp(waiter.trace, stage);
+        inner.telemetry.trace.stamp(waiter.trace, "settled");
+        let _ = waiter.tx.send(decision);
     }
 }
 

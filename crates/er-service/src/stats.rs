@@ -42,7 +42,24 @@ pub struct ServiceStats {
     /// kernel layer's speedup, observable online.
     pub plan_last_us: u64,
     /// Mean planning wall time across all passes, microseconds.
+    ///
+    /// Deprecated alias: kept for wire compatibility, now derived from
+    /// the plan-wall-time histogram (a running mean hides the tail —
+    /// prefer [`ServiceStats::plan_p50_us`] / [`ServiceStats::plan_p99_us`]).
     pub plan_avg_us: u64,
+    /// Median planning wall time, microseconds (histogram-backed).
+    #[serde(default)]
+    pub plan_p50_us: u64,
+    /// 99th-percentile planning wall time, microseconds.
+    #[serde(default)]
+    pub plan_p99_us: u64,
+    /// Median end-to-end submit-to-answer latency, microseconds, across
+    /// every decision source.
+    #[serde(default)]
+    pub answer_p50_us: u64,
+    /// 99th-percentile end-to-end submit-to-answer latency, microseconds.
+    #[serde(default)]
+    pub answer_p99_us: u64,
     /// Executor retries (rate limits + malformed output).
     pub retries: u64,
     /// LLM API calls issued.
@@ -115,6 +132,10 @@ mod tests {
             plan_last_retired: 1,
             plan_last_us: 180,
             plan_avg_us: 210,
+            plan_p50_us: 190,
+            plan_p99_us: 240,
+            answer_p50_us: 2_100,
+            answer_p99_us: 9_800,
             retries: 0,
             api_calls: 1,
             prompt_tokens: 900,
@@ -150,5 +171,24 @@ mod tests {
         let json = serde_json::to_vec(&s).unwrap();
         let back: ServiceStats = serde_json::from_slice(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn old_wire_payload_without_percentiles_still_parses() {
+        // Pre-histogram scrapers serialized no percentile fields; the
+        // `#[serde(default)]` markers keep their payloads readable.
+        let mut json = String::from_utf8(serde_json::to_vec(&sample()).unwrap()).unwrap();
+        for (field, value) in [
+            ("plan_p50_us", 190),
+            ("plan_p99_us", 240),
+            ("answer_p50_us", 2_100),
+            ("answer_p99_us", 9_800),
+        ] {
+            json = json.replace(&format!("\"{field}\":{value},"), "");
+        }
+        let back: ServiceStats = serde_json::from_slice(json.as_bytes()).unwrap();
+        assert_eq!(back.plan_p50_us, 0);
+        assert_eq!(back.answer_p99_us, 0);
+        assert_eq!(back.submitted, sample().submitted);
     }
 }

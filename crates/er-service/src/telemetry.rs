@@ -1,0 +1,308 @@
+//! The service's telemetry bundle: metric handles plus the lifecycle
+//! trace log, wired once at startup and shared by every pipeline stage.
+//!
+//! Recording never takes the registry lock — handles are `Arc`'d atomics
+//! (or per-thread histogram shards) folded only when `/metrics` renders.
+//! With `ServiceConfig::telemetry` off every handle is a dark no-op, so
+//! the serving bench can price the instrumentation itself.
+
+use std::sync::Arc;
+
+use obs::{Counter, Gauge, Histogram, Registry, TraceLog};
+
+/// Every metric handle the service records into, plus the trace log.
+///
+/// Histogram families exposed at `/metrics` (all microseconds unless the
+/// name says otherwise): queue wait, plan wall time (`kind` label —
+/// full vs incremental), planner lock hold, per-call LLM latency,
+/// governor reserve/settle, end-to-end answer latency (`source` label),
+/// per-batch spend (micro-dollars) and prompt tokens.
+#[derive(Debug)]
+pub struct Telemetry {
+    pub(crate) registry: Registry,
+    pub(crate) trace: TraceLog,
+
+    // Counters.
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) coalesced: Arc<Counter>,
+    pub(crate) llm_answered: Arc<Counter>,
+    pub(crate) fallback_answered: Arc<Counter>,
+    pub(crate) batches_flushed: Arc<Counter>,
+    pub(crate) retries: Arc<Counter>,
+    pub(crate) plans_full: Arc<Counter>,
+    pub(crate) plans_incremental: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) budget_denials: Arc<Counter>,
+
+    // Gauges.
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) cache_entries: Arc<Gauge>,
+    pub(crate) governor_reserved_micros: Arc<Gauge>,
+    pub(crate) plan_last_inserted: Arc<Gauge>,
+    pub(crate) plan_last_retired: Arc<Gauge>,
+    pub(crate) plan_last_us: Arc<Gauge>,
+
+    // Histograms.
+    pub(crate) queue_wait_us: Arc<Histogram>,
+    pub(crate) plan_full_us: Arc<Histogram>,
+    pub(crate) plan_incremental_us: Arc<Histogram>,
+    pub(crate) planner_lock_hold_us: Arc<Histogram>,
+    pub(crate) llm_call_us: Arc<Histogram>,
+    pub(crate) governor_reserve_us: Arc<Histogram>,
+    pub(crate) governor_settle_us: Arc<Histogram>,
+    pub(crate) answer_cache_us: Arc<Histogram>,
+    pub(crate) answer_llm_us: Arc<Histogram>,
+    pub(crate) answer_fallback_us: Arc<Histogram>,
+    pub(crate) batch_spend_micros: Arc<Histogram>,
+    pub(crate) batch_prompt_tokens: Arc<Histogram>,
+}
+
+impl Telemetry {
+    /// Builds the bundle. Disabled mode registers the same families on a
+    /// dark registry: every handle exists but records nothing.
+    pub fn new(enabled: bool, trace_capacity: usize) -> Self {
+        let registry = if enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let trace = if enabled {
+            TraceLog::new(trace_capacity)
+        } else {
+            TraceLog::disabled()
+        };
+
+        let submitted = registry.counter(
+            "er_questions_submitted_total",
+            "Questions submitted (including cache hits).",
+            &[],
+        );
+        let coalesced = registry.counter(
+            "er_coalesced_total",
+            "Questions answered without their own LLM slot (duplicates, in-flight attaches, queue-time cache fills).",
+            &[],
+        );
+        let llm_answered = registry.counter(
+            "er_answered_total",
+            "Questions answered, by decision source.",
+            &[("source", "llm")],
+        );
+        let fallback_answered = registry.counter(
+            "er_answered_total",
+            "Questions answered, by decision source.",
+            &[("source", "fallback")],
+        );
+        let batches_flushed = registry.counter(
+            "er_batches_flushed_total",
+            "Batches dispatched out of the coalescing queue.",
+            &[],
+        );
+        let retries = registry.counter(
+            "er_retries_total",
+            "Executor retries (rate limits and malformed output).",
+            &[],
+        );
+        let plans_full = registry.counter(
+            "er_plans_total",
+            "Planning passes, by planner path.",
+            &[("kind", "full")],
+        );
+        let plans_incremental = registry.counter(
+            "er_plans_total",
+            "Planning passes, by planner path.",
+            &[("kind", "incremental")],
+        );
+        let cache_hits = registry.counter(
+            "er_cache_lookups_total",
+            "Answer-cache lookups, by result.",
+            &[("result", "hit")],
+        );
+        let cache_misses = registry.counter(
+            "er_cache_lookups_total",
+            "Answer-cache lookups, by result.",
+            &[("result", "miss")],
+        );
+        let budget_denials = registry.counter(
+            "er_budget_denials_total",
+            "Batch reservations denied by the cost governor.",
+            &[],
+        );
+
+        let queue_depth = registry.gauge(
+            "er_queue_depth",
+            "Questions currently waiting in the coalescing queue.",
+            &[],
+        );
+        let cache_entries = registry.gauge(
+            "er_cache_entries",
+            "Entries currently held by the answer cache.",
+            &[],
+        );
+        let governor_reserved_micros = registry.gauge(
+            "er_governor_reserved_micros",
+            "Budget committed to in-flight reservations, micro-dollars.",
+            &[],
+        );
+        let plan_last_inserted = registry.gauge(
+            "er_plan_last_inserted",
+            "Questions inserted into the planner by the most recent pass.",
+            &[],
+        );
+        let plan_last_retired = registry.gauge(
+            "er_plan_last_retired",
+            "Questions retired from the planner by the most recent pass.",
+            &[],
+        );
+        let plan_last_us = registry.gauge(
+            "er_plan_last_us",
+            "Wall time of the most recent planning pass, microseconds.",
+            &[],
+        );
+
+        let queue_wait_us = registry.histogram(
+            "er_queue_wait_us",
+            "Time from submit to queue drain, microseconds.",
+            &[],
+        );
+        let plan_full_us = registry.histogram(
+            "er_plan_wall_us",
+            "Planning pass wall time, microseconds, by planner path.",
+            &[("kind", "full")],
+        );
+        let plan_incremental_us = registry.histogram(
+            "er_plan_wall_us",
+            "Planning pass wall time, microseconds, by planner path.",
+            &[("kind", "incremental")],
+        );
+        let planner_lock_hold_us = registry.histogram(
+            "er_planner_lock_hold_us",
+            "Time the flush path holds the planner lock, microseconds.",
+            &[],
+        );
+        let llm_call_us = registry.histogram(
+            "er_llm_call_us",
+            "Latency of one LLM API call (failed calls included), microseconds.",
+            &[],
+        );
+        let governor_reserve_us = registry.histogram(
+            "er_governor_reserve_us",
+            "Cost-governor reservation latency, microseconds.",
+            &[],
+        );
+        let governor_settle_us = registry.histogram(
+            "er_governor_settle_us",
+            "Cost-governor settlement latency, microseconds.",
+            &[],
+        );
+        let answer_cache_us = registry.histogram(
+            "er_answer_us",
+            "End-to-end submit-to-answer latency, microseconds, by source.",
+            &[("source", "cache")],
+        );
+        let answer_llm_us = registry.histogram(
+            "er_answer_us",
+            "End-to-end submit-to-answer latency, microseconds, by source.",
+            &[("source", "llm")],
+        );
+        let answer_fallback_us = registry.histogram(
+            "er_answer_us",
+            "End-to-end submit-to-answer latency, microseconds, by source.",
+            &[("source", "fallback")],
+        );
+        let batch_spend_micros = registry.histogram(
+            "er_batch_spend_micros",
+            "Settled spend per executed batch, micro-dollars.",
+            &[],
+        );
+        let batch_prompt_tokens = registry.histogram(
+            "er_batch_prompt_tokens",
+            "Prompt tokens sent per executed batch.",
+            &[],
+        );
+
+        Self {
+            registry,
+            trace,
+            submitted,
+            coalesced,
+            llm_answered,
+            fallback_answered,
+            batches_flushed,
+            retries,
+            plans_full,
+            plans_incremental,
+            cache_hits,
+            cache_misses,
+            budget_denials,
+            queue_depth,
+            cache_entries,
+            governor_reserved_micros,
+            plan_last_inserted,
+            plan_last_retired,
+            plan_last_us,
+            queue_wait_us,
+            plan_full_us,
+            plan_incremental_us,
+            planner_lock_hold_us,
+            llm_call_us,
+            governor_reserve_us,
+            governor_settle_us,
+            answer_cache_us,
+            answer_llm_us,
+            answer_fallback_us,
+            batch_spend_micros,
+            batch_prompt_tokens,
+        }
+    }
+
+    /// The metric registry (render with
+    /// [`Registry::render_prometheus`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The per-question lifecycle trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_bundle_renders_all_families() {
+        let t = Telemetry::new(true, 16);
+        t.submitted.inc();
+        t.queue_wait_us.record(120);
+        t.answer_llm_us.record(4_000);
+        t.plan_incremental_us.record(90);
+        let text = t.registry().render_prometheus();
+        for family in [
+            "er_questions_submitted_total",
+            "er_queue_wait_us",
+            "er_answer_us",
+            "er_plan_wall_us",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        obs::lint(&text).expect("telemetry render is valid Prometheus text");
+    }
+
+    #[test]
+    fn disabled_bundle_is_dark() {
+        let t = Telemetry::new(false, 16);
+        t.submitted.inc();
+        t.queue_wait_us.record(120);
+        let id = t.trace().begin(1, "submitted");
+        assert_eq!(id, 0);
+        assert_eq!(t.submitted.get(), 0);
+        assert!(!t.registry().is_enabled());
+        // Families still render (zeroed) so scrapers need no mode branch.
+        let text = t.registry().render_prometheus();
+        assert!(text.contains("er_questions_submitted_total 0"), "{text}");
+        assert_eq!(t.trace().opened(), 0);
+    }
+}

@@ -18,14 +18,21 @@ pub struct HttpRequest {
 pub struct HttpResponse {
     /// Status code, e.g. 200.
     pub status: u16,
-    /// Body bytes; `Content-Type: application/json` is always sent.
+    /// Body bytes.
     pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl HttpResponse {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Self { status, body: body.into() }
+        Self { status, body: body.into(), content_type: "application/json" }
+    }
+
+    /// A plain-text response (Prometheus scrapes, human-readable pages).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, body: body.into(), content_type: "text/plain; version=0.0.4" }
     }
 }
 
@@ -87,9 +94,10 @@ pub fn write_response<W: Write>(mut stream: W, response: &HttpResponse) -> std::
     };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         reason,
+        response.content_type,
         response.body.len()
     )?;
     stream.write_all(&response.body)?;
@@ -193,6 +201,18 @@ mod tests {
         let (status, body) = read_response(&buf[..]).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn text_response_sets_content_type() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &HttpResponse::text(200, b"a 1\n".to_vec())).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("a 1\n"));
     }
 
     #[test]

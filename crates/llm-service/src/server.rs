@@ -4,6 +4,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use llm::{ChatApi, ChatRequest, ChatResponse, LlmError, SimLlm, SimLlmConfig};
+use obs::{Counter, Histogram, Registry};
 
 use crate::http::{read_response, HttpRequest, HttpResponse};
 use crate::serve::{spawn_http_server, HttpServerHandle, ServeOptions};
@@ -41,11 +42,43 @@ impl LlmServer {
     pub fn start(self) -> std::io::Result<RunningServer> {
         let llm = Arc::new(SimLlm::with_config(self.config));
         let handler_llm = Arc::clone(&llm);
+        let metrics = Arc::new(ServerMetrics::new());
+        let handler_metrics = Arc::clone(&metrics);
         let server = spawn_http_server(
-            Arc::new(move |request: HttpRequest| route(request, &handler_llm)),
+            Arc::new(move |request: HttpRequest| route(request, &handler_llm, &handler_metrics)),
             self.options,
         )?;
         Ok(RunningServer { server })
+    }
+}
+
+/// Per-server request telemetry, exposed at `GET /metrics`.
+struct ServerMetrics {
+    registry: Registry,
+    completions: Arc<Counter>,
+    errors: Arc<Counter>,
+    request_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let completions = registry.counter(
+            "llm_completions_total",
+            "Chat completion requests answered successfully.",
+            &[],
+        );
+        let errors = registry.counter(
+            "llm_completion_errors_total",
+            "Chat completion requests answered with an error.",
+            &[],
+        );
+        let request_us = registry.histogram(
+            "llm_request_us",
+            "Wall time spent handling one chat completion request, microseconds.",
+            &[],
+        );
+        Self { registry, completions, errors, request_us }
     }
 }
 
@@ -68,27 +101,41 @@ impl RunningServer {
     }
 }
 
-fn route(req: HttpRequest, llm: &SimLlm) -> HttpResponse {
+fn route(req: HttpRequest, llm: &SimLlm, metrics: &ServerMetrics) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/chat/completions") => {
+            let _timer = metrics.request_us.start_timer();
             let wire: WireRequest = match serde_json::from_slice(&req.body) {
                 Ok(w) => w,
-                Err(e) => return bad_request(&format!("invalid JSON body: {e}")),
+                Err(e) => {
+                    metrics.errors.inc();
+                    return bad_request(&format!("invalid JSON body: {e}"));
+                }
             };
             let chat_req = match to_chat_request(&wire) {
                 Ok(r) => r,
-                Err(err) => return error_response(&err),
+                Err(err) => {
+                    metrics.errors.inc();
+                    return error_response(&err);
+                }
             };
             match llm.complete(&chat_req) {
                 Ok(resp) => {
                     let body = serde_json::to_vec(&from_chat_response(&resp))
                         .expect("wire response serializes");
+                    metrics.completions.inc();
                     HttpResponse::json(200, body)
                 }
-                Err(err) => error_response(&err),
+                Err(err) => {
+                    metrics.errors.inc();
+                    error_response(&err)
+                }
             }
         }
         ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
+        ("GET", "/metrics") => {
+            HttpResponse::text(200, metrics.registry.render_prometheus().into_bytes())
+        }
         ("POST", _) | ("GET", _) => HttpResponse::json(
             404,
             serde_json::to_vec(&WireError {
@@ -255,6 +302,26 @@ mod tests {
         let (status, body) = read_response(&mut stream).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, br#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn metrics_endpoint_counts_completions() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        for seed in 0..3 {
+            client
+                .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), seed))
+                .unwrap();
+        }
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("llm_completions_total 3"), "{text}");
+        assert!(text.contains("llm_request_us_count 3"), "{text}");
+        obs::lint(&text).expect("llm /metrics is valid Prometheus text");
     }
 
     #[test]

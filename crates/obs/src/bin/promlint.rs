@@ -1,0 +1,54 @@
+//! promlint: validate a Prometheus text-exposition file.
+//!
+//! Usage: `promlint [FILE ...]` — with no arguments, reads stdin.
+//! Exits 0 when every input is clean, 1 otherwise. CI pipes the
+//! serving example's `/metrics` scrape through this.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inputs: Vec<(String, String)> = if args.is_empty() {
+        let mut body = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut body) {
+            eprintln!("promlint: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        vec![("<stdin>".to_owned(), body)]
+    } else {
+        let mut inputs = Vec::new();
+        for path in args {
+            match std::fs::read_to_string(&path) {
+                Ok(body) => inputs.push((path, body)),
+                Err(e) => {
+                    eprintln!("promlint: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        inputs
+    };
+
+    let mut failed = false;
+    for (name, body) in inputs {
+        match obs::lint(&body) {
+            Ok(report) => println!(
+                "{name}: OK ({} families, {} histograms, {} samples)",
+                report.families, report.histograms, report.samples
+            ),
+            Err(issues) => {
+                failed = true;
+                eprintln!("{name}: {} issue(s)", issues.len());
+                for issue in issues {
+                    eprintln!("  {issue}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,341 @@
+//! Log-linear histograms: lock-free recording, mergeable snapshots,
+//! quantile estimation.
+//!
+//! The bucket layout is **fixed and global** — every histogram shares the
+//! same boundaries — so any two snapshots merge by element-wise addition,
+//! which is what makes per-thread shards, cross-instance aggregation and
+//! full/incremental family merging all the same trivial operation.
+//!
+//! Layout: values 0–3 get exact buckets; from 4 up, every power-of-two
+//! octave `[2^e, 2^(e+1))` splits into 4 equal sub-buckets. Relative
+//! quantile error is therefore bounded at 12.5% while the whole `u64`
+//! range fits in [`N_BUCKETS`] buckets. Boundaries are exact integers:
+//! [`bucket_upper_bound`] is the largest value a bucket admits, and
+//! `bucket_index` / `bucket_upper_bound` are inverse in the sense pinned
+//! by the property tests (`v <= ub(idx(v))`, `ub(idx(v) - 1) < v`).
+//!
+//! Recording is a handful of relaxed atomics on a per-thread shard —
+//! no locks, no allocation — so instrumented hot paths pay nanoseconds.
+//! Scraping folds the shards into a [`HistogramSnapshot`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of per-thread shards counters stripe across (power of two).
+const SHARDS: usize = 8;
+
+/// Sub-buckets per power-of-two octave.
+const SUBS: u64 = 4;
+
+/// Total bucket count: 4 exact small-value buckets (0, 1, 2, 3) plus 4
+/// sub-buckets for each octave `e` in `2..=63`.
+pub const N_BUCKETS: usize = 4 + 62 * SUBS as usize;
+
+/// The bucket a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as u64; // floor(log2 v), >= 2
+    let sub = (v - (1u64 << e)) >> (e - 2);
+    (4 + (e - 2) * SUBS + sub) as usize
+}
+
+/// The largest value bucket `i` admits (inclusive). The last bucket's
+/// bound is `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64;
+    }
+    let e = 2 + (i as u64 - 4) / SUBS;
+    let sub = (i as u64 - 4) % SUBS;
+    // 2^e + (sub+1) * 2^(e-2) - 1; for e = 63, sub = 3 this is u64::MAX.
+    (1u64 << e)
+        .wrapping_add((sub + 1) << (e - 2))
+        .wrapping_sub(1)
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread records into one fixed shard, assigned round-robin,
+    /// so concurrent recorders rarely contend on a cache line.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+struct Shard {
+    counts: Box<[AtomicU64; N_BUCKETS]>,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log-linear histogram. Created through
+/// [`crate::registry::Registry`] for exposition, or
+/// [`Histogram::detached`] for standalone measurement.
+pub struct Histogram {
+    enabled: bool,
+    shards: Vec<Shard>,
+    /// Exact extremes (the bucketed quantiles clamp to these).
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl Histogram {
+    /// A standalone histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Self::with_enabled(true)
+    }
+
+    pub(crate) fn with_enabled(enabled: bool) -> Self {
+        Self {
+            enabled,
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; a disabled histogram records
+    /// nothing (the single branch is the whole disabled-mode cost).
+    pub fn record(&self, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let shard = &self.shards[MY_SHARD.with(|s| *s)];
+        shard.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a timer that records its elapsed microseconds on drop —
+    /// handy for timing a scope with early returns.
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer { hist: self, started: std::time::Instant::now() }
+    }
+
+    /// Folds every shard into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; N_BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (acc, c) in counts.iter_mut().zip(shard.counts.iter()) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Records the elapsed time into its histogram when dropped.
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    hist: &'a Histogram,
+    started: std::time::Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration_us(self.started.elapsed());
+    }
+}
+
+/// A folded histogram: plain numbers, mergeable with any other snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`N_BUCKETS`] entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { counts: vec![0; N_BUCKETS], count: 0, sum: 0, min: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one. Associative and
+    /// commutative (identical global bucket layout), with `min`/`max`
+    /// combined so quantile clamping stays exact.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as a bucket upper bound clamped
+    /// to the exact observed extremes. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_exact() {
+        for v in (0u64..=4096).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 1]) {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} above its bucket bound");
+            if i > 0 {
+                assert!(
+                    bucket_upper_bound(i - 1) < v,
+                    "v={v} fits the previous bucket"
+                );
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5);
+        // 12.5% relative bucket error.
+        assert!((440..=570).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((980..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::detached().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let h = Histogram::with_enabled(false);
+        h.record(42);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_count() {
+        let h = std::sync::Arc::new(Histogram::detached());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.sum, (0..8000u64).sum::<u64>());
+        assert_eq!(s.max, 7999);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        let both = Histogram::detached();
+        for v in [3u64, 17, 900, 4096] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 2, 1 << 30] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+}

@@ -1,0 +1,32 @@
+//! Zero-dependency telemetry for the batcher workspace.
+//!
+//! Three pillars, one crate, no external dependencies (in keeping with
+//! the `vendor/` policy — see DESIGN.md):
+//!
+//! - [`hist`] — log-bucketed concurrent histograms: lock-free recording
+//!   on per-thread shards, mergeable snapshots, p50/p90/p99/max with a
+//!   bounded 12.5% relative error.
+//! - [`registry`] — named counter/gauge/histogram families with labels,
+//!   rendered as Prometheus text exposition (format 0.0.4, hand-rolled
+//!   encoder). Recording never takes the registry lock; a
+//!   [`Registry::disabled`] registry hands out dark no-op handles so the
+//!   cost of instrumentation itself can be measured.
+//! - [`trace`] — per-request lifecycle spans: open at submit, stamp at
+//!   each pipeline stage, finish exactly once at a terminal stage, kept
+//!   in a bounded ring and rendered as JSON for `GET /trace`.
+//!
+//! [`lint`] validates exposition bodies (histogram family coherence
+//! included) and backs the `promlint` binary CI runs against live
+//! scrapes.
+
+pub mod hist;
+pub mod lint;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, HistogramTimer, N_BUCKETS,
+};
+pub use lint::{lint, LintIssue, LintReport};
+pub use registry::{escape_label_value, Counter, Gauge, Registry};
+pub use trace::{Span, SpanEvent, TraceLog};

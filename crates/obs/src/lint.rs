@@ -1,0 +1,457 @@
+//! A small Prometheus text-exposition linter.
+//!
+//! Validates the subset of format 0.0.4 that matters for a scrape to be
+//! ingestible: `# HELP` / `# TYPE` header syntax, metric and label name
+//! charsets, label-value escaping, numeric sample values, and — the part
+//! flat line-by-line checks miss — histogram family *coherence*: every
+//! histogram must expose `_bucket` / `_sum` / `_count`, every bucket
+//! series must end in `le="+Inf"`, cumulative counts must be
+//! non-decreasing in `le`, and the `+Inf` bucket must equal `_count`.
+//!
+//! Used by the `promlint` binary (CI scrapes the serving example and
+//! pipes the body through it) and by the golden encoding tests, which
+//! lint the registry's own output.
+
+use std::collections::HashMap;
+
+/// One problem found in an exposition body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// 1-based line number (0 for whole-document issues).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+/// Summary of a clean exposition body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintReport {
+    /// `# TYPE`-declared families.
+    pub families: usize,
+    /// Of which histograms.
+    pub histograms: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Parsed `k="v"` label pairs in document order.
+type Labels = Vec<(String, String)>;
+
+#[derive(Default)]
+struct HistSeries {
+    /// `(le, cumulative count)` in document order.
+    buckets: Vec<(f64, f64)>,
+    sum: bool,
+    count: Option<f64>,
+}
+
+/// Lints a Prometheus text exposition body. Returns a summary when
+/// clean, otherwise every issue found.
+pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
+    let mut issues: Vec<LintIssue> = Vec::new();
+    // family name -> kind
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: Vec<String> = Vec::new();
+    // (family, label-key-without-le) -> accumulated histogram series
+    let mut hists: HashMap<(String, String), HistSeries> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        let mut issue = |message: String| issues.push(LintIssue { line: n, message });
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                // HELP text itself is free-form (may be empty).
+                let name = rest.split_once(' ').map_or(rest, |(n, _)| n);
+                if !crate::registry::valid_metric_name(name) {
+                    issue(format!("invalid metric name in HELP: {name:?}"));
+                } else if helps.iter().any(|h| h == name) {
+                    issue(format!("duplicate HELP for {name}"));
+                } else {
+                    helps.push(name.to_owned());
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                match rest.split_once(' ') {
+                    Some((name, kind)) => {
+                        if !crate::registry::valid_metric_name(name) {
+                            issue(format!("invalid metric name in TYPE: {name:?}"));
+                        }
+                        if !matches!(
+                            kind,
+                            "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                        ) {
+                            issue(format!("unknown metric type {kind:?} for {name}"));
+                        }
+                        if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                            issue(format!("duplicate TYPE for {name}"));
+                        }
+                    }
+                    None => issue(format!("malformed TYPE line: {line:?}")),
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name, labels, value) = match parse_sample(line) {
+            Ok(parts) => parts,
+            Err(message) => {
+                issue(message);
+                continue;
+            }
+        };
+        samples += 1;
+        if !crate::registry::valid_metric_name(&name) {
+            issue(format!("invalid metric name: {name:?}"));
+            continue;
+        }
+        let Ok(value) = parse_value(&value) else {
+            issue(format!("unparseable sample value {value:?} for {name}"));
+            continue;
+        };
+        for (k, _) in &labels {
+            if !crate::registry::valid_label_name(k) {
+                issue(format!("invalid label name {k:?} on {name}"));
+            }
+        }
+
+        // Attribute histogram samples to their family.
+        let hist_family = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let base = name.strip_suffix(suffix)?;
+            (types.get(base).map(String::as_str) == Some("histogram"))
+                .then(|| (base.to_owned(), *suffix))
+        });
+        match hist_family {
+            Some((family, "_bucket")) => {
+                let Some(le) = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v) else {
+                    issue(format!("{name} sample missing the le label"));
+                    continue;
+                };
+                let Ok(le) = parse_value(le) else {
+                    issue(format!("unparseable le value {le:?} on {name}"));
+                    continue;
+                };
+                let key = label_key(&labels, true);
+                hists
+                    .entry((family, key))
+                    .or_default()
+                    .buckets
+                    .push((le, value));
+            }
+            Some((family, "_sum")) => {
+                hists
+                    .entry((family, label_key(&labels, false)))
+                    .or_default()
+                    .sum = true;
+            }
+            Some((family, "_count")) => {
+                hists
+                    .entry((family, label_key(&labels, false)))
+                    .or_default()
+                    .count = Some(value);
+            }
+            _ => {
+                if types.get(&name).map(String::as_str) == Some("histogram") {
+                    issue(format!(
+                        "{name} is a histogram; bare samples must use _bucket/_sum/_count"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Whole-document histogram coherence.
+    let mut seen_hist_families: Vec<&str> = Vec::new();
+    let mut doc_issue = |message: String| issues.push(LintIssue { line: 0, message });
+    for ((family, key), series) in hists.iter() {
+        seen_hist_families.push(family);
+        let at = if key.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{key}}}")
+        };
+        if series.buckets.is_empty() {
+            doc_issue(format!(
+                "histogram {at} has _sum/_count but no _bucket samples"
+            ));
+            continue;
+        }
+        let mut prev: Option<(f64, f64)> = None;
+        for &(le, cum) in &series.buckets {
+            if let Some((ple, pcum)) = prev {
+                if le <= ple {
+                    doc_issue(format!(
+                        "histogram {at}: le buckets not increasing ({ple} then {le})"
+                    ));
+                }
+                if cum < pcum {
+                    doc_issue(format!(
+                        "histogram {at}: cumulative bucket counts decrease ({pcum} then {cum})"
+                    ));
+                }
+            }
+            prev = Some((le, cum));
+        }
+        let (last_le, last_cum) = *series.buckets.last().expect("non-empty");
+        if last_le != f64::INFINITY {
+            doc_issue(format!("histogram {at}: missing le=\"+Inf\" bucket"));
+        }
+        if !series.sum {
+            doc_issue(format!("histogram {at}: missing _sum sample"));
+        }
+        match series.count {
+            None => doc_issue(format!("histogram {at}: missing _count sample")),
+            Some(count) if last_le == f64::INFINITY && count != last_cum => doc_issue(format!(
+                "histogram {at}: +Inf bucket ({last_cum}) != _count ({count})"
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, kind) in &types {
+        if kind == "histogram" && !seen_hist_families.iter().any(|f| f == name) {
+            doc_issue(format!(
+                "histogram {name} declared by TYPE but has no samples"
+            ));
+        }
+    }
+
+    if issues.is_empty() {
+        Ok(LintReport {
+            families: types.len(),
+            histograms: types.values().filter(|k| *k == "histogram").count(),
+            samples,
+        })
+    } else {
+        issues.sort_by_key(|i| i.line);
+        Err(issues)
+    }
+}
+
+/// Splits a sample line into `(name, labels, value-token)`.
+fn parse_sample(line: &str) -> Result<(String, Labels, String), String> {
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(pos) => (line[..pos].to_owned(), &line[pos..]),
+        None => return Err(format!("sample line has no value: {line:?}")),
+    };
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        parse_labels(body)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut tokens = rest.split_ascii_whitespace();
+    let value = tokens
+        .next()
+        .ok_or_else(|| format!("sample line has no value: {line:?}"))?;
+    if let Some(ts) = tokens.next() {
+        // Optional millisecond timestamp must be an integer.
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?}"));
+        }
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens after timestamp: {line:?}"));
+    }
+    Ok((name, labels, value.to_owned()))
+}
+
+/// Parses `k="v",...}` (the body after the opening `{`), returning the
+/// pairs and the remainder after the closing brace.
+fn parse_labels(mut body: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    loop {
+        body = body.trim_start_matches(' ');
+        if let Some(rest) = body.strip_prefix('}') {
+            return Ok((labels, rest));
+        }
+        let eq = body
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {body:?}"))?;
+        let key = body[..eq].trim().to_owned();
+        body = body[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value for {key:?} not quoted"))?;
+        let mut value = String::new();
+        let mut chars = body.char_indices();
+        let after_quote = loop {
+            let Some((pos, c)) = chars.next() else {
+                return Err(format!("unterminated label value for {key:?}"));
+            };
+            match c {
+                '"' => break &body[pos + 1..],
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, other)) => {
+                        return Err(format!("invalid escape \\{other} in label {key:?}"))
+                    }
+                    None => return Err(format!("dangling backslash in label {key:?}")),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        body = after_quote;
+        if let Some(rest) = body.strip_prefix(',') {
+            body = rest;
+        }
+    }
+}
+
+/// Parses a Prometheus sample value: decimal, `+Inf`, `-Inf`, `NaN`.
+fn parse_value(v: &str) -> Result<f64, ()> {
+    // Rust's f64 parser accepts inf/infinity/nan case-insensitively,
+    // which covers the Prometheus spellings.
+    v.parse::<f64>().map_err(|_| ())
+}
+
+/// A canonical key for a label set, excluding `le` when requested.
+fn label_key(labels: &[(String, String)], drop_le: bool) -> String {
+    let mut pairs: Vec<&(String, String)> = labels
+        .iter()
+        .filter(|(k, _)| !(drop_le && k == "le"))
+        .collect();
+    pairs.sort();
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_clean(text: &str) -> LintReport {
+        match lint(text) {
+            Ok(report) => report,
+            Err(issues) => panic!(
+                "expected clean, got:\n{}",
+                issues
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ),
+        }
+    }
+
+    fn assert_flagged(text: &str, needle: &str) {
+        let issues = lint(text).expect_err("expected lint issues");
+        assert!(
+            issues.iter().any(|i| i.message.contains(needle)),
+            "no issue containing {needle:?} in: {issues:?}"
+        );
+    }
+
+    #[test]
+    fn clean_body_passes() {
+        let report = assert_clean(concat!(
+            "# HELP requests_total Total requests.\n",
+            "# TYPE requests_total counter\n",
+            "requests_total{path=\"/match\"} 10\n",
+            "# HELP lat_us Latency.\n",
+            "# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"1\"} 2\n",
+            "lat_us_bucket{le=\"8\"} 5\n",
+            "lat_us_bucket{le=\"+Inf\"} 6\n",
+            "lat_us_sum 120\n",
+            "lat_us_count 6\n",
+        ));
+        assert_eq!(
+            report,
+            LintReport { families: 2, histograms: 1, samples: 6 }
+        );
+    }
+
+    #[test]
+    fn histogram_without_inf_bucket_flagged() {
+        assert_flagged(
+            concat!(
+                "# TYPE lat_us histogram\n",
+                "lat_us_bucket{le=\"1\"} 2\n",
+                "lat_us_sum 2\n",
+                "lat_us_count 2\n",
+            ),
+            "missing le=\"+Inf\"",
+        );
+    }
+
+    #[test]
+    fn decreasing_cumulative_flagged() {
+        assert_flagged(
+            concat!(
+                "# TYPE lat_us histogram\n",
+                "lat_us_bucket{le=\"1\"} 5\n",
+                "lat_us_bucket{le=\"8\"} 3\n",
+                "lat_us_bucket{le=\"+Inf\"} 5\n",
+                "lat_us_sum 9\n",
+                "lat_us_count 5\n",
+            ),
+            "counts decrease",
+        );
+    }
+
+    #[test]
+    fn inf_count_mismatch_flagged() {
+        assert_flagged(
+            concat!(
+                "# TYPE lat_us histogram\n",
+                "lat_us_bucket{le=\"+Inf\"} 5\n",
+                "lat_us_sum 9\n",
+                "lat_us_count 6\n",
+            ),
+            "!= _count",
+        );
+    }
+
+    #[test]
+    fn bad_names_and_values_flagged() {
+        assert_flagged("9bad_name 1\n", "invalid metric name");
+        assert_flagged("ok{2l=\"v\"} 1\n", "invalid label name");
+        assert_flagged("ok nope\n", "unparseable sample value");
+        assert_flagged("ok{l=\"a\\qb\"} 1\n", "invalid escape");
+        assert_flagged("ok{l=\"unterminated} 1\n", "unterminated label value");
+        assert_flagged("# TYPE x flugelhorn\n", "unknown metric type");
+    }
+
+    #[test]
+    fn declared_but_empty_histogram_flagged() {
+        assert_flagged("# TYPE lat_us histogram\n", "no samples");
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        assert_clean("ok{l=\"a\\\\b\\\"c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn registry_render_is_clean() {
+        let r = crate::registry::Registry::new();
+        let c = r.counter("req_total", "Requests.", &[("path", "/a\"b\\c")]);
+        let h = r.histogram("lat_us", "Latency.", &[("kind", "full")]);
+        c.add(2);
+        for v in [0u64, 1, 5, 900, 1 << 33] {
+            h.record(v);
+        }
+        let report = assert_clean(&r.render_prometheus());
+        assert_eq!(report.histograms, 1);
+    }
+}

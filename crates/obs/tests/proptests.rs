@@ -1,0 +1,205 @@
+//! Property tests for the histogram layer and a golden test for the
+//! Prometheus text encoding.
+//!
+//! Deterministic by construction: cases are driven by a fixed-seed
+//! xorshift generator, so a failure reproduces by re-running the test.
+
+use obs::hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, N_BUCKETS};
+use obs::registry::Registry;
+
+/// xorshift64* — tiny, deterministic, good enough to sweep the space.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A value spread across magnitudes: pick a bit width, then a value
+    /// within it, so small and huge values are equally likely.
+    fn spread(&mut self) -> u64 {
+        let bits = self.next() % 64;
+        self.next() >> bits
+    }
+}
+
+#[test]
+fn prop_bucket_boundaries_exact() {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    for _ in 0..200_000 {
+        let v = rng.spread();
+        let i = bucket_index(v);
+        assert!(i < N_BUCKETS);
+        assert!(
+            v <= bucket_upper_bound(i),
+            "v={v} exceeds bound of its bucket {i}"
+        );
+        if i > 0 {
+            assert!(
+                bucket_upper_bound(i - 1) < v,
+                "v={v} also fits bucket {}",
+                i - 1
+            );
+        }
+    }
+    // Bounds themselves are strictly increasing and land in their own bucket.
+    for i in 0..N_BUCKETS {
+        let ub = bucket_upper_bound(i);
+        assert_eq!(
+            bucket_index(ub),
+            i,
+            "bound {ub} of bucket {i} maps elsewhere"
+        );
+        if i > 0 {
+            assert!(bucket_upper_bound(i - 1) < ub);
+        }
+    }
+}
+
+#[test]
+fn prop_quantiles_monotone_and_bounded() {
+    let mut rng = Rng(0xD1B54A32D192ED03);
+    for case in 0..200 {
+        let h = Histogram::detached();
+        let n = 1 + (rng.next() % 500);
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        for _ in 0..n {
+            let v = rng.spread();
+            max = max.max(v);
+            min = min.min(v);
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, n, "case {case}");
+        assert_eq!((s.min, s.max), (min, max), "case {case}");
+        let mut prev = 0u64;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = s.quantile(q);
+            assert!(v >= prev, "case {case}: quantile({q}) = {v} < {prev}");
+            assert!(
+                (min..=max).contains(&v),
+                "case {case}: quantile({q}) = {v} outside [{min}, {max}]"
+            );
+            prev = v;
+        }
+        assert_eq!(s.quantile(0.0), min, "case {case}");
+        assert_eq!(s.quantile(1.0), max, "case {case}");
+    }
+}
+
+#[test]
+fn prop_merge_associative_commutative_with_identity() {
+    let mut rng = Rng(0xA0761D6478BD642F);
+    for case in 0..100 {
+        let snap = |rng: &mut Rng| {
+            let h = Histogram::detached();
+            for _ in 0..rng.next() % 40 {
+                h.record(rng.spread());
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(&mut rng), snap(&mut rng), snap(&mut rng));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "case {case}: merge not associative");
+
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "case {case}: merge not commutative");
+
+        // identity: merging an empty snapshot changes nothing.
+        let mut with_empty = a.clone();
+        with_empty.merge(&HistogramSnapshot::default());
+        assert_eq!(with_empty, a, "case {case}: empty merge not identity");
+
+        // merge == concatenation for the quantile-relevant fields.
+        assert_eq!(ab.count, a.count + b.count, "case {case}");
+    }
+}
+
+#[test]
+fn golden_prometheus_encoding() {
+    let r = Registry::new();
+    let requests = r.counter("requests_total", "Total requests.", &[]);
+    let depth = r.gauge("queue_depth", "Questions queued.", &[]);
+    let lat = r.histogram("latency_us", "Answer latency.", &[("path", "a\\b\"c\nd")]);
+    requests.add(5);
+    depth.set(3);
+    for v in [1u64, 2, 5, 1000] {
+        lat.record(v);
+    }
+    // Bucket bounds: 1 -> le=1; 2 -> le=2; 5 -> le=5 (first sub-bucket
+    // past the exact range); 1000 -> le=1023 (octave [512,1024), last
+    // sub-bucket).
+    let expected = concat!(
+        "# HELP requests_total Total requests.\n",
+        "# TYPE requests_total counter\n",
+        "requests_total 5\n",
+        "# HELP queue_depth Questions queued.\n",
+        "# TYPE queue_depth gauge\n",
+        "queue_depth 3\n",
+        "# HELP latency_us Answer latency.\n",
+        "# TYPE latency_us histogram\n",
+        "latency_us_bucket{path=\"a\\\\b\\\"c\\nd\",le=\"1\"} 1\n",
+        "latency_us_bucket{path=\"a\\\\b\\\"c\\nd\",le=\"2\"} 2\n",
+        "latency_us_bucket{path=\"a\\\\b\\\"c\\nd\",le=\"5\"} 3\n",
+        "latency_us_bucket{path=\"a\\\\b\\\"c\\nd\",le=\"1023\"} 4\n",
+        "latency_us_bucket{path=\"a\\\\b\\\"c\\nd\",le=\"+Inf\"} 4\n",
+        "latency_us_sum{path=\"a\\\\b\\\"c\\nd\"} 1008\n",
+        "latency_us_count{path=\"a\\\\b\\\"c\\nd\"} 4\n",
+    );
+    let rendered = r.render_prometheus();
+    assert_eq!(rendered, expected);
+    // And the linter agrees with the encoder.
+    let report = obs::lint(&rendered).expect("golden body lints clean");
+    assert_eq!(report.histograms, 1);
+    assert_eq!(report.families, 3);
+}
+
+#[test]
+fn rendered_registry_always_lints_clean() {
+    // Fuzz the encoder against the linter across random label values
+    // and observation sets.
+    let mut rng = Rng(0xE7037ED1A0B428DB);
+    for case in 0..50 {
+        let r = Registry::new();
+        let mut value = String::new();
+        for _ in 0..rng.next() % 12 {
+            // Bias toward the characters that need escaping.
+            value.push(match rng.next() % 6 {
+                0 => '\\',
+                1 => '"',
+                2 => '\n',
+                3 => '{',
+                4 => ',',
+                _ => 'x',
+            });
+        }
+        let h = r.histogram("h_us", "Case histogram.", &[("v", &value)]);
+        let c = r.counter("c_total", "Case counter.", &[("v", &value)]);
+        for _ in 0..rng.next() % 30 {
+            h.record(rng.spread());
+        }
+        c.add(rng.next() % 100);
+        if let Err(issues) = obs::lint(&r.render_prometheus()) {
+            panic!("case {case} (label {value:?}) does not lint: {issues:?}");
+        }
+    }
+}

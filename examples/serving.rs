@@ -9,7 +9,11 @@
 //! repeated and mirrored pairs, as real traffic does); the service
 //! coalesces whatever is in flight into diversity batches, answers
 //! repeats from the cache, and keeps total spend under the configured
-//! budget. The closing report is read back from `GET /stats`.
+//! budget. The closing report is read back from `GET /stats`, and the
+//! telemetry endpoints are scraped on the way out: `GET /metrics`
+//! (Prometheus text, lint-checked) and `GET /trace` (lifecycle spans).
+//! Set `SERVING_METRICS_OUT` / `SERVING_TRACE_OUT` to write the scrapes
+//! to files (CI uploads them as artifacts).
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -133,12 +137,44 @@ fn main() {
         Money::from_micros(stats.remaining_micros)
     );
 
+    println!(
+        "answer latency       p50 {} us / p99 {} us (histogram-backed)",
+        stats.answer_p50_us, stats.answer_p99_us
+    );
+
+    // Scrape the telemetry endpoints the way Prometheus would.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let report = batcher::obs::lint(&metrics)
+        .unwrap_or_else(|issues| panic!("/metrics fails promlint: {issues:?}"));
+    println!(
+        "\n== /metrics == {} families ({} histograms), {} samples, lint clean",
+        report.families, report.histograms, report.samples
+    );
+    for line in metrics.lines().filter(|l| l.starts_with("# TYPE")) {
+        println!("{line}");
+    }
+
+    let (status, trace) = get(addr, "/trace?n=4");
+    assert_eq!(status, 200);
+    println!("\n== /trace?n=4 (newest spans) ==\n{trace}");
+
+    if let Ok(path) = std::env::var("SERVING_METRICS_OUT") {
+        std::fs::write(&path, &metrics).expect("write metrics scrape");
+        println!("metrics scrape -> {path}");
+    }
+    if let Ok(path) = std::env::var("SERVING_TRACE_OUT") {
+        std::fs::write(&path, &trace).expect("write trace scrape");
+        println!("trace scrape -> {path}");
+    }
+
     assert!(
         stats.cache_hit_rate() > 0.0,
         "workload produced no cache hits"
     );
     assert!(stats.within_budget(), "spend exceeded the budget");
-    println!("\ncache hit rate > 0 and spend <= budget: OK");
+    assert!(report.histograms >= 6, "fewer than 6 histogram families");
+    println!("\ncache hit rate > 0, spend <= budget, /metrics lint clean: OK");
 }
 
 fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {

@@ -54,3 +54,7 @@ pub use batcher_core as core;
 /// The online entity-matching service: request coalescing, answer cache,
 /// cost governor, worker pool and HTTP front end.
 pub use er_service;
+
+/// Zero-dependency observability: metric registry, mergeable histograms,
+/// lifecycle tracing, Prometheus text rendering and linting.
+pub use obs;

@@ -392,6 +392,74 @@ fn http_front_end_serves_match_stats_and_health() {
 }
 
 #[test]
+fn http_front_end_serves_metrics_and_trace() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        config(),
+    ));
+    let server = MatchServer::start(Arc::clone(&service), ServeOptions::default()).unwrap();
+    let addr = server.addr();
+
+    let body = r#"{"schema":["title","brand"],"left":["pliny the elder","russian river"],"right":["pliny the elder","russian river"]}"#;
+    let (status, answer) = post_match(addr, body);
+    assert_eq!(status, 200, "{answer}");
+    // Every answer echoes its lifecycle span id for /trace correlation.
+    let trace_id: u64 = answer
+        .split(r#""trace_id":"#)
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no trace_id in {answer}"));
+    assert!(trace_id > 0, "tracing should be on by default: {answer}");
+    let (_, cached) = post_match(addr, body);
+    assert!(cached.contains(r#""source":"cache""#), "{cached}");
+
+    // /metrics: valid Prometheus text with the core histogram families.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(metrics).unwrap();
+    let report = batcher::obs::lint(&text).unwrap_or_else(|issues| {
+        panic!("/metrics fails promlint: {issues:?}");
+    });
+    let histogram_families = [
+        "er_queue_wait_us",
+        "er_plan_wall_us",
+        "er_planner_lock_hold_us",
+        "er_llm_call_us",
+        "er_governor_reserve_us",
+        "er_governor_settle_us",
+        "er_answer_us",
+        "er_batch_spend_micros",
+        "er_batch_prompt_tokens",
+    ];
+    for family in histogram_families {
+        assert!(
+            text.contains(&format!("# TYPE {family} histogram")),
+            "missing histogram family {family}"
+        );
+    }
+    assert!(
+        report.histograms >= 6,
+        "expected >= 6 histogram families, lint saw {}",
+        report.histograms
+    );
+    assert!(text.contains("er_questions_submitted_total 2"), "{text}");
+
+    // /trace: the span behind the first answer is visible, complete from
+    // `submitted` to `answered`, and correlated by the echoed id.
+    let (status, trace) = get(addr, "/trace?n=8");
+    assert_eq!(status, 200);
+    let spans = String::from_utf8(trace).unwrap();
+    assert!(
+        spans.contains(&format!(r#""trace_id":{trace_id}"#)),
+        "span {trace_id} not in {spans}"
+    );
+    assert!(spans.contains(r#""stage":"submitted""#), "{spans}");
+    assert!(spans.contains(r#""stage":"answered""#), "{spans}");
+}
+
+#[test]
 fn http_front_end_symmetric_pairs_share_the_cache_entry() {
     let service = Arc::new(ErService::start(
         Arc::new(SimLlm::new()),

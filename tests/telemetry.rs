@@ -1,0 +1,264 @@
+//! End-to-end telemetry guarantees under concurrency: every submitted
+//! question's lifecycle span reaches a terminal stage exactly once — on
+//! the cache-hit, LLM, coalesced-duplicate and budget-denial paths — and
+//! a scraper hammering `/metrics`, `/stats` and `/trace` can never stall
+//! `submit`.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use batcher::datagen::{generate, DatasetKind};
+use batcher::er_core::{EntityPair, Money, PairId, Record, RecordId, Schema};
+use batcher::er_service::{ErService, MatchDecision, ServiceConfig};
+use batcher::llm::SimLlm;
+
+fn bootstrap() -> Vec<batcher::er_core::LabeledPair> {
+    generate(DatasetKind::Beer, 7).pairs()[..120].to_vec()
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(["title", "brand", "price"]).unwrap())
+}
+
+/// Unambiguous questions (identical records or fully disjoint text), so
+/// answers are stable whatever batch they land in.
+fn questions(n: usize) -> Vec<EntityPair> {
+    let products = [
+        "hazy little thing ipa",
+        "guinness extra stout",
+        "pliny the elder",
+        "sierra nevada torpedo",
+        "blue moon belgian white",
+        "dogfish head 60 minute",
+        "stone delicious ipa",
+        "lagunitas daytime ale",
+        "founders breakfast stout",
+        "bells two hearted ale",
+    ];
+    (0..n)
+        .map(|i| {
+            let title = products[i % products.len()];
+            let price = format!("{}.99", 2 + (i % 11));
+            let left: Vec<String> = vec![title.into(), format!("brand{}", i % 7), price.clone()];
+            let right: Vec<String> = if i % 2 == 0 {
+                left.clone()
+            } else {
+                vec![
+                    products[(i + 3) % products.len()].into(),
+                    format!("other{}", i % 5),
+                    "87.50".into(),
+                ]
+            };
+            let a = Arc::new(Record::new(RecordId::a(i as u32), schema(), left).unwrap());
+            let b = Arc::new(Record::new(RecordId::b(i as u32), schema(), right).unwrap());
+            EntityPair::new(PairId(i as u32), a, b).unwrap()
+        })
+        .collect()
+}
+
+/// Runs `clients` threads, each submitting every question of its stripe
+/// `rounds` times, and returns all decisions.
+fn hammer(
+    service: &Arc<ErService>,
+    bank: &Arc<Vec<EntityPair>>,
+    clients: usize,
+    rounds: usize,
+) -> Vec<MatchDecision> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = Arc::clone(service);
+                let bank = Arc::clone(bank);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..rounds {
+                        for q in bank
+                            .iter()
+                            .skip((client + round) % clients)
+                            .step_by(clients.max(1))
+                        {
+                            out.push(service.submit(q));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+/// Spans conserve under a duplicate-heavy concurrent workload: one span
+/// per submit, every span finished exactly once (terminal stage
+/// `answered`), none left active at quiesce, ids unique across clients.
+#[test]
+fn every_span_reaches_a_terminal_stage_exactly_once() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig {
+            flush_deadline: Duration::from_millis(3),
+            batch_size: 4,
+            workers: 3,
+            trace_capacity: 4096,
+            ..ServiceConfig::default()
+        },
+    ));
+    let bank = Arc::new(questions(30));
+    let decisions = hammer(&service, &bank, 8, 6);
+
+    let trace = service.telemetry().trace();
+    assert_eq!(
+        trace.opened(),
+        decisions.len() as u64,
+        "one span per submit"
+    );
+    assert_eq!(
+        trace.finished(),
+        trace.opened(),
+        "a span leaked without reaching its terminal stage"
+    );
+    assert_eq!(trace.active_len(), 0, "active spans left at quiesce");
+
+    // Every decision echoes a live, unique span id.
+    let ids: HashSet<u64> = decisions.iter().map(|d| d.trace_id).collect();
+    assert!(
+        !ids.contains(&0),
+        "a decision carried the disabled-trace id"
+    );
+    assert_eq!(ids.len(), decisions.len(), "span ids were reused");
+
+    // Completed spans are well-formed: they open with `submitted`, close
+    // with `answered`, and carry exactly one terminal stamp.
+    let spans = trace.recent(4096);
+    assert_eq!(spans.len() as u64, trace.finished() - trace.evicted());
+    let mut coalesced_spans = 0u64;
+    for span in &spans {
+        assert_eq!(span.events.first().unwrap().stage, "submitted");
+        assert_eq!(span.events.last().unwrap().stage, "answered");
+        assert_eq!(
+            span.events.iter().filter(|e| e.stage == "answered").count(),
+            1,
+            "span {} answered more than once: {:?}",
+            span.trace_id,
+            span.events
+        );
+        if span.events.iter().any(|e| e.stage == "coalesced") {
+            coalesced_spans += 1;
+        }
+    }
+    // The duplicate-heavy bank must exercise the coalescing paths, and
+    // the span detail must agree with the service's own accounting.
+    let stats = service.stats();
+    assert!(
+        stats.coalesced_duplicates > 0 && coalesced_spans > 0,
+        "duplicate-heavy workload never coalesced: {stats:?}"
+    );
+}
+
+/// Span conservation holds when the governor denies most batches: the
+/// budget-denial path finishes spans through the fallback, exactly once.
+#[test]
+fn spans_conserve_under_budget_exhaustion() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig {
+            flush_deadline: Duration::from_millis(3),
+            batch_size: 4,
+            workers: 3,
+            budget: Money::from_micros(2_000),
+            cache_enabled: false, // every submit exercises the queue
+            trace_capacity: 4096,
+            ..ServiceConfig::default()
+        },
+    ));
+    let bank = Arc::new(questions(40));
+    let decisions = hammer(&service, &bank, 6, 4);
+
+    let trace = service.telemetry().trace();
+    assert_eq!(trace.opened(), decisions.len() as u64);
+    assert_eq!(trace.finished(), trace.opened());
+    assert_eq!(trace.active_len(), 0);
+
+    let stats = service.stats();
+    assert!(stats.budget_denials > 0, "governor never denied: {stats:?}");
+    // Denied questions still traced through to `answered` via `fallback`.
+    let spans = trace.recent(4096);
+    assert!(
+        spans.iter().any(|s| s
+            .events
+            .iter()
+            .any(|e| { e.stage == "answered" && e.detail.as_deref() == Some("fallback") })),
+        "no span records the budget-denial fallback path"
+    );
+    // The denial counter surfaced in the Prometheus rendering too.
+    let metrics = service.render_metrics();
+    assert!(
+        !metrics.contains("er_budget_denials_total 0"),
+        "denials not visible at /metrics"
+    );
+}
+
+/// Scrapers hammering the registry, stats view and trace log in a tight
+/// loop do not stall or corrupt concurrent submits: every submit still
+/// completes and the answer-conservation identity holds exactly.
+#[test]
+fn slow_scraper_cannot_stall_submit() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig {
+            flush_deadline: Duration::from_millis(3),
+            batch_size: 4,
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let bank = Arc::new(questions(24));
+    let stop = AtomicBool::new(false);
+    let scrapes = AtomicU64::new(0);
+
+    let decisions = std::thread::scope(|scope| {
+        // Four scraper threads in a zero-sleep loop — far nastier than
+        // any real Prometheus scrape interval.
+        for _ in 0..4 {
+            let (service, stop, scrapes) = (Arc::clone(&service), &stop, &scrapes);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let text = service.render_metrics();
+                    assert!(text.contains("er_questions_submitted_total"));
+                    let _ = service.stats();
+                    let _ = service.trace_json(64);
+                    scrapes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let decisions = hammer(&service, &bank, 6, 5);
+        stop.store(true, Ordering::Relaxed);
+        decisions
+    });
+
+    assert!(scrapes.load(Ordering::Relaxed) > 0, "scrapers never ran");
+    let stats = service.stats();
+    assert_eq!(decisions.len() as u64, stats.submitted);
+    assert_eq!(
+        stats.submitted,
+        stats.cache_hits
+            + stats.coalesced_duplicates
+            + stats.llm_answered
+            + stats.fallback_answered,
+        "scrape pressure corrupted answer accounting: {stats:?}"
+    );
+    let trace = service.telemetry().trace();
+    assert_eq!(trace.finished(), trace.opened());
+    assert_eq!(trace.active_len(), 0);
+
+    // The final rendering is still lint-clean Prometheus text.
+    batcher::obs::lint(&service.render_metrics()).expect("metrics lint clean under scrape load");
+}
