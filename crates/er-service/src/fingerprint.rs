@@ -10,6 +10,13 @@
 use er_core::{serialize_record, EntityPair};
 use text_sim::normalize;
 
+/// Version of the fingerprinting scheme, stamped on every durable answer
+/// record. Bump it whenever [`pair_fingerprint`]'s inputs change meaning
+/// — the normalization rules, the record serialization, or the hash
+/// mixing — so recovery replay skips answers keyed under the old scheme
+/// instead of silently serving them for different questions.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
 /// A 64-bit canonical fingerprint of an entity pair question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PairFingerprint(pub u64);

@@ -10,7 +10,9 @@
 //! * `GET /metrics` — Prometheus text exposition of every metric family.
 //! * `GET /trace?n=K` — the `K` most recent completed lifecycle spans as
 //!   JSON, newest first (default 32).
-//! * `GET /healthz` — liveness.
+//! * `GET /healthz` — readiness + durability: WAL health and last-fsync
+//!   age, circuit-breaker state, and startup-recovery counters (the
+//!   [`crate::stats::HealthReport`] payload).
 
 use std::sync::Arc;
 
@@ -133,7 +135,7 @@ fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
                 .unwrap_or(32);
             HttpResponse::json(200, service.trace_json(n).into_bytes())
         }
-        ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
+        ("GET", "/healthz") => json(200, &service.health()),
         ("GET", _) | ("POST", _) => error(404, &format!("no such route: {}", request.path)),
         _ => error(405, "method not allowed"),
     }

@@ -30,6 +30,16 @@
 //!   spend per batch) rendered as Prometheus text at `/metrics`, plus a
 //!   per-question lifecycle trace log served at `/trace`. Recording is
 //!   lock-free; a scraper can never stall `submit`.
+//! * **Durable tier** ([`durable`]) — an embedded write-ahead log
+//!   (`wal`) journals every answer and governor reserve/settle/refund
+//!   event; startup replay rebuilds the cache and spend ledger so a
+//!   restarted service re-buys **zero** settled answers. Enabled by
+//!   setting [`ServiceConfig::wal`].
+//! * **Failure hardening** — RAII reservation guards refund budget when
+//!   a worker dies mid-batch ([`governor::ReservationGuard`]), and a
+//!   circuit breaker ([`breaker`]) degrades to the logistic fallback
+//!   during LLM outages instead of burning retries per batch. `GET
+//!   /healthz` reports durability and breaker state.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -47,7 +57,9 @@
 //! println!("spent {} of {}", service.stats().spend(), service.stats().budget());
 //! ```
 
+pub mod breaker;
 pub mod cache;
+pub mod durable;
 pub mod fingerprint;
 pub mod governor;
 pub mod http;
@@ -56,10 +68,13 @@ pub mod stats;
 mod sync;
 pub mod telemetry;
 
+pub use breaker::Breaker;
 pub use cache::AnswerCache;
-pub use fingerprint::{pair_fingerprint, PairFingerprint};
-pub use governor::{CostGovernor, Reservation};
+pub use durable::{DurableLog, DurableRecord, RecoveryReport, Replay, WalConfig};
+pub use fingerprint::{pair_fingerprint, PairFingerprint, FINGERPRINT_VERSION};
+pub use governor::{CostGovernor, Reservation, ReservationGuard};
 pub use http::{MatchRequestWire, MatchResponseWire, MatchServer};
 pub use service::{DecisionSource, ErService, MatchDecision, ServiceConfig};
-pub use stats::ServiceStats;
+pub use stats::{HealthReport, ServiceStats};
 pub use telemetry::Telemetry;
+pub use wal::{FaultSchedule, SyncPolicy, WalFault};

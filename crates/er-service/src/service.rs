@@ -44,10 +44,12 @@ use er_core::{
 };
 use llm::{count_tokens, ChatApi, ModelKind, PriceTable};
 
+use crate::breaker::Breaker;
 use crate::cache::AnswerCache;
-use crate::fingerprint::{pair_fingerprint, PairFingerprint};
+use crate::durable::{DurableLog, DurableRecord, RecoveryReport, WalConfig};
+use crate::fingerprint::{pair_fingerprint, PairFingerprint, FINGERPRINT_VERSION};
 use crate::governor::CostGovernor;
-use crate::stats::ServiceStats;
+use crate::stats::{HealthReport, ServiceStats};
 use crate::sync::lock;
 use crate::telemetry::Telemetry;
 
@@ -128,6 +130,17 @@ pub struct ServiceConfig {
     pub telemetry: bool,
     /// Completed lifecycle spans retained for `GET /trace`.
     pub trace_capacity: usize,
+    /// Durable write-ahead log. `Some` journals every answer and
+    /// reserve/settle/refund event and replays them at startup, so a
+    /// restart re-buys zero settled answers; `None` keeps all state in
+    /// memory (the pre-durability behavior).
+    pub wal: Option<WalConfig>,
+    /// Consecutive dead-endpoint batches (no answers, no billed calls)
+    /// before the circuit breaker opens and batches short-circuit to the
+    /// logistic fallback without reserving budget. `0` disables.
+    pub breaker_threshold: u32,
+    /// How long an open breaker holds before admitting a probe batch.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +160,9 @@ impl Default for ServiceConfig {
             max_plan_delta_fraction: DEFAULT_MAX_DELTA_FRACTION,
             telemetry: true,
             trace_capacity: 1024,
+            wal: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -251,6 +267,12 @@ struct Inner {
     fallback: LogisticModel,
     cache: AnswerCache,
     governor: CostGovernor,
+    /// The durable journal (answers + governor events), when configured.
+    durable: Option<Arc<DurableLog>>,
+    /// What startup replay reconstructed, echoed on `/stats` + `/healthz`.
+    recovery: Option<RecoveryReport>,
+    /// LLM-endpoint circuit breaker (outage → logistic degradation).
+    breaker: Breaker,
     queue: Mutex<QueueState>,
     queue_cond: Condvar,
     /// The epoch-tracked incremental planner (see [`Planner`]).
@@ -332,16 +354,59 @@ impl ErService {
             queued: HashMap::new(),
         };
         let telemetry = Telemetry::new(config.telemetry, config.trace_capacity);
+
+        // Recovery replay runs to completion here, before any thread
+        // starts or the HTTP front end can bind — externally the service
+        // is never observable mid-recovery.
+        let (durable, recovery, recovered_answers) = match &config.wal {
+            Some(wal_config) => {
+                let (log, replayed) =
+                    DurableLog::open(wal_config, &telemetry).unwrap_or_else(|e| {
+                        panic!(
+                            "er-service: cannot open WAL at {}: {e}",
+                            wal_config.dir.display()
+                        )
+                    });
+                // The same conservation rules the stress suite asserts,
+                // applied to the replayed history. Violations mean a
+                // corrupt or foreign log; surface them loudly.
+                let violations = replayed.report.conservation_violations(config.budget);
+                for violation in &violations {
+                    eprintln!("er-service: recovery conservation violation: {violation}");
+                }
+                debug_assert!(violations.is_empty(), "recovery violated conservation");
+                (Some(log), Some(replayed.report), replayed.answers)
+            }
+            None => (None, None, Vec::new()),
+        };
+
         let cache = AnswerCache::new(config.cache_enabled, config.cache_capacity).with_metrics(
             Arc::clone(&telemetry.cache_hits),
             Arc::clone(&telemetry.cache_misses),
             Arc::clone(&telemetry.cache_entries),
         );
-        let governor = CostGovernor::new(SharedCostLedger::new(), config.budget).with_metrics(
-            Arc::clone(&telemetry.budget_denials),
-            Arc::clone(&telemetry.governor_reserve_us),
-            Arc::clone(&telemetry.governor_settle_us),
-            Arc::clone(&telemetry.governor_reserved_micros),
+        for (fp, label) in recovered_answers {
+            cache.insert(fp, label);
+        }
+        let ledger = SharedCostLedger::new();
+        if let Some(report) = &recovery {
+            // Replayed spend counts against the budget exactly as if this
+            // process had spent it: no answer is ever bought twice.
+            ledger.merge(&report.settled);
+        }
+        let governor = CostGovernor::new(ledger, config.budget)
+            .with_metrics(
+                Arc::clone(&telemetry.budget_denials),
+                Arc::clone(&telemetry.governor_refunds),
+                Arc::clone(&telemetry.governor_reserve_us),
+                Arc::clone(&telemetry.governor_settle_us),
+                Arc::clone(&telemetry.governor_reserved_micros),
+            )
+            .with_journal(durable.clone());
+        let breaker = Breaker::new(config.breaker_threshold, config.breaker_cooldown).with_metrics(
+            Arc::clone(&telemetry.breaker_trips),
+            Arc::clone(&telemetry.breaker_short_circuits),
+            Arc::clone(&telemetry.breaker_state),
         );
         let inner = Arc::new(Inner {
             plan_template,
@@ -352,6 +417,9 @@ impl ErService {
             fallback,
             cache,
             governor,
+            durable,
+            recovery,
+            breaker,
             queue: Mutex::new(QueueState {
                 pending: Vec::new(),
                 oldest: None,
@@ -459,6 +527,9 @@ impl ErService {
         let inner = &*self.inner;
         let tel = &inner.telemetry;
         let ledger = inner.governor.ledger().snapshot();
+        // Recovery numbers come from the report, not the gauges, so they
+        // stay visible with telemetry disabled.
+        let recovery = inner.recovery.clone().unwrap_or_default();
         let plan_full = tel.plans_full.get();
         let plan_incremental = tel.plans_incremental.get();
         let mut plan_wall = tel.plan_full_us.snapshot();
@@ -497,6 +568,50 @@ impl ErService {
             budget_micros: inner.governor.budget().micros(),
             remaining_micros: inner.governor.remaining().micros(),
             budget_denials: inner.governor.denials(),
+            wal_enabled: inner.durable.is_some(),
+            wal_appends: tel.wal_appends.get(),
+            wal_append_errors: tel.wal_append_errors.get(),
+            recovery_records_replayed: recovery.records_replayed,
+            recovery_truncated_bytes: recovery.truncated_bytes,
+            recovery_answers_restored: recovery.answers_restored,
+            recovery_open_reservations: recovery.open_reservations,
+            governor_refunds: inner.governor.refunds(),
+            breaker_trips: inner.breaker.trips(),
+            breaker_state: inner.breaker.state_code(),
+        }
+    }
+
+    /// The readiness/durability report (the `GET /healthz` payload):
+    /// whether journaling is still healthy, how stale the last fsync is,
+    /// the breaker's state, and what startup recovery replayed.
+    pub fn health(&self) -> HealthReport {
+        let inner = &*self.inner;
+        let recovery = inner.recovery.clone().unwrap_or_default();
+        let (status, last_sync_age_ms, unsynced, total_bytes) = match &inner.durable {
+            Some(durable) => {
+                let wal = durable.status();
+                let degraded = durable.failed() || wal.wedged;
+                (
+                    if degraded { "degraded" } else { "serving" },
+                    wal.last_sync_age
+                        .map_or(-1, |age| i64::try_from(age.as_millis()).unwrap_or(i64::MAX)),
+                    wal.unsynced_appends,
+                    wal.total_bytes,
+                )
+            }
+            None => ("serving", -1, 0, 0),
+        };
+        HealthReport {
+            status: status.to_owned(),
+            wal_enabled: inner.durable.is_some(),
+            wal_last_sync_age_ms: last_sync_age_ms,
+            wal_unsynced_appends: unsynced,
+            wal_total_bytes: total_bytes,
+            breaker: inner.breaker.state_name().to_owned(),
+            recovery_records_replayed: recovery.records_replayed,
+            recovery_truncated_bytes: recovery.truncated_bytes,
+            recovery_answers_restored: recovery.answers_restored,
+            recovery_open_reservations: recovery.open_reservations,
         }
     }
 
@@ -892,7 +1007,8 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
                 // Same containment for execution. The in-flight entries
                 // are cleared on panic so attached waiters disconnect
                 // (and fall back) instead of hanging; a reservation held
-                // at the panic point stays reserved — conservative.
+                // at the panic point is refunded by its drop guard as the
+                // panic unwinds, so a dead worker cannot strand budget.
                 let fps: Vec<PairFingerprint> =
                     job.questions.iter().map(|(fp, _, _)| *fp).collect();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -923,6 +1039,15 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
 
 fn execute_job(inner: &Inner, job: BatchJob) {
     let config = &inner.config;
+    let tel = &inner.telemetry;
+    // Circuit breaker: during an LLM outage every batch would burn its
+    // full retry schedule before degrading. Once the breaker opens,
+    // batches short-circuit straight to the logistic fallback — no
+    // reservation, no retries — until a cooldown-spaced probe succeeds.
+    if !inner.breaker.allow() {
+        answer_via_fallback(inner, &job);
+        return;
+    }
     let demos: Vec<&LabeledPair> = job.demo_indices.iter().map(|&d| &inner.pool[d]).collect();
     let questions: Vec<String> = job
         .questions
@@ -968,12 +1093,12 @@ fn execute_job(inner: &Inner, job: BatchJob) {
             .filter(|d| !labeled.contains(d))
             .collect();
         let projected = api_projection + LABEL_COST_PER_PAIR * newly.len() as u64;
-        inner.governor.try_reserve(projected).map(|reservation| {
+        inner.governor.try_reserve_guarded(projected).map(|guard| {
             labeled.extend(&newly);
-            (reservation, newly, projected)
+            (guard, newly, projected)
         })
     };
-    let Some((reservation, newly_labeled, projected)) = granted else {
+    let Some((guard, newly_labeled, projected)) = granted else {
         // Over budget: answer locally, free of charge.
         answer_via_fallback(inner, &job);
         return;
@@ -983,7 +1108,18 @@ fn execute_job(inner: &Inner, job: BatchJob) {
     let mut outcome = ExecutionOutcome::default();
     executor.run_batch(&description, &demos, &questions, job.seed, &mut outcome);
     outcome.ledger.record_labeling(newly_labeled.len() as u64);
-    let tel = &inner.telemetry;
+    // Breaker verdict. The executor records an API call only when the
+    // transport returned, so a batch with zero answers *and* zero billed
+    // calls is the signature of a dead endpoint — exactly what should
+    // count toward opening the circuit. Parse failures and partial
+    // answers billed normally and stay breaker-neutral successes.
+    let endpoint_alive =
+        outcome.ledger.api_calls > 0 || outcome.answers.iter().any(Option::is_some);
+    if endpoint_alive {
+        inner.breaker.record_success();
+    } else {
+        inner.breaker.record_failure();
+    }
     tel.retries.add(u64::from(outcome.retries));
     for &latency in &outcome.call_latencies_us {
         tel.llm_call_us.record(latency);
@@ -996,7 +1132,37 @@ fn execute_job(inner: &Inner, job: BatchJob) {
         ledger_within(&outcome.ledger, projected),
         "executor spend exceeded the governor projection"
     );
-    inner.governor.settle(reservation, &outcome.ledger);
+    guard.settle(&outcome.ledger);
+
+    // Journal the batch's answers *before* filling the cache or waking
+    // waiters: once a client observes an answer it must survive restart,
+    // or the restarted service would re-buy it. One grouped append, so
+    // the whole batch costs a single write (and at most one fsync).
+    if let Some(durable) = &inner.durable {
+        let answered = outcome.answers.iter().flatten().count() as i64;
+        if answered > 0 {
+            // Attribute the batch's settled spend evenly across its
+            // answers — an accounting convention for the replayed ledger,
+            // not a price signal (the budget maths only ever uses sums).
+            let per_answer = outcome.ledger.total().micros() / answered;
+            let records: Vec<DurableRecord> = job
+                .questions
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, (fp, _, _))| {
+                    outcome.answers.get(slot).copied().flatten().map(|label| {
+                        DurableRecord::Answer {
+                            version: FINGERPRINT_VERSION,
+                            fp: *fp,
+                            label,
+                            cost_micros: per_answer,
+                        }
+                    })
+                })
+                .collect();
+            durable.append_group(&records);
+        }
+    }
 
     for (slot, (fp, pair, senders)) in job.questions.iter().enumerate() {
         let decision = match outcome.answers.get(slot).copied().flatten() {

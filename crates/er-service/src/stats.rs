@@ -82,6 +82,70 @@ pub struct ServiceStats {
     pub remaining_micros: i64,
     /// Batches denied by the governor and served via fallback.
     pub budget_denials: u64,
+    /// Whether the durable write-ahead log is wired.
+    #[serde(default)]
+    pub wal_enabled: bool,
+    /// Durable records appended this run.
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// WAL appends that failed (the service keeps serving, degraded).
+    #[serde(default)]
+    pub wal_append_errors: u64,
+    /// Durable records replayed at startup.
+    #[serde(default)]
+    pub recovery_records_replayed: u64,
+    /// Torn-tail bytes truncated from the WAL at startup.
+    #[serde(default)]
+    pub recovery_truncated_bytes: u64,
+    /// Distinct cached answers restored by recovery replay.
+    #[serde(default)]
+    pub recovery_answers_restored: u64,
+    /// Reserves found without settle-or-refund at startup (crash
+    /// evidence; their budget replays as refunded).
+    #[serde(default)]
+    pub recovery_open_reservations: u64,
+    /// Reservations refunded without spend (aborts + drop guards).
+    #[serde(default)]
+    pub governor_refunds: u64,
+    /// Times the LLM circuit breaker opened.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Breaker state: 0 closed, 1 open, 2 half-open.
+    #[serde(default)]
+    pub breaker_state: u64,
+}
+
+/// The `GET /healthz` payload: readiness plus the durability and
+/// breaker signals an operator pages on.
+///
+/// `status` is `"serving"` (healthy), `"degraded"` (a WAL append failed
+/// — answers still flow, durability of new records is gone until
+/// restart), or `"recovering"` (reserved for future asynchronous
+/// recovery; today replay completes inside `ErService::start`, before
+/// the HTTP front end can bind).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `"serving"`, `"degraded"` or `"recovering"`.
+    pub status: String,
+    /// Whether a WAL is wired at all.
+    pub wal_enabled: bool,
+    /// Milliseconds since the WAL last fsynced (`-1`: WAL off or never
+    /// synced).
+    pub wal_last_sync_age_ms: i64,
+    /// Records written through to the kernel but not yet fsynced.
+    pub wal_unsynced_appends: u64,
+    /// Total valid WAL bytes on disk.
+    pub wal_total_bytes: u64,
+    /// `"closed"`, `"open"`, `"half_open"` or `"disabled"`.
+    pub breaker: String,
+    /// Durable records replayed at startup.
+    pub recovery_records_replayed: u64,
+    /// Torn-tail bytes truncated at startup.
+    pub recovery_truncated_bytes: u64,
+    /// Distinct cached answers restored at startup.
+    pub recovery_answers_restored: u64,
+    /// Crash-evidence reservations found at startup.
+    pub recovery_open_reservations: u64,
 }
 
 impl ServiceStats {
@@ -147,6 +211,16 @@ mod tests {
             budget_micros: 1_000_000,
             remaining_micros: 966_940,
             budget_denials: 0,
+            wal_enabled: true,
+            wal_appends: 12,
+            wal_append_errors: 0,
+            recovery_records_replayed: 6,
+            recovery_truncated_bytes: 17,
+            recovery_answers_restored: 4,
+            recovery_open_reservations: 1,
+            governor_refunds: 1,
+            breaker_trips: 0,
+            breaker_state: 0,
         }
     }
 
@@ -190,5 +264,49 @@ mod tests {
         assert_eq!(back.plan_p50_us, 0);
         assert_eq!(back.answer_p99_us, 0);
         assert_eq!(back.submitted, sample().submitted);
+    }
+
+    #[test]
+    fn pre_durability_wire_payload_still_parses() {
+        // Scrapers from before the WAL tier sent none of the durability
+        // fields; `#[serde(default)]` keeps their payloads readable.
+        let mut json = String::from_utf8(serde_json::to_vec(&sample()).unwrap()).unwrap();
+        for field in [
+            "\"wal_enabled\":true,",
+            "\"wal_appends\":12,",
+            "\"wal_append_errors\":0,",
+            "\"recovery_records_replayed\":6,",
+            "\"recovery_truncated_bytes\":17,",
+            "\"recovery_answers_restored\":4,",
+            "\"recovery_open_reservations\":1,",
+            "\"governor_refunds\":1,",
+            "\"breaker_trips\":0,",
+            ",\"breaker_state\":0", // last field: leading comma instead
+        ] {
+            json = json.replace(field, "");
+        }
+        let back: ServiceStats = serde_json::from_slice(json.as_bytes()).unwrap();
+        assert!(!back.wal_enabled);
+        assert_eq!(back.recovery_answers_restored, 0);
+        assert_eq!(back.spent_micros, sample().spent_micros);
+    }
+
+    #[test]
+    fn health_report_roundtrips() {
+        let health = HealthReport {
+            status: "serving".to_owned(),
+            wal_enabled: true,
+            wal_last_sync_age_ms: 12,
+            wal_unsynced_appends: 3,
+            wal_total_bytes: 4_096,
+            breaker: "closed".to_owned(),
+            recovery_records_replayed: 9,
+            recovery_truncated_bytes: 0,
+            recovery_answers_restored: 5,
+            recovery_open_reservations: 0,
+        };
+        let json = serde_json::to_vec(&health).unwrap();
+        let back: HealthReport = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, health);
     }
 }

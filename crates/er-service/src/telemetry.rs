@@ -34,6 +34,11 @@ pub struct Telemetry {
     pub(crate) cache_hits: Arc<Counter>,
     pub(crate) cache_misses: Arc<Counter>,
     pub(crate) budget_denials: Arc<Counter>,
+    pub(crate) governor_refunds: Arc<Counter>,
+    pub(crate) wal_appends: Arc<Counter>,
+    pub(crate) wal_append_errors: Arc<Counter>,
+    pub(crate) breaker_trips: Arc<Counter>,
+    pub(crate) breaker_short_circuits: Arc<Counter>,
 
     // Gauges.
     pub(crate) queue_depth: Arc<Gauge>,
@@ -42,6 +47,11 @@ pub struct Telemetry {
     pub(crate) plan_last_inserted: Arc<Gauge>,
     pub(crate) plan_last_retired: Arc<Gauge>,
     pub(crate) plan_last_us: Arc<Gauge>,
+    pub(crate) breaker_state: Arc<Gauge>,
+    pub(crate) recovery_records: Arc<Gauge>,
+    pub(crate) recovery_truncated_bytes: Arc<Gauge>,
+    pub(crate) recovery_answers_restored: Arc<Gauge>,
+    pub(crate) recovery_open_reservations: Arc<Gauge>,
 
     // Histograms.
     pub(crate) queue_wait_us: Arc<Histogram>,
@@ -128,6 +138,31 @@ impl Telemetry {
             "Batch reservations denied by the cost governor.",
             &[],
         );
+        let governor_refunds = registry.counter(
+            "er_governor_refunds_total",
+            "Reservations refunded without spend (aborts and drop guards).",
+            &[],
+        );
+        let wal_appends = registry.counter(
+            "er_wal_appends_total",
+            "Records appended to the durable write-ahead log.",
+            &[],
+        );
+        let wal_append_errors = registry.counter(
+            "er_wal_append_errors_total",
+            "WAL appends that failed (service degrades but keeps serving).",
+            &[],
+        );
+        let breaker_trips = registry.counter(
+            "er_breaker_trips_total",
+            "Times the LLM circuit breaker opened.",
+            &[],
+        );
+        let breaker_short_circuits = registry.counter(
+            "er_breaker_short_circuits_total",
+            "Batches routed to the fallback by an open circuit breaker.",
+            &[],
+        );
 
         let queue_depth = registry.gauge(
             "er_queue_depth",
@@ -157,6 +192,31 @@ impl Telemetry {
         let plan_last_us = registry.gauge(
             "er_plan_last_us",
             "Wall time of the most recent planning pass, microseconds.",
+            &[],
+        );
+        let breaker_state = registry.gauge(
+            "er_breaker_state",
+            "LLM circuit breaker state: 0 closed, 1 open, 2 half-open.",
+            &[],
+        );
+        let recovery_records = registry.gauge(
+            "er_recovery_records_replayed",
+            "Durable records replayed at the last startup.",
+            &[],
+        );
+        let recovery_truncated_bytes = registry.gauge(
+            "er_recovery_truncated_bytes",
+            "Torn-tail bytes truncated from the WAL at the last startup.",
+            &[],
+        );
+        let recovery_answers_restored = registry.gauge(
+            "er_recovery_answers_restored",
+            "Distinct cached answers restored by recovery replay.",
+            &[],
+        );
+        let recovery_open_reservations = registry.gauge(
+            "er_recovery_open_reservations",
+            "Reserves found without settle-or-refund at the last startup (crash evidence, treated as refunded).",
             &[],
         );
 
@@ -235,12 +295,22 @@ impl Telemetry {
             cache_hits,
             cache_misses,
             budget_denials,
+            governor_refunds,
+            wal_appends,
+            wal_append_errors,
+            breaker_trips,
+            breaker_short_circuits,
             queue_depth,
             cache_entries,
             governor_reserved_micros,
             plan_last_inserted,
             plan_last_retired,
             plan_last_us,
+            breaker_state,
+            recovery_records,
+            recovery_truncated_bytes,
+            recovery_answers_restored,
+            recovery_open_reservations,
             queue_wait_us,
             plan_full_us,
             plan_incremental_us,

@@ -27,4 +27,4 @@ pub mod wire;
 
 pub use http::{HttpRequest, HttpResponse};
 pub use serve::{spawn_http_server, HttpServerHandle, ServeOptions};
-pub use server::{HttpChatClient, LlmServer, RunningServer};
+pub use server::{HttpChatClient, LlmServer, RetryPolicy, RunningServer};

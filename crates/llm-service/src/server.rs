@@ -171,24 +171,86 @@ fn bad_request(message: &str) -> HttpResponse {
     )
 }
 
+/// Transport retry policy for [`HttpChatClient`]: capped exponential
+/// backoff bounded by an overall deadline.
+///
+/// Only transport failures (connect/send/recv) retry — they are the
+/// failures a moment's patience can fix. Rate limits are *not* retried
+/// here: the batch executor already owns that loop with its own budget
+/// accounting, and retrying underneath it would double-pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: std::time::Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: std::time::Duration,
+    /// Overall wall-clock bound across all attempts: a retry whose
+    /// backoff would cross it is abandoned and the last error returned.
+    pub deadline: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: std::time::Duration::from_millis(25),
+            max_backoff: std::time::Duration::from_millis(400),
+            deadline: std::time::Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transport error surfaces immediately.
+    pub fn none() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): base times
+    /// two-to-the-attempt, capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
 /// A [`ChatApi`] implementation speaking the wire protocol over TCP.
 ///
 /// Opens one connection per request (`Connection: close`), matching the
 /// server's lifecycle and keeping the client trivially `Send + Sync`.
+/// By default transport errors fail fast; [`HttpChatClient::with_retry`]
+/// adds capped exponential backoff under a deadline.
 #[derive(Debug, Clone)]
 pub struct HttpChatClient {
     addr: std::net::SocketAddr,
+    retry: RetryPolicy,
+    retries: Option<Arc<Counter>>,
 }
 
 impl HttpChatClient {
-    /// A client for the service at `addr`.
+    /// A client for the service at `addr`, failing fast on transport
+    /// errors.
     pub fn new(addr: std::net::SocketAddr) -> Self {
-        Self { addr }
+        Self { addr, retry: RetryPolicy::none(), retries: None }
     }
-}
 
-impl ChatApi for HttpChatClient {
-    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+    /// Retries transport failures per `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Counts every transport retry on `counter`.
+    pub fn with_retry_metrics(mut self, counter: Arc<Counter>) -> Self {
+        self.retries = Some(counter);
+        self
+    }
+
+    fn attempt(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
         let wire = WireRequest {
             model: request.model.id().to_owned(),
             messages: vec![WireMessage { role: "user".into(), content: request.prompt.clone() }],
@@ -219,6 +281,32 @@ impl ChatApi for HttpChatClient {
         let wire_resp: WireResponse = serde_json::from_slice(&resp_body)
             .map_err(|e| LlmError::Protocol(format!("response decoding failed: {e}")))?;
         to_chat_response(&wire_resp)
+    }
+}
+
+impl ChatApi for HttpChatClient {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let started = std::time::Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(request) {
+                Err(LlmError::Transport(detail)) if attempt < self.retry.max_retries => {
+                    let backoff = self.retry.backoff(attempt);
+                    if started.elapsed() + backoff > self.retry.deadline {
+                        return Err(LlmError::Transport(format!(
+                            "{detail} (deadline after {} retries)",
+                            attempt
+                        )));
+                    }
+                    if let Some(counter) = &self.retries {
+                        counter.inc();
+                    }
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 }
 
@@ -389,6 +477,85 @@ mod tests {
                 assert!(parse_answers(&resp.content, 2).is_ok());
             }
         });
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0), std::time::Duration::from_millis(25));
+        assert_eq!(policy.backoff(1), std::time::Duration::from_millis(50));
+        assert_eq!(policy.backoff(2), std::time::Duration::from_millis(100));
+        assert_eq!(policy.backoff(3), std::time::Duration::from_millis(200));
+        assert_eq!(policy.backoff(4), std::time::Duration::from_millis(400));
+        // Capped from here on — including shift overflow territory.
+        assert_eq!(policy.backoff(5), std::time::Duration::from_millis(400));
+        assert_eq!(policy.backoff(63), std::time::Duration::from_millis(400));
+    }
+
+    #[test]
+    fn transport_errors_retry_then_surface() {
+        // A port with nothing listening: every attempt is refused.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: std::time::Duration::from_millis(5),
+            max_backoff: std::time::Duration::from_millis(10),
+            deadline: std::time::Duration::from_secs(1),
+        };
+        let retries = Arc::new(Counter::detached());
+        let client = HttpChatClient::new(addr)
+            .with_retry(policy)
+            .with_retry_metrics(Arc::clone(&retries));
+        let started = std::time::Instant::now();
+        let err = client
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 1))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::Transport(_)), "{err:?}");
+        assert_eq!(retries.get(), 2);
+        // Slept through both backoffs (5ms + 10ms) before giving up.
+        assert!(started.elapsed() >= std::time::Duration::from_millis(15));
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        // Generous retry count, tiny deadline: the second backoff would
+        // cross it, so exactly one retry happens.
+        let policy = RetryPolicy {
+            max_retries: 100,
+            base_backoff: std::time::Duration::from_millis(20),
+            max_backoff: std::time::Duration::from_secs(10),
+            deadline: std::time::Duration::from_millis(30),
+        };
+        let retries = Arc::new(Counter::detached());
+        let client = HttpChatClient::new(addr)
+            .with_retry(policy)
+            .with_retry_metrics(Arc::clone(&retries));
+        let err = client
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 1))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::Transport(_)), "{err:?}");
+        assert!(retries.get() <= 1, "deadline should stop the retry loop");
+    }
+
+    #[test]
+    fn retrying_client_still_succeeds_against_live_server() {
+        let server = LlmServer::new().start().unwrap();
+        let retries = Arc::new(Counter::detached());
+        let client = HttpChatClient::new(server.addr())
+            .with_retry(RetryPolicy::default())
+            .with_retry_metrics(Arc::clone(&retries));
+        let resp = client
+            .complete(&ChatRequest::new(ModelKind::Gpt4, prompt(), 5))
+            .unwrap();
+        assert!(parse_answers(&resp.content, 2).is_ok());
+        assert_eq!(retries.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Deterministic fault injection for the log's write path, mirroring the
+//! positional-schedule idiom of `SimLlm::with_failure_schedule`: slot *k*
+//! of the schedule decides the fate of the *k*-th append call (an
+//! `append_all` batch consumes one slot — it is one physical write).
+//! Once the schedule is exhausted every append is healthy, so tests can
+//! script "fail the third write" without wrapping the filesystem.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One scripted write failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFault {
+    /// The write fails cleanly: nothing reaches the file, the caller gets
+    /// an I/O error, and the log stays usable.
+    IoError,
+    /// The write is torn: only the first `keep` bytes of the framed batch
+    /// reach the file, then the log wedges (as a real device would after
+    /// a partial write of unknown extent). Recovery truncates the tail.
+    TornWrite { keep: u32 },
+}
+
+/// A shared, consumable schedule of per-append faults. `None` slots are
+/// healthy writes. Cloning shares the underlying queue, so a test can
+/// keep a handle and extend the schedule while the log is live.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    slots: Arc<Mutex<VecDeque<Option<WalFault>>>>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule: every write is healthy.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from explicit slots, first slot first.
+    pub fn of<I: IntoIterator<Item = Option<WalFault>>>(slots: I) -> Self {
+        Self { slots: Arc::new(Mutex::new(slots.into_iter().collect())) }
+    }
+
+    /// Appends one slot to the end of the schedule.
+    pub fn push(&self, slot: Option<WalFault>) {
+        self.lock().push_back(slot);
+    }
+
+    /// Slots not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Consumes the next slot; `None` means a healthy write (either a
+    /// scripted healthy slot or an exhausted schedule).
+    pub(crate) fn next(&self) -> Option<WalFault> {
+        self.lock().pop_front().flatten()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Option<WalFault>>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_positional_and_shared() {
+        let s = FaultSchedule::of([None, Some(WalFault::IoError), None]);
+        let alias = s.clone();
+        assert_eq!(s.next(), None);
+        assert_eq!(alias.next(), Some(WalFault::IoError));
+        assert_eq!(s.next(), None);
+        // Exhausted => healthy forever.
+        assert_eq!(s.next(), None);
+        assert_eq!(s.remaining(), 0);
+        s.push(Some(WalFault::TornWrite { keep: 3 }));
+        assert_eq!(alias.next(), Some(WalFault::TornWrite { keep: 3 }));
+    }
+}

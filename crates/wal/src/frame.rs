@@ -1,0 +1,183 @@
+//! Record framing: `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! The CRC covers the payload only; the length field is sanity-capped at
+//! [`MAX_RECORD`] so a corrupt header cannot make the scanner walk off
+//! into gigabytes of garbage. A frame that fails any check ends the scan
+//! — the caller decides whether the invalid tail is a torn write (last
+//! segment, truncate and continue) or corruption (any other segment,
+//! hard error).
+
+/// Frame header size: length + CRC, both little-endian `u32`.
+pub const HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single record payload (16 MiB). Real records here are
+/// tens of bytes; the cap exists to reject implausible lengths read out
+/// of a torn or corrupt header.
+pub const MAX_RECORD: usize = 1 << 24;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xedb8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Appends one framed record to `buf`.
+pub fn encode_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_RECORD);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Why a scan stopped before the end of the segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanStop {
+    /// Fewer than [`HEADER_BYTES`] bytes left — a torn header.
+    TruncatedHeader,
+    /// The header's length field exceeds [`MAX_RECORD`].
+    ImplausibleLength(u32),
+    /// The segment ends before the payload does — a torn payload.
+    TruncatedPayload { want: u32, have: u64 },
+    /// The payload is present but its CRC does not match.
+    CrcMismatch { want: u32, got: u32 },
+}
+
+impl std::fmt::Display for ScanStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanStop::TruncatedHeader => write!(f, "torn frame header"),
+            ScanStop::ImplausibleLength(len) => {
+                write!(f, "implausible record length {len}")
+            }
+            ScanStop::TruncatedPayload { want, have } => {
+                write!(f, "torn payload: header says {want} bytes, {have} remain")
+            }
+            ScanStop::CrcMismatch { want, got } => {
+                write!(f, "crc mismatch: stored {want:#010x}, computed {got:#010x}")
+            }
+        }
+    }
+}
+
+/// Walks `buf` frame by frame, calling `on_record` for each valid
+/// payload. Returns the byte length of the valid prefix and, when that
+/// prefix is shorter than `buf`, the reason the scan stopped.
+pub fn scan(buf: &[u8], mut on_record: impl FnMut(&[u8])) -> (u64, Option<ScanStop>) {
+    let mut pos = 0usize;
+    loop {
+        let rest = &buf[pos..];
+        if rest.is_empty() {
+            return (pos as u64, None);
+        }
+        if rest.len() < HEADER_BYTES {
+            return (pos as u64, Some(ScanStop::TruncatedHeader));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len as usize > MAX_RECORD {
+            return (pos as u64, Some(ScanStop::ImplausibleLength(len)));
+        }
+        let body = &rest[HEADER_BYTES..];
+        if body.len() < len as usize {
+            return (
+                pos as u64,
+                Some(ScanStop::TruncatedPayload { want: len, have: body.len() as u64 }),
+            );
+        }
+        let payload = &body[..len as usize];
+        let got = crc32(payload);
+        if got != stored_crc {
+            return (
+                pos as u64,
+                Some(ScanStop::CrcMismatch { want: stored_crc, got }),
+            );
+        }
+        on_record(payload);
+        pos += HEADER_BYTES + len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn scan_roundtrips_multiple_frames() {
+        let mut buf = Vec::new();
+        encode_into(&mut buf, b"alpha");
+        encode_into(&mut buf, b"");
+        encode_into(&mut buf, b"gamma-delta");
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        let (valid, stop) = scan(&buf, |p| seen.push(p.to_vec()));
+        assert_eq!(valid, buf.len() as u64);
+        assert_eq!(stop, None);
+        assert_eq!(
+            seen,
+            vec![b"alpha".to_vec(), b"".to_vec(), b"gamma-delta".to_vec()]
+        );
+    }
+
+    #[test]
+    fn scan_stops_at_each_torn_shape() {
+        let mut full = Vec::new();
+        encode_into(&mut full, b"keep-me");
+        let keep = full.len() as u64;
+        encode_into(&mut full, b"torn-record");
+
+        // Torn anywhere inside the second frame leaves exactly one record.
+        for cut in keep as usize + 1..full.len() {
+            let mut n = 0;
+            let (valid, stop) = scan(&full[..cut], |_| n += 1);
+            assert_eq!(valid, keep, "cut at {cut}");
+            assert_eq!(n, 1, "cut at {cut}");
+            assert!(stop.is_some(), "cut at {cut}");
+        }
+
+        // A flipped payload bit is a CRC mismatch, not a torn write.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let (valid, stop) = scan(&flipped, |_| {});
+        assert_eq!(valid, keep);
+        assert!(
+            matches!(stop, Some(ScanStop::CrcMismatch { .. })),
+            "{stop:?}"
+        );
+    }
+}

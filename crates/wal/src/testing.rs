@@ -1,0 +1,96 @@
+//! Crash simulation for tests: cut the on-disk log at an arbitrary
+//! global byte offset, exactly as a power failure mid-write would leave
+//! it (every byte before the offset durable, everything after gone).
+
+use std::path::Path;
+
+/// Truncates the log in `dir` to `offset` global bytes: the segment
+/// containing the offset is shortened, every later segment is deleted.
+/// Offsets past the end of the log are a no-op. Returns the number of
+/// bytes removed.
+///
+/// Must not be called while a [`crate::Wal`] has the directory open.
+pub fn crash_at_offset(dir: &Path, offset: u64) -> std::io::Result<u64> {
+    let mut removed = 0u64;
+    let mut base = 0u64;
+    let mut cutting = false;
+    for seq in crate::segment_seqs(dir)? {
+        let path = dir.join(format!("{seq:016}.wal"));
+        let len = std::fs::metadata(&path)?.len();
+        // Everything after the first cut segment goes, including the
+        // empty next segment a roll pre-creates.
+        if !cutting && base + len <= offset {
+            base += len;
+            continue;
+        }
+        if cutting || base >= offset {
+            removed += len;
+            std::fs::remove_file(&path)?;
+        } else {
+            let keep = offset - base;
+            removed += len - keep;
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(keep)?;
+        }
+        cutting = true;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Wal, WalOptions};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wal-testing-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crash_cuts_across_segment_boundaries() {
+        let dir = temp_dir("cut");
+        let options = WalOptions { segment_bytes: 48, ..WalOptions::default() };
+        let (wal, _) = Wal::open(&dir, options.clone(), |_| {}).unwrap();
+        let mut ends = Vec::new();
+        for i in 0..12u64 {
+            ends.push(wal.append(&i.to_le_bytes()).unwrap());
+        }
+        let total = *ends.last().unwrap();
+        drop(wal);
+
+        // Cut one byte into the 6th record: exactly 5 records survive.
+        let offset = ends[4] + 1;
+        let removed = crash_at_offset(&dir, offset).unwrap();
+        assert_eq!(removed, total - offset);
+        let mut n = 0u64;
+        let (_wal, stats) = {
+            let (w, s) = Wal::open(&dir, options, |_| n += 1).unwrap();
+            (w, s)
+        };
+        assert_eq!(n, 5);
+        assert!(stats.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_past_end_is_noop() {
+        let dir = temp_dir("noop");
+        let (wal, _) = Wal::open(&dir, WalOptions::default(), |_| {}).unwrap();
+        let end = wal.append(b"whole").unwrap();
+        drop(wal);
+        assert_eq!(crash_at_offset(&dir, end + 100).unwrap(), 0);
+        let mut n = 0;
+        Wal::open(&dir, WalOptions::default(), |_| n += 1).unwrap();
+        assert_eq!(n, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

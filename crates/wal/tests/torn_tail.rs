@@ -1,0 +1,159 @@
+//! Torn-write corpus: every shape of invalid tail a crash can leave on
+//! the last segment must be truncated on open, and the same damage in a
+//! sealed (non-last) segment must be a hard corruption error. This file
+//! is the deterministic "torn-write corpus" CI step.
+
+use std::path::{Path, PathBuf};
+
+use wal::{frame, RecoveryStats, Wal, WalOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wal-torn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a single-segment log of `n` records, returning per-record end
+/// offsets.
+fn build(dir: &Path, n: u64) -> Vec<u64> {
+    let (wal, _) = Wal::open(dir, WalOptions::default(), |_| {}).expect("open");
+    (0..n)
+        .map(|i| {
+            wal.append(format!("record-{i:04}").as_bytes())
+                .expect("append")
+        })
+        .collect()
+}
+
+fn seg0(dir: &Path) -> PathBuf {
+    dir.join(format!("{:016}.wal", 0))
+}
+
+fn reopen(dir: &Path) -> (RecoveryStats, Vec<String>) {
+    let mut seen = Vec::new();
+    let (_wal, stats) = Wal::open(dir, WalOptions::default(), |p| {
+        seen.push(String::from_utf8_lossy(p).into_owned())
+    })
+    .expect("reopen");
+    (stats, seen)
+}
+
+#[test]
+fn garbage_appended_after_valid_records_is_truncated() {
+    let dir = temp_dir("garbage");
+    let ends = build(&dir, 4);
+    let mut bytes = std::fs::read(seg0(&dir)).unwrap();
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
+    std::fs::write(seg0(&dir), &bytes).unwrap();
+
+    let (stats, seen) = reopen(&dir);
+    assert_eq!(stats.records, 4);
+    assert_eq!(stats.truncated_bytes, 7);
+    assert!(stats.torn_tail);
+    assert_eq!(seen.last().map(String::as_str), Some("record-0003"));
+    // The truncation is physical: a second reopen sees a clean log.
+    let (stats, _) = reopen(&dir);
+    assert!(!stats.torn_tail);
+    assert_eq!(
+        std::fs::metadata(seg0(&dir)).unwrap().len(),
+        *ends.last().unwrap()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tail_cut_mid_header_and_mid_payload_is_truncated() {
+    for cut_back in [1u64, 3, 7, 9, 12] {
+        let dir = temp_dir(&format!("cut-{cut_back}"));
+        let ends = build(&dir, 3);
+        let total = *ends.last().unwrap();
+        // Cut `cut_back` bytes off the end: lands mid-payload (<12) or
+        // mid-header (>=12, record payloads are 11 bytes + 8 header).
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(seg0(&dir))
+            .unwrap()
+            .set_len(total - cut_back)
+            .unwrap();
+        let (stats, seen) = reopen(&dir);
+        assert_eq!(stats.records, 2, "cut_back={cut_back}");
+        assert_eq!(
+            seen,
+            vec!["record-0000".to_owned(), "record-0001".to_owned()]
+        );
+        assert_eq!(stats.bytes, ends[1], "cut_back={cut_back}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn bit_flip_in_last_record_is_dropped_as_torn_tail() {
+    let dir = temp_dir("flip-last");
+    let ends = build(&dir, 3);
+    let mut bytes = std::fs::read(seg0(&dir)).unwrap();
+    // Flip a payload byte inside the final record.
+    let idx = (ends[1] as usize) + frame::HEADER_BYTES + 2;
+    bytes[idx] ^= 0x20;
+    std::fs::write(seg0(&dir), &bytes).unwrap();
+    let (stats, seen) = reopen(&dir);
+    assert_eq!(stats.records, 2);
+    assert!(stats.torn_tail);
+    assert_eq!(stats.truncated_bytes, ends[2] - ends[1]);
+    assert_eq!(seen.len(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn implausible_length_header_is_treated_as_torn() {
+    let dir = temp_dir("length");
+    build(&dir, 2);
+    let mut bytes = std::fs::read(seg0(&dir)).unwrap();
+    // Append a frame whose header claims a 2 GiB payload.
+    bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(b"short");
+    std::fs::write(seg0(&dir), &bytes).unwrap();
+    let (stats, _) = reopen(&dir);
+    assert_eq!(stats.records, 2);
+    assert_eq!(stats.truncated_bytes, 13);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn same_damage_in_sealed_segment_is_corruption() {
+    let dir = temp_dir("sealed");
+    let options = WalOptions { segment_bytes: 40, ..WalOptions::default() };
+    let (wal, _) = Wal::open(&dir, options.clone(), |_| {}).unwrap();
+    for i in 0..8u64 {
+        wal.append(format!("record-{i:04}").as_bytes()).unwrap();
+    }
+    drop(wal);
+    // Damage the first segment's tail — sealed segments must not self-heal.
+    let path = seg0(&dir);
+    let len = std::fs::metadata(&path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+    let err = match Wal::open(&dir, options, |_| {}) {
+        Err(err) => err,
+        Ok(_) => panic!("corrupt sealed segment must refuse to open"),
+    };
+    assert!(
+        matches!(err, wal::WalError::Corrupt { segment: 0, .. }),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_and_fresh_directories_open_clean() {
+    let dir = temp_dir("fresh");
+    let (stats, seen) = reopen(&dir);
+    assert_eq!(stats, RecoveryStats::default());
+    assert!(seen.is_empty());
+    // An empty existing segment file is also fine.
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -58,3 +58,7 @@ pub use er_service;
 /// Zero-dependency observability: metric registry, mergeable histograms,
 /// lifecycle tracing, Prometheus text rendering and linting.
 pub use obs;
+
+/// Embedded segmented write-ahead log (CRC-framed records, fsync policy,
+/// torn-tail recovery, deterministic fault injection).
+pub use wal;

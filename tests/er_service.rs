@@ -10,7 +10,8 @@ use std::time::Duration;
 use batcher::datagen::{generate, DatasetKind};
 use batcher::er_core::{EntityPair, Money, PairId, Record, RecordId, Schema};
 use batcher::er_service::{
-    DecisionSource, ErService, MatchServer, PairFingerprint, ServiceConfig, ServiceStats,
+    DecisionSource, ErService, HealthReport, MatchServer, PairFingerprint, ServiceConfig,
+    ServiceStats,
 };
 use batcher::llm::SimLlm;
 use batcher::llm_service::http::read_response;
@@ -382,7 +383,12 @@ fn http_front_end_serves_match_stats_and_health() {
 
     let (status, health) = get(addr, "/healthz");
     assert_eq!(status, 200);
-    assert_eq!(health, br#"{"status":"ok"}"#);
+    let health: HealthReport = serde_json::from_slice(&health).unwrap();
+    // No WAL configured: healthy, nothing recovered, breaker closed.
+    assert_eq!(health.status, "serving");
+    assert!(!health.wal_enabled);
+    assert_eq!(health.recovery_records_replayed, 0);
+    assert_eq!(health.breaker, "closed");
 
     let (status, _) = get(addr, "/nope");
     assert_eq!(status, 404);
