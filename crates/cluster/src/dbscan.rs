@@ -6,16 +6,18 @@
 //! * [`dbscan`] — the reference implementation over `&[Vec<f64>]` with a
 //!   pluggable distance function and brute-force O(n) region queries.
 //! * [`dbscan_matrix`] — the production path over a contiguous
-//!   [`FeatureMatrix`] (Euclidean metric), built on a [`WindowIndex`]:
-//!   points sorted by distance to one extremal pivot, rows gathered into
-//!   that order, so each ε-query is a binary-searched **contiguous
-//!   window scan** comparing squared distances (no `sqrt` in any hot
-//!   loop). On multiple cores it materializes all region queries in
+//!   [`FeatureMatrix`] (Euclidean metric), with region queries served by
+//!   the shared exact metric index ([`embed::index`]): pivot-table
+//!   triangle-inequality pruning in front of the same threshold-scan
+//!   kernel, so every ε-query returns the id set a brute-force scan
+//!   would. On multiple cores it materializes all region queries in
 //!   parallel shards and runs BFS expansion; on one core it runs an
-//!   allocation-free **union-find** over a symmetric pair sweep. All
-//!   three paths produce identical clusterings (the expansion's output
-//!   is order-free — see [`dbscan_union_find`] — which the tests pin).
+//!   allocation-free **union-find** over the index's recorded symmetric
+//!   pair sweep. All three paths produce identical clusterings (the
+//!   expansion's output is order-free — see [`dbscan_union_find`] —
+//!   which the tests pin).
 
+use embed::index::{build_index, MetricIndex, PivotIndex};
 use embed::matrix::FeatureMatrix;
 use embed::par::par_map;
 
@@ -59,16 +61,17 @@ where
 }
 
 /// DBSCAN over a contiguous feature matrix under the Euclidean metric,
-/// with pivot-window-pruned parallel region queries. Produces the same
-/// clustering as `dbscan(points, params, euclidean)` up to floating-point
-/// ties exactly on the ε boundary.
+/// with index-pruned region queries. Produces the same clustering as
+/// `dbscan(points, params, euclidean)` up to floating-point ties exactly
+/// on the ε boundary. The index flavor follows the calling thread's
+/// [`embed::index::IndexMode`].
 pub fn dbscan_matrix(matrix: &FeatureMatrix, params: DbscanParams) -> Clustering {
     let n = matrix.len();
     assert!(n < u32::MAX as usize, "point count exceeds index width");
     if n == 0 {
         return Clustering { assignment: vec![], n_clusters: 0 };
     }
-    let index = WindowIndex::build(matrix);
+    let index = build_index(matrix);
     if embed::par::shard_count(n, 8) > 1 {
         // Multi-core: materialize every region query up front in parallel
         // shards, then expand over borrowed lists. This trades memory for
@@ -76,7 +79,11 @@ pub fn dbscan_matrix(matrix: &FeatureMatrix, params: DbscanParams) -> Clustering
         // Θ(density·n²) ids — which is the right trade for the serving
         // layer's flush sizes; the single-core branch below stays
         // allocation-free.
-        let lists: Vec<Vec<u32>> = par_map(n, 8, |i| index.neighbors(matrix, i, params.eps));
+        let lists: Vec<Vec<u32>> = par_map(n, 8, |i| {
+            let mut out = Vec::new();
+            index.within_row_into(i as u32, params.eps, false, &mut out);
+            out
+        });
         expand_clusters(n, params.min_pts, |i| lists[i].as_slice())
     } else {
         // Single-thread: union-find over one symmetric pair sweep — no
@@ -87,7 +94,7 @@ pub fn dbscan_matrix(matrix: &FeatureMatrix, params: DbscanParams) -> Clustering
 }
 
 /// Materializes every ε-region query of `matrix` (Euclidean metric) via
-/// the pivot-window index: `lists[i]` holds the ids of all points within
+/// the shared metric index: `lists[i]` holds the ids of all points within
 /// ε of point `i` — **including `i` itself** — ascending.
 ///
 /// This is exactly the neighbor structure the multi-core
@@ -101,8 +108,12 @@ pub fn dbscan_neighbor_lists(matrix: &FeatureMatrix, eps: f64) -> Vec<Vec<u32>> 
     if n == 0 {
         return Vec::new();
     }
-    let index = WindowIndex::build(matrix);
-    par_map(n, 8, |i| index.neighbors(matrix, i, eps))
+    let index = build_index(matrix);
+    par_map(n, 8, |i| {
+        let mut out = Vec::new();
+        index.within_row_into(i as u32, eps, false, &mut out);
+        out
+    })
 }
 
 /// DBSCAN expansion over pre-materialized region queries: `lists[i]` must
@@ -114,7 +125,7 @@ pub fn dbscan_from_neighbor_lists(lists: &[Vec<u32>], min_pts: usize) -> Cluster
     expand_clusters(lists.len(), min_pts, |i| lists[i].as_slice())
 }
 
-/// Union-find DBSCAN over the window index's symmetric pair sweep.
+/// Union-find DBSCAN over the index's symmetric pair sweep.
 ///
 /// Equivalent to BFS expansion because the expansion's output is
 /// order-free under the hood:
@@ -129,20 +140,17 @@ pub fn dbscan_from_neighbor_lists(lists: &[Vec<u32>], min_pts: usize) -> Cluster
 /// * leftovers become singleton clusters in id order.
 ///
 /// Each unordered within-ε pair is visited twice (a counting pass to
-/// decide core-ness, then a union/attach pass), which costs the same
-/// distance work as one full region query per point but touches no
-/// per-point allocation at all.
-fn dbscan_union_find(index: &WindowIndex, params: DbscanParams) -> Clustering {
-    let n = index.ids.len();
+/// decide core-ness, then a union/attach pass replayed from the recorded
+/// verdict bits), which costs the distance work of one symmetric sweep
+/// but touches no per-point allocation at all.
+fn dbscan_union_find(index: &PivotIndex, params: DbscanParams) -> Clustering {
+    let n = index.len();
     let min_pts = params.min_pts;
 
     // Pass 1: neighbor counts (self excluded here, included by `+ 1`),
-    // recording the hit pattern for the replay pass.
+    // recording the verdict stream for the replay pass.
     let mut counts = vec![0u32; n];
-    let hits = index.sweep_close_pairs(params.eps, |a, b| {
-        counts[a] += 1;
-        counts[b] += 1;
-    });
+    let sweep = index.close_pairs(params.eps, &mut counts);
     let core: Vec<bool> = counts.iter().map(|&c| c as usize + 1 >= min_pts).collect();
 
     // Pass 2: union core pairs, record border→core adjacencies. A border
@@ -158,23 +166,25 @@ fn dbscan_union_find(index: &WindowIndex, params: DbscanParams) -> Clustering {
         x
     }
     let mut border: Vec<(u32, u32)> = Vec::new();
-    index.replay_close_pairs(params.eps, &hits, |a, b| match (core[a], core[b]) {
-        (true, true) => {
-            let ra = find(&mut parent, a as u32);
-            let rb = find(&mut parent, b as u32);
-            if ra != rb {
-                // Smaller root id wins — any deterministic rule works,
-                // the component is what matters.
-                if ra < rb {
-                    parent[rb as usize] = ra;
-                } else {
-                    parent[ra as usize] = rb;
+    index.replay_close_pairs(&sweep, &mut |a, b| {
+        match (core[a as usize], core[b as usize]) {
+            (true, true) => {
+                let ra = find(&mut parent, a);
+                let rb = find(&mut parent, b);
+                if ra != rb {
+                    // Smaller root id wins — any deterministic rule works,
+                    // the component is what matters.
+                    if ra < rb {
+                        parent[rb as usize] = ra;
+                    } else {
+                        parent[ra as usize] = rb;
+                    }
                 }
             }
+            (true, false) => border.push((b, a)),
+            (false, true) => border.push((a, b)),
+            (false, false) => {}
         }
-        (true, false) => border.push((b as u32, a as u32)),
-        (false, true) => border.push((a as u32, b as u32)),
-        (false, false) => {}
     });
 
     // Labels: cores first (founding order = min-core-id order), then
@@ -284,261 +294,11 @@ where
     Clustering { assignment: labels, n_clusters: next_cluster }
 }
 
-/// Pivot-window pruning index. Points are sorted by their distance to
-/// one extremal pivot; the triangle inequality confines every
-/// ε-neighborhood to a contiguous window of that order, found by binary
-/// search. The feature rows are **gathered into window order** so the
-/// candidate scan streams one contiguous buffer, and survivors are
-/// marked in a bitmap whose sweep emits neighbor ids ascending — the
-/// same order the brute-force scan produces, with no per-list sort.
-struct WindowIndex {
-    /// Feature rows gathered in window order (row `k` = point `ids[k]`).
-    perm: Vec<f64>,
-    dim: usize,
-    /// Original point id at each window position.
-    ids: Vec<u32>,
-    /// Pivot distance at each window position (the binary-search key).
-    sorted_d0: Vec<f64>,
-    /// Pivot distance by original point id.
-    d0: Vec<f64>,
-    /// Additive pruning slack covering the rounding of computed pivot
-    /// distances, so the window never drops a true ε-neighbor.
-    slack: f64,
-}
-
-impl WindowIndex {
-    fn build(matrix: &FeatureMatrix) -> Self {
-        let n = matrix.len();
-        let dim = matrix.dim();
-        // An extremal pivot (farthest point from point 0) spreads the
-        // distance key as widely as the data allows, which is what keeps
-        // the windows narrow.
-        let from_zero = par_map(n, 256, |j| matrix.sq_dist_rows(0, j));
-        let mut pivot = 0usize;
-        let mut far = f64::NEG_INFINITY;
-        for (j, &d) in from_zero.iter().enumerate() {
-            if d > far {
-                far = d;
-                pivot = j;
-            }
-        }
-        let d0: Vec<f64> = par_map(n, 256, |j| matrix.sq_dist_rows(pivot, j).sqrt());
-
-        let mut ids: Vec<u32> = (0..n as u32).collect();
-        ids.sort_unstable_by(|&a, &b| d0[a as usize].total_cmp(&d0[b as usize]).then(a.cmp(&b)));
-        let sorted_d0: Vec<f64> = ids.iter().map(|&j| d0[j as usize]).collect();
-        let mut perm = vec![0.0f64; n * dim];
-        for (k, &j) in ids.iter().enumerate() {
-            perm[k * dim..(k + 1) * dim].copy_from_slice(matrix.row(j as usize));
-        }
-        let max_d = sorted_d0.last().copied().unwrap_or(0.0);
-        Self { perm, dim, ids, sorted_d0, d0, slack: 1e-9 + 1e-12 * max_d }
-    }
-
-    /// All points within ε of `i` (including `i`), ascending by id.
-    fn neighbors(&self, matrix: &FeatureMatrix, i: usize, eps: f64) -> Vec<u32> {
-        if self.dim == 0 {
-            // Zero-dimensional space: every point is at distance 0.
-            return (0..self.ids.len() as u32).collect();
-        }
-        let pad = eps + self.slack;
-        let eps_sq = eps * eps;
-        let d0 = self.d0[i];
-        let lo = self.sorted_d0.partition_point(|&v| v < d0 - pad);
-        let hi = self.sorted_d0.partition_point(|&v| v <= d0 + pad);
-        let query = matrix.row(i);
-        let window = &self.perm[lo * self.dim..hi * self.dim];
-        let ids = &self.ids[lo..hi];
-        let n_words = self.ids.len().div_ceil(64);
-        let mut hits = vec![0u64; n_words];
-        let mut count = 0usize;
-        // The shared threshold-scan kernel (monomorphized per small
-        // dimension) marks survivors in an id bitmap.
-        embed::matrix::scan_rows_within::<false>(self.dim, query, window, eps_sq, |k| {
-            let id = ids[k];
-            hits[(id / 64) as usize] |= 1u64 << (id % 64);
-            count += 1;
-        });
-        // Bitmap sweep: ids come out ascending, matching the brute-force
-        // scan's expansion order.
-        let mut out = Vec::with_capacity(count);
-        for (w, &word) in hits.iter().enumerate() {
-            let mut bits = word;
-            while bits != 0 {
-                let b = bits.trailing_zeros();
-                out.push((w as u32) * 64 + b);
-                bits &= bits - 1;
-            }
-        }
-        out
-    }
-}
-
-impl WindowIndex {
-    /// Visits every unordered pair of points within ε exactly once
-    /// (self-pairs excluded), as `(smaller_original_id, larger)` in a
-    /// deterministic order, and returns the hit pattern as a bit stream
-    /// aligned with the candidate enumeration — one forward half-window
-    /// sweep over the gathered buffer: for sorted position `a`, the
-    /// candidates are positions `a+1..` while the pivot-distance gap
-    /// stays within `ε + slack`. [`WindowIndex::replay_close_pairs`]
-    /// re-delivers the same pairs from the bits without recomputing a
-    /// single distance.
-    fn sweep_close_pairs(&self, eps: f64, mut on_pair: impl FnMut(usize, usize)) -> Vec<u64> {
-        let eps_sq = eps * eps;
-        let ends = self.window_ends(eps);
-        let total: usize = ends
-            .iter()
-            .enumerate()
-            .map(|(a, &hi)| hi as usize - (a + 1))
-            .sum();
-        let mut bits = vec![0u64; total.div_ceil(64)];
-        let mut cursor = 0usize;
-        let mut emit = |a: usize, b: usize| {
-            let (ia, ib) = (self.ids[a] as usize, self.ids[b] as usize);
-            on_pair(ia.min(ib), ia.max(ib));
-        };
-        match self.dim {
-            1 => self.half_sweep::<1>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            2 => self.half_sweep::<2>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            3 => self.half_sweep::<3>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            4 => self.half_sweep::<4>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            5 => self.half_sweep::<5>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            6 => self.half_sweep::<6>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            7 => self.half_sweep::<7>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            8 => self.half_sweep::<8>(&ends, eps_sq, &mut bits, &mut cursor, &mut emit),
-            dim => {
-                let mut word = 0u64;
-                for (a, &hi) in ends.iter().enumerate() {
-                    let row_a = &self.perm[a * dim..(a + 1) * dim];
-                    for b in a + 1..hi as usize {
-                        let row_b = &self.perm[b * dim..(b + 1) * dim];
-                        let hit = embed::sq_euclidean_distance(row_a, row_b) <= eps_sq;
-                        word |= (hit as u64) << (cursor & 63);
-                        cursor += 1;
-                        if cursor & 63 == 0 {
-                            bits[(cursor >> 6) - 1] = word;
-                            word = 0;
-                        }
-                        if hit {
-                            emit(a, b);
-                        }
-                    }
-                }
-                if cursor & 63 != 0 {
-                    bits[cursor >> 6] = word;
-                }
-            }
-        }
-        bits
-    }
-
-    /// Second pass over the pairs recorded by
-    /// [`WindowIndex::sweep_close_pairs`]: the identical candidate
-    /// enumeration (same ε), with each hit decided by the stored bit —
-    /// no distance arithmetic at all.
-    fn replay_close_pairs(&self, eps: f64, bits: &[u64], mut on_pair: impl FnMut(usize, usize)) {
-        let ends = self.window_ends(eps);
-        let mut cursor = 0usize;
-        for (a, &hi) in ends.iter().enumerate() {
-            // Walk the window's bit range word by word, emitting set bits
-            // only — no per-candidate loop.
-            let start = cursor;
-            let end = cursor + (hi as usize - (a + 1));
-            cursor = end;
-            let mut w = start >> 6;
-            while w << 6 < end {
-                let mut word = bits[w];
-                // Mask off bits outside [start, end).
-                if w << 6 < start {
-                    word &= !0u64 << (start & 63);
-                }
-                if end < (w + 1) << 6 {
-                    word &= (1u64 << (end & 63)) - 1;
-                }
-                while word != 0 {
-                    let bit = (w << 6) + word.trailing_zeros() as usize;
-                    let b = a + 1 + (bit - start);
-                    let (ia, ib) = (self.ids[a] as usize, self.ids[b] as usize);
-                    on_pair(ia.min(ib), ia.max(ib));
-                    word &= word - 1;
-                }
-                w += 1;
-            }
-        }
-    }
-
-    /// Per-position exclusive end of the forward candidate window
-    /// (`sorted_d0[b] ≤ sorted_d0[a] + ε + slack`); always ≥ `a + 1`.
-    fn window_ends(&self, eps: f64) -> Vec<u32> {
-        let pad = eps + self.slack;
-        (0..self.ids.len())
-            .map(|a| {
-                let hi = self
-                    .sorted_d0
-                    .partition_point(|&v| v <= self.sorted_d0[a] + pad);
-                hi.max(a + 1) as u32
-            })
-            .collect()
-    }
-
-    /// Monomorphized forward half-window sweep (positions, not ids):
-    /// records every candidate's verdict as one bit and reports hits.
-    fn half_sweep<const D: usize>(
-        &self,
-        ends: &[u32],
-        eps_sq: f64,
-        bits: &mut [u64],
-        cursor: &mut usize,
-        emit: &mut impl FnMut(usize, usize),
-    ) {
-        // The hit pattern accumulates in a register word, flushed once
-        // per 64 candidates instead of a read-modify-write per candidate.
-        let mut cur = *cursor;
-        let mut word = 0u64;
-        for (a, &hi) in ends.iter().enumerate() {
-            let q: &[f64; D] = self.perm[a * D..(a + 1) * D]
-                .try_into()
-                .expect("row width matches dim");
-            let window = &self.perm[(a + 1) * D..(hi as usize) * D];
-            for (off, row) in window.chunks_exact(D).enumerate() {
-                let mut even = 0.0f64;
-                let mut odd = 0.0f64;
-                let mut d = 0;
-                while d + 1 < D {
-                    let t0 = q[d] - row[d];
-                    let t1 = q[d + 1] - row[d + 1];
-                    even += t0 * t0;
-                    odd += t1 * t1;
-                    d += 2;
-                }
-                if d < D {
-                    let t = q[d] - row[d];
-                    even += t * t;
-                }
-                let hit = even + odd <= eps_sq;
-                word |= (hit as u64) << (cur & 63);
-                cur += 1;
-                if cur & 63 == 0 {
-                    bits[(cur >> 6) - 1] = word;
-                    word = 0;
-                }
-                if hit {
-                    emit(a, a + 1 + off);
-                }
-            }
-        }
-        if cur & 63 != 0 {
-            bits[cur >> 6] = word;
-        }
-        *cursor = cur;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::euclidean;
+    use embed::index::{with_index_mode, IndexMode};
 
     /// Two tight blobs far apart plus one outlier.
     fn blobs() -> Vec<Vec<f64>> {
@@ -687,6 +447,31 @@ mod tests {
                         brute, multi,
                         "n={n} dim={dim} eps={eps} min_pts={min_pts} multi"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_modes_agree_with_brute_force() {
+        // The multi-pivot index and the single-pivot sweep reference must
+        // both reproduce the brute clustering exactly, on both the
+        // expansion and union-find branches.
+        for (n, dim) in [(150usize, 4usize), (260, 7)] {
+            let pts = scattered(n, dim);
+            let matrix = FeatureMatrix::from_rows(pts.clone());
+            for eps in [0.3, 0.9, 2.5] {
+                let params = DbscanParams { eps, min_pts: 3 };
+                let brute = dbscan(&pts, params, euclidean);
+                for mode in [IndexMode::Auto, IndexMode::Sweep] {
+                    let serial = with_index_mode(mode, || {
+                        embed::par::with_max_threads(1, || dbscan_matrix(&matrix, params))
+                    });
+                    let multi = with_index_mode(mode, || {
+                        embed::par::with_max_threads(8, || dbscan_matrix(&matrix, params))
+                    });
+                    assert_eq!(brute, serial, "n={n} dim={dim} eps={eps} {mode:?} serial");
+                    assert_eq!(brute, multi, "n={n} dim={dim} eps={eps} {mode:?} multi");
                 }
             }
         }

@@ -9,6 +9,7 @@
 //! function of the two spaces, so the parallel plan is bit-identical to
 //! the serial one.
 
+use embed::index::MetricIndex;
 use embed::par::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,6 +165,13 @@ fn fixed(pool: &FeatureSpace, batches: &[Vec<usize>], params: SelectionParams) -
     SelectionPlan { per_batch: vec![demos.clone(); batches.len()], labeled: demos, threshold: None }
 }
 
+/// Pool size above which the relevance strategies route per-question
+/// scoring through the shared metric index ([`embed::index`]); below it
+/// one dense sweep is already cache-resident and the index build would
+/// dominate. Both paths are bit-identical (the index is exact), so the
+/// gate is a pure performance knob.
+const TOPK_INDEX_MIN: usize = 512;
+
 /// The `k` pool indices with the smallest ranking distances, ordered by
 /// `(distance, index)` — the same order a full sort of `scored` would
 /// put first, found via `select_nth_unstable` on the tail-partition
@@ -192,23 +200,64 @@ fn topk_batch(
             threshold: None,
         };
     }
+    let euclidean = matches!(
+        questions.distance_kind(),
+        crate::features::DistanceKind::Euclidean
+    );
+    let index =
+        (euclidean && pool.len() >= TOPK_INDEX_MIN).then(|| embed::build_index(pool.matrix()));
     // One shard per batch: each batch's sweep reads shared immutable
     // spaces and writes only its own result.
     let per_batch: Vec<Vec<usize>> = par_map(batches.len(), 1, |bi| {
-        // dist*(B, d) = min over questions in the batch (Eq. 6), as an
-        // elementwise min of one-to-many ranking sweeps (min is exact,
-        // so accumulation order cannot change the value).
-        let mut best = vec![f64::INFINITY; pool.len()];
-        let mut buf = vec![0.0f64; pool.len()];
-        for &q in &batches[bi] {
-            questions.ranking_cross_dists(q, pool, &mut buf);
-            for (slot, &v) in best.iter_mut().zip(&buf) {
-                *slot = slot.min(v);
+        let batch = &batches[bi];
+        if let Some(index) = index.as_ref().filter(|_| !batch.is_empty()) {
+            // dist*(B, d) = min_q dist(q, d) (Eq. 6). The batch's top-k
+            // under the min-fold is contained in the union of the
+            // per-question top-k sets: if d's fold minimum is achieved
+            // at question q but d is outside q's top-k, every member of
+            // q's top-k folds to a value preceding d under `(value,
+            // id)`, so d is outside the batch top-k too. Folding only
+            // the observed (question, candidate) values therefore
+            // reproduces every batch-top-k value exactly; unobserved
+            // values can only overestimate a non-member, which cannot
+            // promote it.
+            let mut knn: Vec<(f64, u32)> = Vec::new();
+            let mut pairs: Vec<(u32, f64)> = Vec::new();
+            for &q in batch {
+                index.nearest_into(questions.matrix().row(q), k, &mut knn);
+                pairs.extend(knn.iter().map(|&(v, id)| (id, v)));
             }
+            pairs.sort_unstable_by_key(|&(id, _)| id);
+            let mut scored: Vec<(f64, usize)> = Vec::new();
+            let mut i = 0;
+            while i < pairs.len() {
+                let id = pairs[i].0;
+                // `f64::min` starting from +∞ skips NaNs exactly like
+                // the dense fold below, and is order-free past that.
+                let mut best = f64::INFINITY;
+                while i < pairs.len() && pairs[i].0 == id {
+                    best = best.min(pairs[i].1);
+                    i += 1;
+                }
+                scored.push((best, id as usize));
+            }
+            top_k_indices(&mut scored, k)
+        } else {
+            // dist*(B, d) = min over questions in the batch (Eq. 6), as
+            // an elementwise min of one-to-many ranking sweeps (min is
+            // exact, so accumulation order cannot change the value).
+            let mut best = vec![f64::INFINITY; pool.len()];
+            let mut buf = vec![0.0f64; pool.len()];
+            for &q in batch {
+                questions.ranking_cross_dists(q, pool, &mut buf);
+                for (slot, &v) in best.iter_mut().zip(&buf) {
+                    *slot = slot.min(v);
+                }
+            }
+            let mut scored: Vec<(f64, usize)> =
+                best.into_iter().enumerate().map(|(d, v)| (v, d)).collect();
+            top_k_indices(&mut scored, k)
         }
-        let mut scored: Vec<(f64, usize)> =
-            best.into_iter().enumerate().map(|(d, v)| (v, d)).collect();
-        top_k_indices(&mut scored, k)
     });
     let mut labeled: Vec<usize> = per_batch.iter().flatten().copied().collect();
     labeled.sort_unstable();
@@ -229,24 +278,47 @@ fn topk_question(
             threshold: None,
         };
     }
+    let euclidean = matches!(
+        questions.distance_kind(),
+        crate::features::DistanceKind::Euclidean
+    );
+    let index =
+        (euclidean && pool.len() >= TOPK_INDEX_MIN).then(|| embed::build_index(pool.matrix()));
     let per_batch: Vec<Vec<usize>> = par_map(batches.len(), 1, |bi| {
         let batch = &batches[bi];
         // k per question so the per-batch total stays comparable to the
         // other strategies (Fig. 5 uses k = 1 at batch size 8).
         let k_q = (params.k / batch.len().max(1)).max(1).min(pool.len());
         let mut demos: Vec<usize> = Vec::new();
-        let mut buf = vec![0.0f64; pool.len()];
-        for &q in batch {
-            questions.ranking_cross_dists(q, pool, &mut buf);
-            let mut scored: Vec<(f64, usize)> = buf
-                .iter()
-                .copied()
-                .enumerate()
-                .map(|(d, v)| (v, d))
-                .collect();
-            for d in top_k_indices(&mut scored, k_q) {
-                if !demos.contains(&d) {
-                    demos.push(d);
+        if let Some(index) = &index {
+            // The index's nearest list is ordered by `(value, id)` —
+            // exactly the head the dense sweep's partial sort produces,
+            // so the first-seen dedup below keeps the same demos in the
+            // same order.
+            let mut knn: Vec<(f64, u32)> = Vec::new();
+            for &q in batch {
+                index.nearest_into(questions.matrix().row(q), k_q, &mut knn);
+                for &(_, d) in &knn {
+                    let d = d as usize;
+                    if !demos.contains(&d) {
+                        demos.push(d);
+                    }
+                }
+            }
+        } else {
+            let mut buf = vec![0.0f64; pool.len()];
+            for &q in batch {
+                questions.ranking_cross_dists(q, pool, &mut buf);
+                let mut scored: Vec<(f64, usize)> = buf
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(d, v)| (v, d))
+                    .collect();
+                for d in top_k_indices(&mut scored, k_q) {
+                    if !demos.contains(&d) {
+                        demos.push(d);
+                    }
                 }
             }
         }
@@ -270,89 +342,39 @@ pub(crate) fn compute_coverage(
 ) -> Vec<Vec<u32>> {
     let t_rank = questions.ranking_threshold(t);
 
-    // Phase 1 sweep: which questions each pool demo covers, one window
-    // pass per demo, demos sharded across threads. Under the Euclidean
-    // metric the sweep is pruned by the triangle inequality against one
-    // extremal pivot question: questions sorted by pivot distance once,
-    // each demo only scans the `±t` window of that order — and the
-    // covering threshold is a *low* percentile, so the windows are thin.
+    // Phase 1 sweep: which questions each pool demo covers, demos
+    // sharded across threads. Under the Euclidean metric each demo's
+    // scan goes through the shared metric index over the question rows:
+    // triangle-bound pruning in front of the same strict threshold
+    // kernel the dense sweep runs — and the covering threshold is a
+    // *low* percentile, so pruning is deep.
     let n_q = questions.len();
     let euclidean = matches!(
         questions.distance_kind(),
         crate::features::DistanceKind::Euclidean
     );
-    // The window needs at least one question row to pivot on; with none,
-    // the fallback sweep below is a no-op over an empty set anyway.
-    let pivot_window = (euclidean && n_q > 0).then(|| {
-        let q_matrix = questions.matrix();
-        // Farthest question from question 0 spreads the distance key.
-        let mut pivot = 0usize;
-        let mut far = f64::NEG_INFINITY;
-        for j in 0..n_q {
-            let d = q_matrix.sq_dist_rows(0, j);
-            if d > far {
-                far = d;
-                pivot = j;
-            }
-        }
-        let dist_to_pivot: Vec<f64> = (0..n_q)
-            .map(|j| q_matrix.sq_dist_rows(pivot, j).sqrt())
-            .collect();
-        let mut order: Vec<u32> = (0..n_q as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            dist_to_pivot[a as usize]
-                .total_cmp(&dist_to_pivot[b as usize])
-                .then(a.cmp(&b))
-        });
-        let sorted: Vec<f64> = order.iter().map(|&q| dist_to_pivot[q as usize]).collect();
-        let slack = 1e-9 + 1e-12 * sorted.last().copied().unwrap_or(0.0);
-        let pivot_row = q_matrix.row(pivot).to_vec();
-        // Question rows gathered into window order, so each demo's
-        // candidate scan streams one contiguous buffer.
-        let dim = q_matrix.dim();
-        let mut perm = vec![0.0f64; n_q * dim];
-        for (k, &q) in order.iter().enumerate() {
-            perm[k * dim..(k + 1) * dim].copy_from_slice(q_matrix.row(q as usize));
-        }
-        (order, sorted, slack, pivot_row, perm)
-    });
     if n_q == 0 {
         // Nothing to cover; the one-to-many sweeps below assume at least
         // one question row (the matrices' dimensions must line up).
-        vec![Vec::new(); pool.len()]
-    } else {
-        par_map(pool.len(), 4, |d| {
-            if let Some((order, sorted, slack, pivot_row, perm)) = &pivot_window {
-                let row = pool.matrix().row(d);
-                let dim = questions.matrix().dim();
-                let d_pivot = embed::sq_euclidean_distance(pivot_row, row).sqrt();
-                let pad = t + slack;
-                let lo = sorted.partition_point(|&v| v < d_pivot - pad);
-                let hi = sorted.partition_point(|&v| v <= d_pivot + pad);
-                // Window order is deterministic; no consumer needs the
-                // ids sorted (greedy gains and the phase-2 inversion are
-                // both order-free), so the per-list sort is skipped.
-                let mut covered: Vec<u32> = Vec::new();
-                embed::matrix::scan_rows_within::<true>(
-                    dim,
-                    row,
-                    &perm[lo * dim..hi * dim],
-                    t_rank,
-                    |k| covered.push(order[lo + k]),
-                );
-                covered
-            } else {
-                let mut dists = vec![0.0f64; n_q];
-                pool.ranking_cross_dists(d, questions, &mut dists);
-                dists
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &v)| v < t_rank)
-                    .map(|(q, _)| q as u32)
-                    .collect()
-            }
-        })
+        return vec![Vec::new(); pool.len()];
     }
+    let index = euclidean.then(|| embed::build_index(questions.matrix()));
+    par_map(pool.len(), 4, |d| {
+        if let Some(index) = &index {
+            let mut covered: Vec<u32> = Vec::new();
+            index.within_into(pool.matrix().row(d), t, true, &mut covered);
+            covered
+        } else {
+            let mut dists = vec![0.0f64; n_q];
+            pool.ranking_cross_dists(d, questions, &mut dists);
+            dists
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v < t_rank)
+                .map(|(q, _)| q as u32)
+                .collect()
+        }
+    })
 }
 
 /// The covering strategy downstream of coverage computation: phase-1
@@ -623,6 +645,127 @@ mod tests {
                 parallel, serial,
                 "{strategy:?} differs across thread counts"
             );
+        }
+    }
+
+    /// Deterministic clustered vectors, the shape where pruning bites.
+    fn scattered(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let blob = (i % 5) as f64 * 2.0;
+                (0..dim).map(|_| blob + next() * 0.7).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn index_routed_selection_matches_dense_sweep() {
+        use embed::index::{with_index_mode, IndexMode};
+
+        // Pool large enough to clear TOPK_INDEX_MIN, so the relevance
+        // strategies actually take the index path; the expectations
+        // below re-run the dense arithmetic by hand.
+        let questions =
+            FeatureSpace::from_vectors(scattered(40, 6, 0xA11CE), DistanceKind::Euclidean);
+        let pool = FeatureSpace::from_vectors(
+            scattered(TOPK_INDEX_MIN + 90, 6, 0xB0B),
+            DistanceKind::Euclidean,
+        );
+        let batches: Vec<Vec<usize>> = (0..8).map(|b| (b * 5..(b + 1) * 5).collect()).collect();
+        let params = SelectionParams { k: 7, cover_percentile: 12.0, seed: 3 };
+
+        for strategy in [
+            SelectionStrategy::TopKBatch,
+            SelectionStrategy::TopKQuestion,
+            SelectionStrategy::Covering,
+        ] {
+            let auto = with_index_mode(IndexMode::Auto, || {
+                select_demonstrations(strategy, &questions, &pool, &batches, params, |_| 1.0)
+            });
+            let sweep = with_index_mode(IndexMode::Sweep, || {
+                select_demonstrations(strategy, &questions, &pool, &batches, params, |_| 1.0)
+            });
+            assert_eq!(auto, sweep, "{strategy:?} differs across index modes");
+        }
+
+        // Top-k-batch against the dense min-fold reference.
+        let plan = select_demonstrations(
+            SelectionStrategy::TopKBatch,
+            &questions,
+            &pool,
+            &batches,
+            params,
+            |_| 1.0,
+        );
+        for (bi, batch) in batches.iter().enumerate() {
+            let mut best = vec![f64::INFINITY; pool.len()];
+            let mut buf = vec![0.0f64; pool.len()];
+            for &q in batch {
+                questions.ranking_cross_dists(q, &pool, &mut buf);
+                for (slot, &v) in best.iter_mut().zip(&buf) {
+                    *slot = slot.min(v);
+                }
+            }
+            let mut scored: Vec<(f64, usize)> =
+                best.into_iter().enumerate().map(|(d, v)| (v, d)).collect();
+            let expect = top_k_indices(&mut scored, params.k);
+            assert_eq!(plan.per_batch[bi], expect, "batch {bi} top-k diverged");
+        }
+
+        // Top-k-question against the dense per-question partial sort.
+        let plan = select_demonstrations(
+            SelectionStrategy::TopKQuestion,
+            &questions,
+            &pool,
+            &batches,
+            params,
+            |_| 1.0,
+        );
+        for (bi, batch) in batches.iter().enumerate() {
+            let k_q = (params.k / batch.len().max(1)).max(1).min(pool.len());
+            let mut expect: Vec<usize> = Vec::new();
+            let mut buf = vec![0.0f64; pool.len()];
+            for &q in batch {
+                questions.ranking_cross_dists(q, &pool, &mut buf);
+                let mut scored: Vec<(f64, usize)> = buf
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(d, v)| (v, d))
+                    .collect();
+                for d in top_k_indices(&mut scored, k_q) {
+                    if !expect.contains(&d) {
+                        expect.push(d);
+                    }
+                }
+            }
+            assert_eq!(
+                plan.per_batch[bi], expect,
+                "batch {bi} per-question diverged"
+            );
+        }
+
+        // Coverage lists against the dense strict-threshold filter.
+        let t = covering_threshold(&questions, params);
+        let coverage = compute_coverage(&questions, &pool, t);
+        let t_rank = questions.ranking_threshold(t);
+        for (d, covered) in coverage.iter().enumerate() {
+            let mut dists = vec![0.0f64; questions.len()];
+            pool.ranking_cross_dists(d, &questions, &mut dists);
+            let expect: Vec<u32> = dists
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v < t_rank)
+                .map(|(q, _)| q as u32)
+                .collect();
+            assert_eq!(covered, &expect, "demo {d} coverage diverged");
         }
     }
 

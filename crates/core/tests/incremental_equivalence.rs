@@ -6,7 +6,9 @@
 //! [`plan_with_prepared_pool_pinned`] over the same active questions (in
 //! canonical key order) with the state's frozen thresholds pinned — same
 //! clusterings, same batch memberships, same selected demonstrations —
-//! on both the single-core and the multi-thread kernel paths.
+//! on both the single-core and the multi-thread kernel paths, and under
+//! both metric-index configurations (`IndexMode::Auto` pivot tables and
+//! the `IndexMode::Sweep` single-pivot reference).
 
 use batcher_core::incremental::{PlanKind, PlanState};
 use batcher_core::{
@@ -15,6 +17,7 @@ use batcher_core::{
 };
 use datagen::{generate, DatasetKind};
 use embed::par::with_max_threads;
+use embed::{with_index_mode, IndexMode};
 use er_core::{EntityPair, LabeledPair};
 use proptest::prelude::*;
 
@@ -67,11 +70,22 @@ fn reference(
 /// ones (chosen by `pick`), then plans. Returns how many epochs ran each
 /// path so callers can assert both were exercised.
 fn replay(combo: usize, steps: &[(u8, u8, u8)]) -> (u32, u32) {
-    replay_config(config(combo), combo, steps)
+    let (pool, bank) = corpus();
+    replay_corpus(config(combo), combo, steps, &pool, &bank)
 }
 
 fn replay_config(config: BatchPlanConfig, combo: usize, steps: &[(u8, u8, u8)]) -> (u32, u32) {
     let (pool, bank) = corpus();
+    replay_corpus(config, combo, steps, &pool, &bank)
+}
+
+fn replay_corpus(
+    config: BatchPlanConfig,
+    combo: usize,
+    steps: &[(u8, u8, u8)],
+    pool: &[LabeledPair],
+    bank: &[EntityPair],
+) -> (u32, u32) {
     let pool_refs: Vec<&LabeledPair> = pool.iter().collect();
     let prepared = PreparedPool::prepare(&pool_refs, config.extractor, config.distance);
     let mut state = PlanState::from_prepared(prepared.clone(), config);
@@ -103,6 +117,7 @@ fn replay_config(config: BatchPlanConfig, combo: usize, steps: &[(u8, u8, u8)]) 
         }
 
         let seed = 11 + e as u64 * 31;
+        let sweep_clone = state.clone();
         let epoch = state.plan(seed);
         match epoch.kind {
             PlanKind::Full => fulls += 1,
@@ -121,6 +136,17 @@ fn replay_config(config: BatchPlanConfig, combo: usize, steps: &[(u8, u8, u8)]) 
         let mut keys: Vec<u64> = live.iter().map(|(k, _)| *k).collect();
         keys.sort_unstable();
         assert_eq!(epoch.keys, keys, "combo {combo} epoch {e} key order");
+
+        // The metric index is a pure accelerator: forcing the
+        // single-pivot sweep reference must reproduce the epoch exactly.
+        let sweep_epoch = with_index_mode(IndexMode::Sweep, || {
+            let mut s = sweep_clone;
+            s.plan(seed)
+        });
+        assert_eq!(
+            epoch, sweep_epoch,
+            "combo {combo} epoch {e}: index mode changed the plan"
+        );
 
         // The serial kernel path must agree with the parallel one.
         let serial = with_max_threads(1, || state.clone().plan(seed ^ 0x5a5a));
@@ -189,6 +215,32 @@ fn cosine_distance_stays_equivalent() {
         assert!(
             incrementals >= 3,
             "cosine incremental path never exercised ({clustering:?})"
+        );
+    }
+}
+
+/// The gated index paths join the harness at planning scale: a corpus
+/// big enough to cross both performance gates (≥256 live slots for the
+/// incremental ε-graph index, ≥512 demonstrations for the pooled top-k
+/// index) stays bit-identical to the pinned from-scratch reference —
+/// per-epoch, serial == parallel, and `Auto` == `Sweep` index modes —
+/// for combos covering every selection strategy and both clusterings.
+#[test]
+fn index_gated_paths_stay_equivalent_at_scale() {
+    let d = generate(DatasetKind::FodorsZagats, 7);
+    let pairs = d.pairs().to_vec();
+    let pool = pairs[..520].to_vec();
+    let bank: Vec<EntityPair> = pairs[520..800].iter().map(|p| p.pair.clone()).collect();
+    // Epoch 1: 250 inserts (full plan, below the slot gate). Epoch 2-3:
+    // small deltas that push the live set past 256, building and then
+    // reusing the incremental slot index.
+    let steps: [(u8, u8, u8); 3] = [(250, 0, 0), (10, 2, 3), (10, 3, 1)];
+    for combo in [0usize, 4, 8, 21] {
+        let (fulls, incrementals) = replay_corpus(config(combo), combo, &steps, &pool, &bank);
+        assert!(fulls >= 1, "combo {combo}: no full plan at scale");
+        assert!(
+            incrementals >= 2,
+            "combo {combo}: gated incremental path never exercised at scale"
         );
     }
 }

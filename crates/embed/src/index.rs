@@ -1,0 +1,1678 @@
+//! Exact metric index over [`FeatureMatrix`] rows.
+//!
+//! A LAESA-style pivot table: `P` pivot rows, a per-row vector of
+//! pivot distances, and triangle-inequality candidate elimination
+//! before any full distance computation. For a query `q` and a row `x`,
+//! `|d(q, p) − d(x, p)| ≤ d(q, x)` for every pivot `p`, so when the
+//! left side exceeds the query radius (plus the float slack) the row
+//! cannot be a hit and is skipped without touching its coordinates.
+//!
+//! **Exactness contract.** Pruning only ever *eliminates* candidates;
+//! every survivor is verified with the same arithmetic the brute-force
+//! reference uses ([`scan_rows_within`] for radius predicates, the
+//! cached-norm dot trick of `FeatureMatrix::sq_dists_to_all` for
+//! nearest-neighbour ranking). Per-row verdicts of those kernels are
+//! position-independent, so the accelerated result sets are
+//! bit-identical to a full scan — never approximate. The float slack
+//! (`1e-9 + 1e-12 · max d₀`, the pivot-window convention from the
+//! DBSCAN sweep this module generalizes) widens the pruning bound to
+//! absorb the rounding gap between dot-trick and subtraction-form
+//! distances; it only ever admits extra candidates for verification.
+//!
+//! **Degenerate inputs.** Rows with non-finite coordinates, norms, or
+//! pivot distances — where the triangle bound is meaningless — live on
+//! an *overflow* list that every query verifies linearly, so NaN/inf
+//! features degrade to (partial) scans instead of wrong windows.
+//! Empty matrices, single rows, all-identical rows (zero pivot
+//! spread), and zero-dimensional rows all build degenerate-but-correct
+//! indexes; the tests below pin each shape.
+//!
+//! **Mutability.** [`MetricIndex::append`] adds rows to an unsorted
+//! tail (pivot distances computed at append time, pruned per query);
+//! [`MetricIndex::tombstone`] hides a row from every subsequent query.
+//! This matches the slot-major cache of the incremental planner, which
+//! rebuilds the index at each full plan and appends between them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+use crate::matrix::{scan_rows_within, FeatureMatrix};
+use crate::par::par_map;
+use crate::vecmath::{dot, sq_euclidean_distance};
+
+/// Hard cap on pivots; query-side pivot distances live on the stack.
+pub const MAX_PIVOTS: usize = 8;
+
+/// Which index [`build_index`] constructs, thread-local so benches and
+/// parity tests can pin a path without threading a parameter through
+/// every planning call (the `embed::par::with_max_threads` idiom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Multi-pivot index sized by [`auto_pivots`].
+    Auto,
+    /// Single pivot: exactly the pre-index pivot-window sweep, kept as
+    /// the reference implementation.
+    Sweep,
+}
+
+thread_local! {
+    static MODE: Cell<IndexMode> = const { Cell::new(IndexMode::Auto) };
+}
+
+/// The calling thread's current [`IndexMode`].
+pub fn index_mode() -> IndexMode {
+    MODE.with(Cell::get)
+}
+
+/// Runs `f` with the calling thread's [`IndexMode`] set to `mode`,
+/// restoring the previous mode on exit (including unwinds). Indexes are
+/// built on the planning thread, so this pins every `build_index` in
+/// `f`'s dynamic extent on this thread.
+pub fn with_index_mode<R>(mode: IndexMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(IndexMode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE.with(|m| m.set(self.0));
+        }
+    }
+    let _restore = Restore(MODE.with(|m| m.replace(mode)));
+    f()
+}
+
+/// Pivot count heuristic: small matrices fit in the single-pivot
+/// window's cache footprint anyway, and at low dimension a full
+/// verification costs no more than an extra-pivot check, so extra
+/// pivots only fragment the streaming verify runs.
+pub fn auto_pivots(n: usize, dim: usize) -> usize {
+    if n < 128 {
+        1
+    } else {
+        match dim {
+            0..=8 => 1,
+            _ => MAX_PIVOTS,
+        }
+    }
+}
+
+/// Builds the index the current [`IndexMode`] calls for.
+pub fn build_index(matrix: &FeatureMatrix) -> PivotIndex {
+    match index_mode() {
+        IndexMode::Auto => PivotIndex::with_pivots(matrix, auto_pivots(matrix.len(), matrix.dim())),
+        IndexMode::Sweep => PivotIndex::with_pivots(matrix, 1),
+    }
+}
+
+// Process-wide counters (relaxed: monotone telemetry, no ordering
+// dependencies). Snapshot with [`stats`]; meter a region by delta.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+static QUERIES: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES: AtomicU64 = AtomicU64::new(0);
+static PRUNED: AtomicU64 = AtomicU64::new(0);
+static QUERY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time snapshot of the process-wide index counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexes constructed.
+    pub builds: u64,
+    /// Queries answered (radius, nearest, and pair sweeps alike).
+    pub queries: u64,
+    /// Active rows (or row pairs, for sweeps) a brute-force pass would
+    /// have fully evaluated.
+    pub candidates: u64,
+    /// Of those, eliminated by the triangle bound before any full
+    /// distance computation.
+    pub pruned: u64,
+    /// Wall time spent inside queries, nanoseconds.
+    pub query_ns: u64,
+}
+
+impl IndexStats {
+    /// Counter increments since `earlier` (saturating, so a snapshot
+    /// pair straddling little activity never underflows).
+    pub fn delta_since(&self, earlier: &IndexStats) -> IndexStats {
+        IndexStats {
+            builds: self.builds.saturating_sub(earlier.builds),
+            queries: self.queries.saturating_sub(earlier.queries),
+            candidates: self.candidates.saturating_sub(earlier.candidates),
+            pruned: self.pruned.saturating_sub(earlier.pruned),
+            query_ns: self.query_ns.saturating_sub(earlier.query_ns),
+        }
+    }
+
+    /// Fraction of candidates eliminated before full evaluation
+    /// (0 when nothing was queried).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Snapshot of the process-wide index counters.
+pub fn stats() -> IndexStats {
+    IndexStats {
+        builds: BUILDS.load(Ordering::Relaxed),
+        queries: QUERIES.load(Ordering::Relaxed),
+        candidates: CANDIDATES.load(Ordering::Relaxed),
+        pruned: PRUNED.load(Ordering::Relaxed),
+        query_ns: QUERY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// A recorded symmetric pair sweep: one verdict bit per candidate slot
+/// in the sweep's deterministic window layout. The layout is a pure
+/// function of the index geometry and `eps` — never of pruning
+/// decisions — so pruned and tombstoned candidates simply keep their
+/// zero bit. Replaying re-derives the same windows and word-skips
+/// straight to the set bits; no distance is recomputed and no pruning
+/// check is re-evaluated.
+#[derive(Debug, Clone)]
+pub struct PairSweep {
+    eps: f64,
+    bits: Vec<u64>,
+    n_bits: usize,
+    pairs: usize,
+}
+
+impl PairSweep {
+    /// Number of close pairs the sweep found.
+    pub fn close_pair_count(&self) -> usize {
+        self.pairs
+    }
+
+    /// Reserves a `len`-bit all-zero window at the end of the stream,
+    /// returning its base bit position.
+    fn open_window(&mut self, len: usize) -> usize {
+        let base = self.n_bits;
+        self.n_bits += len;
+        let words = self.n_bits.div_ceil(64);
+        if words > self.bits.len() {
+            self.bits.resize(words, 0);
+        }
+        base
+    }
+
+    /// Marks absolute bit `at` as a close pair.
+    fn set_hit(&mut self, at: usize) {
+        self.bits[at >> 6] |= 1u64 << (at & 63);
+        self.pairs += 1;
+    }
+
+    /// Visits each set bit of the `len`-bit window based at absolute
+    /// bit `base`, as an offset within the window, skipping zero words
+    /// whole. Out-of-range words read as zero (the caller's cursor
+    /// check reports the drift).
+    fn visit_hits(&self, base: usize, len: usize, f: &mut dyn FnMut(usize)) {
+        if len == 0 {
+            return;
+        }
+        let end = base + len;
+        let first = base >> 6;
+        let last = (end - 1) >> 6;
+        for w in first..=last {
+            let mut word = self.bits.get(w).copied().unwrap_or(0);
+            if w == first {
+                word &= !0u64 << (base & 63);
+            }
+            if w == last && end & 63 != 0 {
+                word &= (1u64 << (end & 63)) - 1;
+            }
+            while word != 0 {
+                let bit = (w << 6) + word.trailing_zeros() as usize;
+                f(bit - base);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// Fate of the extra-pivot checks on one index: still being measured,
+/// measured worth keeping, or measured useless. A pure performance
+/// hint — extra pivots only skip verification of provably-out rows, so
+/// switching them off never changes any result, window layout, or
+/// recorded bit. Relaxed atomic; a clone restarts from the current
+/// observation.
+#[derive(Debug)]
+struct GateHint(AtomicU8);
+
+const HINT_SAMPLING: u8 = 0;
+const HINT_KEEP: u8 = 1;
+const HINT_OFF: u8 = 2;
+
+impl Clone for GateHint {
+    fn clone(&self) -> Self {
+        GateHint(AtomicU8::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// Samples the first [`ExtraGate::SAMPLE`] extra-pivot checks of a
+/// query or sweep and, when they reject less than 1 candidate in 16 —
+/// concentrated data where every check is paid and almost none prune —
+/// switches them off for the rest of this index's lifetime via
+/// [`GateHint`]. Queries too small to finish the sample leave the hint
+/// unresolved and the next large query resumes measuring.
+struct ExtraGate<'a> {
+    hint: &'a GateHint,
+    enabled: bool,
+    deciding: bool,
+    checked: u32,
+    rejected: u32,
+}
+
+impl<'a> ExtraGate<'a> {
+    const SAMPLE: u32 = 8192;
+
+    fn new(index: &'a PivotIndex) -> Self {
+        let state = if index.n_pivots <= 1 {
+            HINT_OFF
+        } else {
+            index.extra_hint.0.load(Ordering::Relaxed)
+        };
+        ExtraGate {
+            hint: &index.extra_hint,
+            enabled: state != HINT_OFF,
+            deciding: state == HINT_SAMPLING,
+            checked: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Runs `check` (true = the candidate is provably out) unless the
+    /// checks have been measured useless, in which case the candidate
+    /// survives to exact verification.
+    #[inline]
+    fn rejects(&mut self, check: impl FnOnce() -> bool) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let rejected = check();
+        if self.deciding {
+            self.checked += 1;
+            self.rejected += rejected as u32;
+            if self.checked == Self::SAMPLE {
+                self.deciding = false;
+                self.enabled = self.rejected >= Self::SAMPLE / 16;
+                self.hint.0.store(
+                    if self.enabled { HINT_KEEP } else { HINT_OFF },
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        rejected
+    }
+}
+
+/// An exact metric index over feature rows. All implementations return
+/// result sets bit-identical to the brute-force reference kernels; see
+/// the module docs for the contract.
+pub trait MetricIndex: Send + Sync {
+    /// Feature dimension.
+    fn dim(&self) -> usize;
+    /// Total row slots (active + tombstoned).
+    fn len(&self) -> usize;
+    /// Rows visible to queries.
+    fn n_active(&self) -> usize;
+    /// True when no slots exist at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Whether slot `id` is live.
+    fn is_active(&self, id: u32) -> bool;
+    /// Appends a row, returning its slot id (`len()` before the call).
+    fn append(&mut self, row: &[f64]) -> u32;
+    /// Hides slot `id` from queries. Returns `false` when already dead.
+    fn tombstone(&mut self, id: u32) -> bool;
+    /// Active ids within `eps` of `query` (`< eps` when `strict`, else
+    /// `≤ eps`), ascending — the verdict per row is exactly
+    /// [`scan_rows_within`]'s with threshold `eps²`.
+    fn within_into(&self, query: &[f64], eps: f64, strict: bool, out: &mut Vec<u32>);
+    /// [`MetricIndex::within_into`] with stored row `id` as the query
+    /// (its own id included in the result, distance 0).
+    fn within_row_into(&self, id: u32, eps: f64, strict: bool, out: &mut Vec<u32>);
+    /// The `k` active rows nearest to `query` under the dot-trick
+    /// squared distance, as `(value, id)` ascending by
+    /// `(total_cmp, id)` — exactly the head a full
+    /// `sq_dists_to_all` + partial sort would produce.
+    fn nearest_into(&self, query: &[f64], k: usize, out: &mut Vec<(f64, u32)>);
+    /// One symmetric sweep over all active pairs within `eps`
+    /// (inclusive), adding 1 to `degrees[a]`/`degrees[b]` per close
+    /// pair and recording verdicts for [`MetricIndex::replay_close_pairs`].
+    /// `degrees.len()` must equal [`MetricIndex::len`].
+    fn close_pairs(&self, eps: f64, degrees: &mut [u32]) -> PairSweep;
+    /// Re-emits every close pair `(a, b)`, `a < b` in slot terms of the
+    /// recorded stream, without recomputing any distance. The index
+    /// must be unchanged since the sweep.
+    fn replay_close_pairs(&self, sweep: &PairSweep, visit: &mut dyn FnMut(u32, u32));
+}
+
+/// Row placement: sorted segment position, tail position, or overflow
+/// position, tagged into one word.
+const TAG_SHIFT: u32 = 30;
+const TAG_SEG: u32 = 0;
+const TAG_TAIL: u32 = 1;
+const TAG_OVER: u32 = 2;
+
+fn pack_loc(tag: u32, idx: usize) -> u32 {
+    debug_assert!(idx < (1usize << TAG_SHIFT));
+    (tag << TAG_SHIFT) | idx as u32
+}
+
+/// The pivot-table index. See the module docs for structure and
+/// guarantees; [`SweepIndex`] is the single-pivot reference
+/// configuration of this same type.
+#[derive(Debug, Clone)]
+pub struct PivotIndex {
+    dim: usize,
+    n_active: usize,
+    dead: Vec<bool>,
+    loc: Vec<u32>,
+
+    // Pivots (flat, `n_pivots * dim`) and the float slack padding the
+    // pruning bound.
+    pivot_rows: Vec<f64>,
+    n_pivots: usize,
+    slack: f64,
+
+    // Build-time rows with fully finite geometry, sorted by
+    // `(d0, id)`: original ids, sorted first-pivot distances, extra
+    // pivot distances (pivot-major, `(n_pivots−1) × seg`), gathered
+    // contiguous rows, gathered squared norms.
+    order: Vec<u32>,
+    keys: Vec<f64>,
+    extra: Vec<f64>,
+    perm: Vec<f64>,
+    seg_sqn: Vec<f64>,
+
+    // Appended rows with finite geometry: unsorted, pruned per query
+    // via their stored pivot distances (`tail × n_pivots`).
+    tail_ids: Vec<u32>,
+    tail_rows: Vec<f64>,
+    tail_piv: Vec<f64>,
+    tail_sqn: Vec<f64>,
+
+    // Rows the triangle bound cannot cover (non-finite coordinates,
+    // norms, or pivot distances; every row when `dim == 0`): always
+    // verified linearly.
+    over_ids: Vec<u32>,
+    over_rows: Vec<f64>,
+    over_sqn: Vec<f64>,
+
+    // Measured usefulness of the extra-pivot checks (performance hint
+    // only; see [`GateHint`]).
+    extra_hint: GateHint,
+}
+
+impl PivotIndex {
+    /// Builds with [`auto_pivots`] pivots.
+    pub fn build(matrix: &FeatureMatrix) -> Self {
+        Self::with_pivots(matrix, auto_pivots(matrix.len(), matrix.dim()))
+    }
+
+    /// Builds with exactly `pivots` pivots (clamped to
+    /// `1..=MAX_PIVOTS`; fewer when the row spread runs out).
+    pub fn with_pivots(matrix: &FeatureMatrix, pivots: usize) -> Self {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        let n = matrix.len();
+        let dim = matrix.dim();
+        assert!(n < (1usize << TAG_SHIFT), "row count exceeds index width");
+        let target = pivots.clamp(1, MAX_PIVOTS);
+
+        let mut index = PivotIndex {
+            dim,
+            n_active: n,
+            dead: vec![false; n],
+            loc: vec![0; n],
+            pivot_rows: Vec::new(),
+            n_pivots: 0,
+            slack: 1e-9,
+            order: Vec::new(),
+            keys: Vec::new(),
+            extra: Vec::new(),
+            perm: Vec::new(),
+            seg_sqn: Vec::new(),
+            tail_ids: Vec::new(),
+            tail_rows: Vec::new(),
+            tail_piv: Vec::new(),
+            tail_sqn: Vec::new(),
+            extra_hint: GateHint(AtomicU8::new(HINT_SAMPLING)),
+            over_ids: Vec::new(),
+            over_rows: Vec::new(),
+            over_sqn: Vec::new(),
+        };
+
+        // Rows whose own geometry is finite are candidates for the
+        // sorted segment; the rest go to overflow outright. `dim == 0`
+        // rows carry no geometry to pivot on at all.
+        let finite: Vec<bool> = (0..n)
+            .map(|i| {
+                dim > 0
+                    && matrix.sq_norm(i).is_finite()
+                    && matrix.row(i).iter().all(|v| v.is_finite())
+            })
+            .collect();
+
+        // Pivot 0 mirrors the pre-index sweep: the row farthest from
+        // the first (finite) row, first maximum winning. Extra pivots
+        // by farthest-point traversal — maximize the minimum distance
+        // to the pivots already chosen — stopping early once the
+        // spread hits zero (all remaining rows coincide with a pivot).
+        let mut pivot_ids: Vec<usize> = Vec::new();
+        if let Some(base) = (0..n).find(|&i| finite[i]) {
+            let base_d = par_map(n, 256, |j| matrix.sq_dist_rows(base, j));
+            let mut p0 = base;
+            let mut far = f64::NEG_INFINITY;
+            for (j, &d) in base_d.iter().enumerate() {
+                if finite[j] && d.is_finite() && d > far {
+                    far = d;
+                    p0 = j;
+                }
+            }
+            pivot_ids.push(p0);
+            let mut min_d: Vec<f64> = vec![f64::INFINITY; n];
+            while pivot_ids.len() < target {
+                let p = *pivot_ids.last().expect("at least one pivot");
+                let pd = par_map(n, 256, |j| matrix.sq_dist_rows(p, j).sqrt());
+                let mut next = None;
+                let mut spread = 0.0f64;
+                for j in 0..n {
+                    if !finite[j] {
+                        continue;
+                    }
+                    if pd[j] < min_d[j] {
+                        min_d[j] = pd[j];
+                    }
+                    if min_d[j].is_finite() && min_d[j] > spread {
+                        spread = min_d[j];
+                        next = Some(j);
+                    }
+                }
+                match next {
+                    Some(j) if spread > 0.0 => pivot_ids.push(j),
+                    _ => break,
+                }
+            }
+        }
+        index.n_pivots = pivot_ids.len();
+        for &p in &pivot_ids {
+            index.pivot_rows.extend_from_slice(matrix.row(p));
+        }
+
+        if pivot_ids.is_empty() {
+            for i in 0..n {
+                index.loc[i] = pack_loc(TAG_OVER, index.over_ids.len());
+                index.over_ids.push(i as u32);
+                index.over_rows.extend_from_slice(matrix.row(i));
+                index.over_sqn.push(matrix.sq_norm(i));
+            }
+            return index;
+        }
+
+        // Per-row pivot distances (dot trick over cached norms, like
+        // the sweep this replaces). A finite row whose distance to any
+        // pivot overflows still cannot be windowed soundly — overflow.
+        let pivot_d: Vec<Vec<f64>> = pivot_ids
+            .iter()
+            .map(|&p| par_map(n, 256, |j| matrix.sq_dist_rows(p, j).sqrt()))
+            .collect();
+        let indexable: Vec<bool> = (0..n)
+            .map(|j| finite[j] && pivot_d.iter().all(|pd| pd[j].is_finite()))
+            .collect();
+
+        let mut order: Vec<u32> = (0..n as u32).filter(|&j| indexable[j as usize]).collect();
+        order.sort_unstable_by(|&a, &b| {
+            pivot_d[0][a as usize]
+                .total_cmp(&pivot_d[0][b as usize])
+                .then(a.cmp(&b))
+        });
+        let seg = order.len();
+        index.keys = order.iter().map(|&j| pivot_d[0][j as usize]).collect();
+        index.extra = Vec::with_capacity(seg * (index.n_pivots - 1));
+        for pd in pivot_d.iter().skip(1) {
+            index.extra.extend(order.iter().map(|&j| pd[j as usize]));
+        }
+        index.perm = Vec::with_capacity(seg * dim);
+        for &j in &order {
+            index.perm.extend_from_slice(matrix.row(j as usize));
+        }
+        index.seg_sqn = order.iter().map(|&j| matrix.sq_norm(j as usize)).collect();
+        for (pos, &j) in order.iter().enumerate() {
+            index.loc[j as usize] = pack_loc(TAG_SEG, pos);
+        }
+        index.order = order;
+        index.slack = 1e-9 + 1e-12 * index.keys.last().copied().unwrap_or(0.0);
+
+        for (j, _) in indexable.iter().enumerate().filter(|&(_, &ok)| !ok) {
+            index.loc[j] = pack_loc(TAG_OVER, index.over_ids.len());
+            index.over_ids.push(j as u32);
+            index.over_rows.extend_from_slice(matrix.row(j));
+            index.over_sqn.push(matrix.sq_norm(j));
+        }
+        index
+    }
+
+    /// Pivots actually in use (may fall short of the requested count on
+    /// degenerate inputs).
+    pub fn n_pivots(&self) -> usize {
+        self.n_pivots
+    }
+
+    fn pivot_row(&self, p: usize) -> &[f64] {
+        &self.pivot_rows[p * self.dim..(p + 1) * self.dim]
+    }
+
+    fn seg_row(&self, pos: usize) -> &[f64] {
+        &self.perm[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    fn tail_row(&self, ti: usize) -> &[f64] {
+        &self.tail_rows[ti * self.dim..(ti + 1) * self.dim]
+    }
+
+    fn over_row(&self, oi: usize) -> &[f64] {
+        &self.over_rows[oi * self.dim..(oi + 1) * self.dim]
+    }
+
+    /// Extra-pivot distance of sorted position `pos` to pivot `p ≥ 1`.
+    fn extra_d(&self, p: usize, pos: usize) -> f64 {
+        self.extra[(p - 1) * self.order.len() + pos]
+    }
+
+    /// Query-side pivot distances (subtraction form, the established
+    /// query-side convention of the coverage sweep).
+    fn query_pivot_dists(&self, query: &[f64]) -> [f64; MAX_PIVOTS] {
+        let mut qd = [0.0f64; MAX_PIVOTS];
+        for (p, d) in qd.iter_mut().enumerate().take(self.n_pivots) {
+            *d = sq_euclidean_distance(self.pivot_row(p), query).sqrt();
+        }
+        qd
+    }
+
+    /// True when any pivot proves `row` is farther than `pad` from the
+    /// query (NaN comparisons are false, so uncertain rows survive to
+    /// verification).
+    fn tail_pruned(&self, qd: &[f64; MAX_PIVOTS], ti: usize, pad: f64) -> bool {
+        let pd = &self.tail_piv[ti * self.n_pivots..(ti + 1) * self.n_pivots];
+        (0..self.n_pivots).any(|p| (qd[p] - pd[p]).abs() > pad)
+    }
+
+    fn seg_pruned(&self, qd: &[f64; MAX_PIVOTS], pos: usize, pad: f64) -> bool {
+        (1..self.n_pivots).any(|p| (qd[p] - self.extra_d(p, pos)).abs() > pad)
+    }
+
+    /// The shared radius-query core: verified hits pushed as original
+    /// ids (unsorted), with the caller's pivot distances. Returns the
+    /// number of rows fully evaluated.
+    fn within_core(
+        &self,
+        query: &[f64],
+        qd: &[f64; MAX_PIVOTS],
+        eps: f64,
+        strict: bool,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let t_sq = eps * eps;
+        let mut verified = 0usize;
+        if self.dim == 0 {
+            // All rows are empty vectors at distance 0.
+            if (strict && 0.0 < t_sq) || (!strict && 0.0 <= t_sq) {
+                out.extend((0..self.dead.len() as u32).filter(|&i| !self.dead[i as usize]));
+            }
+            return self.n_active;
+        }
+        let pad = eps + self.slack;
+        let lo = self.keys.partition_point(|&v| v < qd[0] - pad);
+        let hi = self.keys.partition_point(|&v| v <= qd[0] + pad);
+        // Verify maximal runs of surviving candidates with one streaming
+        // kernel call per run (the rows are contiguous in gathered
+        // order): on low-contrast data the window barely prunes and the
+        // run is the whole window, so per-row call overhead never
+        // dominates the arithmetic. Verdicts per row are unchanged —
+        // the kernel evaluates each row independently. Extra-pivot
+        // checks run through the adaptive gate (off when measured
+        // useless; the pivot-0 window above always applies).
+        let mut gate = ExtraGate::new(self);
+        let mut pos = lo;
+        while pos < hi {
+            if self.dead[self.order[pos] as usize] || gate.rejects(|| self.seg_pruned(qd, pos, pad))
+            {
+                pos += 1;
+                continue;
+            }
+            let mut end = pos + 1;
+            while end < hi
+                && !self.dead[self.order[end] as usize]
+                && !gate.rejects(|| self.seg_pruned(qd, end, pad))
+            {
+                end += 1;
+            }
+            verified += end - pos;
+            let run = &self.perm[pos * self.dim..end * self.dim];
+            if strict {
+                scan_rows_within::<true>(self.dim, query, run, t_sq, |k| {
+                    out.push(self.order[pos + k]);
+                });
+            } else {
+                scan_rows_within::<false>(self.dim, query, run, t_sq, |k| {
+                    out.push(self.order[pos + k]);
+                });
+            }
+            pos = end;
+        }
+        // Tails carry no sorted window, so their pivot-0 bound is part
+        // of the per-row check (ungated); only the extras go through
+        // the gate.
+        let tail_out = |gate: &mut ExtraGate, ti: usize| {
+            let pd = &self.tail_piv[ti * self.n_pivots..(ti + 1) * self.n_pivots];
+            (qd[0] - pd[0]).abs() > pad
+                || gate.rejects(|| (1..self.n_pivots).any(|p| (qd[p] - pd[p]).abs() > pad))
+        };
+        let mut ti = 0usize;
+        let n_tail = self.tail_ids.len();
+        while ti < n_tail {
+            if self.dead[self.tail_ids[ti] as usize] || tail_out(&mut gate, ti) {
+                ti += 1;
+                continue;
+            }
+            let mut end = ti + 1;
+            while end < n_tail
+                && !self.dead[self.tail_ids[end] as usize]
+                && !tail_out(&mut gate, end)
+            {
+                end += 1;
+            }
+            verified += end - ti;
+            let run = &self.tail_rows[ti * self.dim..end * self.dim];
+            if strict {
+                scan_rows_within::<true>(self.dim, query, run, t_sq, |k| {
+                    out.push(self.tail_ids[ti + k]);
+                });
+            } else {
+                scan_rows_within::<false>(self.dim, query, run, t_sq, |k| {
+                    out.push(self.tail_ids[ti + k]);
+                });
+            }
+            ti = end;
+        }
+        for (oi, &id) in self.over_ids.iter().enumerate() {
+            if self.dead[id as usize] {
+                continue;
+            }
+            verified += 1;
+            if row_within(self.dim, query, self.over_row(oi), t_sq, strict) {
+                out.push(id);
+            }
+        }
+        verified
+    }
+}
+
+/// One row's radius verdict via the reference kernel ([`scan_rows_within`]
+/// dispatches per dimension, so this is bit-identical to the full scan).
+fn row_within(dim: usize, query: &[f64], row: &[f64], t_sq: f64, strict: bool) -> bool {
+    let mut hit = false;
+    if strict {
+        scan_rows_within::<true>(dim, query, row, t_sq, |_| hit = true);
+    } else {
+        scan_rows_within::<false>(dim, query, row, t_sq, |_| hit = true);
+    }
+    hit
+}
+
+/// Sorted-bounded insert for the nearest heap: ascending
+/// `(total_cmp value, id)`, truncated to `k`.
+fn heap_push(heap: &mut Vec<(f64, u32)>, k: usize, item: (f64, u32)) {
+    let at = heap.partition_point(|&(v, id)| {
+        v.total_cmp(&item.0).then(id.cmp(&item.1)) == std::cmp::Ordering::Less
+    });
+    if at < k {
+        if heap.len() == k {
+            heap.pop();
+        }
+        heap.insert(at, item);
+    }
+}
+
+impl MetricIndex for PivotIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.dead.len()
+    }
+
+    fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    fn is_active(&self, id: u32) -> bool {
+        !self.dead[id as usize]
+    }
+
+    fn append(&mut self, row: &[f64]) -> u32 {
+        assert_eq!(row.len(), self.dim, "appended row dimension mismatch");
+        let id = u32::try_from(self.dead.len()).expect("slot count exceeds index width");
+        assert!(
+            (id as usize) < (1usize << TAG_SHIFT),
+            "row count exceeds index width"
+        );
+        self.dead.push(false);
+        self.n_active += 1;
+        let sqn = dot(row, row);
+        let mut piv = [0.0f64; MAX_PIVOTS];
+        let mut ok = self.dim > 0
+            && self.n_pivots > 0
+            && sqn.is_finite()
+            && row.iter().all(|v| v.is_finite());
+        if ok {
+            for (p, d) in piv.iter_mut().enumerate().take(self.n_pivots) {
+                *d = sq_euclidean_distance(self.pivot_row(p), row).sqrt();
+                ok &= d.is_finite();
+            }
+        }
+        if ok {
+            self.loc.push(pack_loc(TAG_TAIL, self.tail_ids.len()));
+            self.tail_ids.push(id);
+            self.tail_rows.extend_from_slice(row);
+            self.tail_piv.extend_from_slice(&piv[..self.n_pivots]);
+            self.tail_sqn.push(sqn);
+            // Appends can sit beyond the build-time key range; keep the
+            // slack scaled to the largest distance the bound compares.
+            self.slack = self.slack.max(1e-9 + 1e-12 * piv[0]);
+        } else {
+            self.loc.push(pack_loc(TAG_OVER, self.over_ids.len()));
+            self.over_ids.push(id);
+            self.over_rows.extend_from_slice(row);
+            self.over_sqn.push(sqn);
+        }
+        id
+    }
+
+    fn tombstone(&mut self, id: u32) -> bool {
+        if self.dead[id as usize] {
+            return false;
+        }
+        self.dead[id as usize] = true;
+        self.n_active -= 1;
+        true
+    }
+
+    fn within_into(&self, query: &[f64], eps: f64, strict: bool, out: &mut Vec<u32>) {
+        let start = Instant::now();
+        out.clear();
+        if self.dim > 0 {
+            assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        }
+        let qd = self.query_pivot_dists(query);
+        let verified = self.within_core(query, &qd, eps, strict, out);
+        out.sort_unstable();
+        note_query(self.n_active, verified, start);
+    }
+
+    fn within_row_into(&self, id: u32, eps: f64, strict: bool, out: &mut Vec<u32>) {
+        let start = Instant::now();
+        out.clear();
+        let loc = self.loc[id as usize];
+        let (tag, idx) = (loc >> TAG_SHIFT, (loc & ((1 << TAG_SHIFT) - 1)) as usize);
+        let verified = match tag {
+            // Stored pivot distances stand in for the query-side ones
+            // (both sides of the bound then share one arithmetic).
+            TAG_SEG => {
+                let mut qd = [0.0f64; MAX_PIVOTS];
+                qd[0] = self.keys[idx];
+                for (p, d) in qd.iter_mut().enumerate().take(self.n_pivots).skip(1) {
+                    *d = self.extra_d(p, idx);
+                }
+                self.within_core(self.seg_row(idx), &qd, eps, strict, out)
+            }
+            TAG_TAIL => {
+                let mut qd = [0.0f64; MAX_PIVOTS];
+                qd[..self.n_pivots].copy_from_slice(
+                    &self.tail_piv[idx * self.n_pivots..(idx + 1) * self.n_pivots],
+                );
+                self.within_core(self.tail_row(idx), &qd, eps, strict, out)
+            }
+            _ => {
+                // Overflow query row: no usable pivot geometry — verify
+                // against every active row (degenerate but correct).
+                let query = self.over_row(idx);
+                let t_sq = eps * eps;
+                let mut verified = 0usize;
+                if self.dim == 0 {
+                    if (strict && 0.0 < t_sq) || (!strict && 0.0 <= t_sq) {
+                        out.extend((0..self.dead.len() as u32).filter(|&i| !self.dead[i as usize]));
+                    }
+                    verified = self.n_active;
+                } else {
+                    for (pos, &cid) in self.order.iter().enumerate() {
+                        if !self.dead[cid as usize] {
+                            verified += 1;
+                            if row_within(self.dim, query, self.seg_row(pos), t_sq, strict) {
+                                out.push(cid);
+                            }
+                        }
+                    }
+                    for (ti, &cid) in self.tail_ids.iter().enumerate() {
+                        if !self.dead[cid as usize] {
+                            verified += 1;
+                            if row_within(self.dim, query, self.tail_row(ti), t_sq, strict) {
+                                out.push(cid);
+                            }
+                        }
+                    }
+                    for (oi, &cid) in self.over_ids.iter().enumerate() {
+                        if !self.dead[cid as usize] {
+                            verified += 1;
+                            if row_within(self.dim, query, self.over_row(oi), t_sq, strict) {
+                                out.push(cid);
+                            }
+                        }
+                    }
+                }
+                verified
+            }
+        };
+        out.sort_unstable();
+        note_query(self.n_active, verified, start);
+    }
+
+    fn nearest_into(&self, query: &[f64], k: usize, out: &mut Vec<(f64, u32)>) {
+        let start = Instant::now();
+        out.clear();
+        if k == 0 || self.n_active == 0 {
+            return;
+        }
+        if self.dim > 0 {
+            assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        }
+        let x_sq = dot(query, query);
+        let value = |row: &[f64], sqn: f64| (x_sq + sqn - 2.0 * dot(query, row)).max(0.0);
+        let mut verified = 0usize;
+
+        // Overflow rows carry no usable bound — and a non-finite row's
+        // dot-trick value can legitimately be small (`.max(0.0)` maps
+        // NaN to 0), so they are always evaluated exactly, first.
+        for (oi, &id) in self.over_ids.iter().enumerate() {
+            if !self.dead[id as usize] {
+                verified += 1;
+                heap_push(out, k, (value(self.over_row(oi), self.over_sqn[oi]), id));
+            }
+        }
+
+        if self.dim > 0 && !self.order.is_empty() {
+            let qd = self.query_pivot_dists(query);
+            // A query with non-finite pivot distances (NaN/inf
+            // coordinates) has no usable bound in either direction:
+            // evaluate the whole segment and tail exactly instead of
+            // expanding windows around a garbage key.
+            if !qd[..self.n_pivots].iter().all(|v| v.is_finite()) {
+                for (pos, &id) in self.order.iter().enumerate() {
+                    if !self.dead[id as usize] {
+                        verified += 1;
+                        heap_push(out, k, (value(self.seg_row(pos), self.seg_sqn[pos]), id));
+                    }
+                }
+                for (ti, &id) in self.tail_ids.iter().enumerate() {
+                    if !self.dead[id as usize] {
+                        verified += 1;
+                        heap_push(out, k, (value(self.tail_row(ti), self.tail_sqn[ti]), id));
+                    }
+                }
+                note_query(self.n_active, verified, start);
+                return;
+            }
+            // Current pruning radius: the kth-best distance once the
+            // heap is full, else unbounded.
+            let tau = |heap: &Vec<(f64, u32)>| {
+                if heap.len() == k {
+                    heap[k - 1].0.sqrt() + self.slack
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let seg = self.order.len();
+            let split = self.keys.partition_point(|&v| v < qd[0]);
+            let (mut l, mut r) = (split, split);
+            let mut t = tau(out);
+            // Expand outward from the query's key position; a side
+            // stops once its window gap alone proves every remaining
+            // row on it is beyond the kth-best distance.
+            loop {
+                let lg = if l > 0 {
+                    qd[0] - self.keys[l - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let rg = if r < seg {
+                    self.keys[r] - qd[0]
+                } else {
+                    f64::INFINITY
+                };
+                let (pos, gap) = if lg <= rg {
+                    if l == 0 {
+                        break;
+                    }
+                    l -= 1;
+                    (l, lg)
+                } else {
+                    if r >= seg {
+                        // Left side is strictly nearer yet infinite:
+                        // both exhausted.
+                        if lg == f64::INFINITY {
+                            break;
+                        }
+                        l -= 1;
+                        (l, lg)
+                    } else {
+                        let pos = r;
+                        r += 1;
+                        (pos, rg)
+                    }
+                };
+                if gap > t {
+                    // Everything farther out on both sides is at least
+                    // this far from the pivot key; the two-pointer scan
+                    // always takes the smaller gap next, so stop.
+                    break;
+                }
+                let id = self.order[pos];
+                if self.dead[id as usize] || self.seg_pruned(&qd, pos, t) {
+                    continue;
+                }
+                verified += 1;
+                heap_push(out, k, (value(self.seg_row(pos), self.seg_sqn[pos]), id));
+                t = tau(out);
+            }
+            let t = tau(out);
+            for (ti, &id) in self.tail_ids.iter().enumerate() {
+                if self.dead[id as usize] || self.tail_pruned(&qd, ti, t) {
+                    continue;
+                }
+                verified += 1;
+                heap_push(out, k, (value(self.tail_row(ti), self.tail_sqn[ti]), id));
+            }
+        } else {
+            // No indexed segment (dim 0 routes every row to overflow,
+            // handled above): evaluate any tail rows linearly too.
+            for (ti, &id) in self.tail_ids.iter().enumerate() {
+                if !self.dead[id as usize] {
+                    verified += 1;
+                    heap_push(out, k, (value(self.tail_row(ti), self.tail_sqn[ti]), id));
+                }
+            }
+        }
+        note_query(self.n_active, verified, start);
+    }
+
+    fn close_pairs(&self, eps: f64, degrees: &mut [u32]) -> PairSweep {
+        let start = Instant::now();
+        assert_eq!(degrees.len(), self.dead.len(), "degree buffer mismatch");
+        let mut sweep = PairSweep { eps, bits: Vec::new(), n_bits: 0, pairs: 0 };
+        let verified = self.sweep_record(eps, &mut sweep, &mut |a, b| {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        });
+        let n = self.n_active as u64;
+        let potential = n * n.saturating_sub(1) / 2;
+        QUERIES.fetch_add(1, Ordering::Relaxed);
+        CANDIDATES.fetch_add(potential, Ordering::Relaxed);
+        PRUNED.fetch_add(potential.saturating_sub(verified as u64), Ordering::Relaxed);
+        QUERY_NS.fetch_add(elapsed_ns(start), Ordering::Relaxed);
+        sweep
+    }
+
+    fn replay_close_pairs(&self, sweep: &PairSweep, visit: &mut dyn FnMut(u32, u32)) {
+        let cursor = self.sweep_replay(sweep, visit);
+        assert_eq!(
+            cursor, sweep.n_bits,
+            "index changed since the sweep was recorded"
+        );
+    }
+}
+
+impl PivotIndex {
+    /// Records one symmetric sweep into `sweep`: per live left-hand
+    /// row, one bit window per candidate section (see
+    /// [`PivotIndex::sweep_replay`] for the exact layout), hits
+    /// verified by the reference kernel in one streaming call per
+    /// maximal run of surviving candidates. Pruning — window bounds
+    /// aside — only decides *which* candidates are verified, never
+    /// which bits exist, so the adaptive [`ExtraGate`] can switch the
+    /// extra-pivot checks off mid-sweep without affecting the stream.
+    /// Calls `on_hit(min_id, max_id)` per close pair; returns the
+    /// number of rows fully verified.
+    fn sweep_record<F: FnMut(u32, u32)>(
+        &self,
+        eps: f64,
+        sweep: &mut PairSweep,
+        on_hit: &mut F,
+    ) -> usize {
+        let t_sq = eps * eps;
+        let mut verified = 0usize;
+        if self.dim == 0 {
+            // Every pair of empty rows sits at distance 0.
+            let n = self.dead.len();
+            let hit0 = 0.0 <= t_sq;
+            for a in 0..n {
+                if self.dead[a] {
+                    continue;
+                }
+                let base = sweep.open_window(n - a - 1);
+                for b in a + 1..n {
+                    if self.dead[b] {
+                        continue;
+                    }
+                    verified += 1;
+                    if hit0 {
+                        sweep.set_hit(base + (b - a - 1));
+                        on_hit(a as u32, b as u32);
+                    }
+                }
+            }
+            return verified;
+        }
+        let pad = eps + self.slack;
+        let seg = self.order.len();
+        let mut gate = ExtraGate::new(self);
+
+        // Segment × segment: ascending key order, window bounded above
+        // (symmetry covers the lower half). Surviving candidates verify
+        // in maximal runs — one streaming kernel call per run over the
+        // gathered contiguous rows — so when pruning barely fires the
+        // sweep keeps the full streaming arithmetic of the pre-index
+        // window scan.
+        for a_pos in 0..seg {
+            let a_id = self.order[a_pos];
+            if self.dead[a_id as usize] {
+                continue;
+            }
+            let hi = self.keys[a_pos + 1..].partition_point(|&v| v <= self.keys[a_pos] + pad)
+                + a_pos
+                + 1;
+            let base = sweep.open_window(hi - a_pos - 1);
+            let a_row = self.seg_row(a_pos);
+            let mut pos = a_pos + 1;
+            while pos < hi {
+                if self.dead[self.order[pos] as usize]
+                    || gate.rejects(|| {
+                        (1..self.n_pivots)
+                            .any(|p| (self.extra_d(p, a_pos) - self.extra_d(p, pos)).abs() > pad)
+                    })
+                {
+                    pos += 1;
+                    continue;
+                }
+                let mut end = pos + 1;
+                while end < hi
+                    && !self.dead[self.order[end] as usize]
+                    && !gate.rejects(|| {
+                        (1..self.n_pivots)
+                            .any(|p| (self.extra_d(p, a_pos) - self.extra_d(p, end)).abs() > pad)
+                    })
+                {
+                    end += 1;
+                }
+                verified += end - pos;
+                let run = &self.perm[pos * self.dim..end * self.dim];
+                scan_rows_within::<false>(self.dim, a_row, run, t_sq, |k| {
+                    let b_id = self.order[pos + k];
+                    sweep.set_hit(base + (pos + k - a_pos - 1));
+                    on_hit(a_id.min(b_id), a_id.max(b_id));
+                });
+                pos = end;
+            }
+        }
+
+        // Tail × segment and tail × earlier tail, pruned via stored
+        // pivot distances.
+        for (ti, &t_id) in self.tail_ids.iter().enumerate() {
+            if self.dead[t_id as usize] {
+                continue;
+            }
+            let td = &self.tail_piv[ti * self.n_pivots..(ti + 1) * self.n_pivots];
+            let lo = self.keys.partition_point(|&v| v < td[0] - pad);
+            let hi = self.keys.partition_point(|&v| v <= td[0] + pad);
+            let base = sweep.open_window(hi - lo);
+            let t_row = self.tail_row(ti);
+            let mut pos = lo;
+            while pos < hi {
+                if self.dead[self.order[pos] as usize]
+                    || gate.rejects(|| {
+                        (1..self.n_pivots).any(|p| (td[p] - self.extra_d(p, pos)).abs() > pad)
+                    })
+                {
+                    pos += 1;
+                    continue;
+                }
+                let mut end = pos + 1;
+                while end < hi
+                    && !self.dead[self.order[end] as usize]
+                    && !gate.rejects(|| {
+                        (1..self.n_pivots).any(|p| (td[p] - self.extra_d(p, end)).abs() > pad)
+                    })
+                {
+                    end += 1;
+                }
+                verified += end - pos;
+                let run = &self.perm[pos * self.dim..end * self.dim];
+                scan_rows_within::<false>(self.dim, t_row, run, t_sq, |k| {
+                    let s_id = self.order[pos + k];
+                    sweep.set_hit(base + (pos + k - lo));
+                    on_hit(s_id.min(t_id), s_id.max(t_id));
+                });
+                pos = end;
+            }
+            // Earlier tails carry no sorted window; the pivot-0 bound
+            // is part of the per-pair check (ungated).
+            let base = sweep.open_window(ti);
+            for tj in 0..ti {
+                let u_id = self.tail_ids[tj];
+                if self.dead[u_id as usize] {
+                    continue;
+                }
+                let ud = &self.tail_piv[tj * self.n_pivots..(tj + 1) * self.n_pivots];
+                if (td[0] - ud[0]).abs() > pad
+                    || gate.rejects(|| (1..self.n_pivots).any(|p| (td[p] - ud[p]).abs() > pad))
+                {
+                    continue;
+                }
+                verified += 1;
+                if row_within(self.dim, t_row, self.tail_row(tj), t_sq, false) {
+                    sweep.set_hit(base + tj);
+                    on_hit(u_id.min(t_id), u_id.max(t_id));
+                }
+            }
+        }
+
+        // Overflow × everything: no bound available, verify linearly;
+        // one window per section keeps the replay offset maps O(1).
+        for (oi, &o_id) in self.over_ids.iter().enumerate() {
+            if self.dead[o_id as usize] {
+                continue;
+            }
+            let o_row = self.over_row(oi);
+            let base = sweep.open_window(seg);
+            for (pos, &s_id) in self.order.iter().enumerate() {
+                if self.dead[s_id as usize] {
+                    continue;
+                }
+                verified += 1;
+                if row_within(self.dim, o_row, self.seg_row(pos), t_sq, false) {
+                    sweep.set_hit(base + pos);
+                    on_hit(s_id.min(o_id), s_id.max(o_id));
+                }
+            }
+            let base = sweep.open_window(self.tail_ids.len());
+            for (ti, &t_id) in self.tail_ids.iter().enumerate() {
+                if self.dead[t_id as usize] {
+                    continue;
+                }
+                verified += 1;
+                if row_within(self.dim, o_row, self.tail_row(ti), t_sq, false) {
+                    sweep.set_hit(base + ti);
+                    on_hit(t_id.min(o_id), t_id.max(o_id));
+                }
+            }
+            let base = sweep.open_window(oi);
+            for oj in 0..oi {
+                let u_id = self.over_ids[oj];
+                if self.dead[u_id as usize] {
+                    continue;
+                }
+                verified += 1;
+                if row_within(self.dim, o_row, self.over_row(oj), t_sq, false) {
+                    sweep.set_hit(base + oj);
+                    on_hit(u_id.min(o_id), u_id.max(o_id));
+                }
+            }
+        }
+        verified
+    }
+
+    /// Re-derives [`PivotIndex::sweep_record`]'s window layout — per
+    /// live left-hand row: its key window (segment rows), then for
+    /// tails the segment window plus one bit per earlier tail, then
+    /// for overflow rows one bit per segment position, per tail, and
+    /// per earlier overflow (for `dim == 0`, one bit per later slot) —
+    /// and emits the recorded set bits through `visit`. No distance or
+    /// pruning work. Returns the total bits walked, which the caller
+    /// checks against the recording.
+    fn sweep_replay(&self, sweep: &PairSweep, visit: &mut dyn FnMut(u32, u32)) -> usize {
+        let mut cursor = 0usize;
+        if self.dim == 0 {
+            let n = self.dead.len();
+            for a in 0..n {
+                if self.dead[a] {
+                    continue;
+                }
+                let len = n - a - 1;
+                sweep.visit_hits(cursor, len, &mut |off| {
+                    visit(a as u32, (a + 1 + off) as u32);
+                });
+                cursor += len;
+            }
+            return cursor;
+        }
+        let pad = sweep.eps + self.slack;
+        let seg = self.order.len();
+        for a_pos in 0..seg {
+            let a_id = self.order[a_pos];
+            if self.dead[a_id as usize] {
+                continue;
+            }
+            let hi = self.keys[a_pos + 1..].partition_point(|&v| v <= self.keys[a_pos] + pad)
+                + a_pos
+                + 1;
+            let len = hi - a_pos - 1;
+            sweep.visit_hits(cursor, len, &mut |off| {
+                let b_id = self.order[a_pos + 1 + off];
+                visit(a_id.min(b_id), a_id.max(b_id));
+            });
+            cursor += len;
+        }
+        for (ti, &t_id) in self.tail_ids.iter().enumerate() {
+            if self.dead[t_id as usize] {
+                continue;
+            }
+            let td0 = self.tail_piv[ti * self.n_pivots];
+            let lo = self.keys.partition_point(|&v| v < td0 - pad);
+            let hi = self.keys.partition_point(|&v| v <= td0 + pad);
+            sweep.visit_hits(cursor, hi - lo, &mut |off| {
+                let s_id = self.order[lo + off];
+                visit(s_id.min(t_id), s_id.max(t_id));
+            });
+            cursor += hi - lo;
+            sweep.visit_hits(cursor, ti, &mut |off| {
+                let u_id = self.tail_ids[off];
+                visit(u_id.min(t_id), u_id.max(t_id));
+            });
+            cursor += ti;
+        }
+        for (oi, &o_id) in self.over_ids.iter().enumerate() {
+            if self.dead[o_id as usize] {
+                continue;
+            }
+            sweep.visit_hits(cursor, seg, &mut |off| {
+                let s_id = self.order[off];
+                visit(s_id.min(o_id), s_id.max(o_id));
+            });
+            cursor += seg;
+            let n_tail = self.tail_ids.len();
+            sweep.visit_hits(cursor, n_tail, &mut |off| {
+                let t_id = self.tail_ids[off];
+                visit(t_id.min(o_id), t_id.max(o_id));
+            });
+            cursor += n_tail;
+            sweep.visit_hits(cursor, oi, &mut |off| {
+                let u_id = self.over_ids[off];
+                visit(u_id.min(o_id), u_id.max(o_id));
+            });
+            cursor += oi;
+        }
+        cursor
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn note_query(potential: usize, verified: usize, start: Instant) {
+    QUERIES.fetch_add(1, Ordering::Relaxed);
+    CANDIDATES.fetch_add(potential as u64, Ordering::Relaxed);
+    PRUNED.fetch_add(potential.saturating_sub(verified) as u64, Ordering::Relaxed);
+    QUERY_NS.fetch_add(elapsed_ns(start), Ordering::Relaxed);
+}
+
+/// The single-pivot reference configuration — semantically the
+/// pivot-window sweep the planner used before multi-pivot pruning
+/// existed. Parity and property tests compare [`PivotIndex`] against
+/// this (and both against brute force).
+#[derive(Debug, Clone)]
+pub struct SweepIndex(PivotIndex);
+
+impl SweepIndex {
+    /// Builds the one-pivot window over `matrix`.
+    pub fn build(matrix: &FeatureMatrix) -> Self {
+        SweepIndex(PivotIndex::with_pivots(matrix, 1))
+    }
+}
+
+impl MetricIndex for SweepIndex {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn n_active(&self) -> usize {
+        self.0.n_active()
+    }
+    fn is_active(&self, id: u32) -> bool {
+        self.0.is_active(id)
+    }
+    fn append(&mut self, row: &[f64]) -> u32 {
+        self.0.append(row)
+    }
+    fn tombstone(&mut self, id: u32) -> bool {
+        self.0.tombstone(id)
+    }
+    fn within_into(&self, query: &[f64], eps: f64, strict: bool, out: &mut Vec<u32>) {
+        self.0.within_into(query, eps, strict, out);
+    }
+    fn within_row_into(&self, id: u32, eps: f64, strict: bool, out: &mut Vec<u32>) {
+        self.0.within_row_into(id, eps, strict, out);
+    }
+    fn nearest_into(&self, query: &[f64], k: usize, out: &mut Vec<(f64, u32)>) {
+        self.0.nearest_into(query, k, out);
+    }
+    fn close_pairs(&self, eps: f64, degrees: &mut [u32]) -> PairSweep {
+        self.0.close_pairs(eps, degrees)
+    }
+    fn replay_close_pairs(&self, sweep: &PairSweep, visit: &mut dyn FnMut(u32, u32)) {
+        self.0.replay_close_pairs(sweep, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic scattered fixture (xorshift, the cluster crate's
+    /// test idiom).
+    fn scattered(n: usize, dim: usize, seed: u64) -> FeatureMatrix {
+        let mut s = seed.max(1);
+        let mut step = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| step() * 4.0 - 2.0).collect())
+            .collect();
+        FeatureMatrix::from_rows(rows)
+    }
+
+    fn brute_within(m: &FeatureMatrix, query: &[f64], eps: f64, strict: bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        if strict {
+            scan_rows_within::<true>(m.dim(), query, m.flat(), eps * eps, |i| out.push(i as u32));
+        } else {
+            scan_rows_within::<false>(m.dim(), query, m.flat(), eps * eps, |i| out.push(i as u32));
+        }
+        out
+    }
+
+    fn brute_nearest(m: &FeatureMatrix, query: &[f64], k: usize) -> Vec<(f64, u32)> {
+        let mut buf = vec![0.0; m.len()];
+        m.sq_dists_to_all(query, &mut buf);
+        let mut scored: Vec<(f64, u32)> = buf
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored
+    }
+
+    fn check_all_queries(m: &FeatureMatrix, index: &dyn MetricIndex, eps: f64) {
+        let mut got = Vec::new();
+        for i in 0..m.len() {
+            for strict in [false, true] {
+                index.within_into(m.row(i), eps, strict, &mut got);
+                assert_eq!(got, brute_within(m, m.row(i), eps, strict), "query {i}");
+                index.within_row_into(i as u32, eps, strict, &mut got);
+                assert_eq!(got, brute_within(m, m.row(i), eps, strict), "row query {i}");
+            }
+            let mut near = Vec::new();
+            index.nearest_into(m.row(i), 3, &mut near);
+            assert_eq!(near, brute_nearest(m, m.row(i), 3), "nearest {i}");
+        }
+    }
+
+    #[test]
+    fn multi_pivot_matches_brute_force() {
+        for dim in [1, 2, 3, 7, 8, 16] {
+            let m = scattered(90, dim, 7 + dim as u64);
+            let index = PivotIndex::with_pivots(&m, 4);
+            check_all_queries(&m, &index, 0.9);
+        }
+    }
+
+    #[test]
+    fn sweep_reference_matches_brute_force() {
+        let m = scattered(70, 5, 3);
+        let index = SweepIndex::build(&m);
+        check_all_queries(&m, &index, 1.1);
+    }
+
+    #[test]
+    fn close_pairs_and_replay_match_brute_force() {
+        let m = scattered(80, 4, 11);
+        let eps = 1.2;
+        let index = PivotIndex::with_pivots(&m, 4);
+        let mut degrees = vec![0u32; m.len()];
+        let sweep = index.close_pairs(eps, &mut degrees);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        index.replay_close_pairs(&sweep, &mut |a, b| pairs.push((a, b)));
+        pairs.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = Vec::new();
+        let mut expect_deg = vec![0u32; m.len()];
+        for a in 0..m.len() {
+            for b in a + 1..m.len() {
+                if row_within(m.dim(), m.row(a), m.row(b), eps * eps, false) {
+                    expect.push((a as u32, b as u32));
+                    expect_deg[a] += 1;
+                    expect_deg[b] += 1;
+                }
+            }
+        }
+        assert_eq!(pairs, expect);
+        assert_eq!(degrees, expect_deg);
+        assert_eq!(sweep.close_pair_count(), expect.len());
+    }
+
+    #[test]
+    fn append_and_tombstone_stay_exact() {
+        let m = scattered(60, 6, 5);
+        let extra = scattered(25, 6, 99);
+        let mut index = PivotIndex::with_pivots(&m, 3);
+        let mut all_rows = m.to_rows();
+        for r in extra.rows() {
+            assert_eq!(index.append(r) as usize, all_rows.len());
+            all_rows.push(r.to_vec());
+        }
+        for id in [3u32, 17, 61, 80] {
+            assert!(index.tombstone(id));
+            assert!(!index.tombstone(id));
+            assert!(!index.is_active(id));
+        }
+        let dead = [3usize, 17, 61, 80];
+        let full = FeatureMatrix::from_rows(all_rows.clone());
+        let mut got = Vec::new();
+        for (q, row) in all_rows.iter().enumerate() {
+            index.within_row_into(q as u32, 1.0, false, &mut got);
+            let expect: Vec<u32> = brute_within(&full, row, 1.0, false)
+                .into_iter()
+                .filter(|i| !dead.contains(&(*i as usize)))
+                .collect();
+            assert_eq!(got, expect, "row {q}");
+        }
+        // Pair sweep over the mutated index vs a filtered brute force.
+        let mut degrees = vec![0u32; index.len()];
+        let sweep = index.close_pairs(0.8, &mut degrees);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        index.replay_close_pairs(&sweep, &mut |a, b| pairs.push((a, b)));
+        pairs.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = Vec::new();
+        for a in 0..all_rows.len() {
+            for b in a + 1..all_rows.len() {
+                if dead.contains(&a) || dead.contains(&b) {
+                    continue;
+                }
+                if row_within(full.dim(), &all_rows[a], &all_rows[b], 0.64, false) {
+                    expect.push((a as u32, b as u32));
+                }
+            }
+        }
+        assert_eq!(pairs, expect);
+        assert_eq!(index.n_active(), all_rows.len() - dead.len());
+    }
+
+    #[test]
+    fn empty_matrix_builds_and_answers() {
+        let m = FeatureMatrix::from_rows(vec![]);
+        let index = build_index(&m);
+        assert_eq!(index.len(), 0);
+        let mut out = Vec::new();
+        index.within_into(&[], 1.0, false, &mut out);
+        assert!(out.is_empty());
+        let mut near = Vec::new();
+        index.nearest_into(&[], 2, &mut near);
+        assert!(near.is_empty());
+        let sweep = index.close_pairs(1.0, &mut []);
+        assert_eq!(sweep.close_pair_count(), 0);
+    }
+
+    #[test]
+    fn single_row_and_identical_rows() {
+        let single = FeatureMatrix::from_rows(vec![vec![1.0, 2.0]]);
+        let index = PivotIndex::with_pivots(&single, 4);
+        let mut out = Vec::new();
+        index.within_into(&[1.0, 2.0], 0.5, false, &mut out);
+        assert_eq!(out, vec![0]);
+        index.within_into(&[1.0, 2.0], 0.0, true, &mut out);
+        assert!(
+            out.is_empty(),
+            "strict zero radius must exclude the exact match"
+        );
+
+        // All-identical rows: zero pivot spread must terminate pivot
+        // selection, and every pair is a close pair.
+        let same = FeatureMatrix::from_rows(vec![vec![3.0, -1.0]; 9]);
+        let index = PivotIndex::with_pivots(&same, 4);
+        assert_eq!(
+            index.n_pivots(),
+            1,
+            "zero spread cannot support extra pivots"
+        );
+        check_all_queries(&same, &index, 0.25);
+        let mut degrees = vec![0u32; 9];
+        let sweep = index.close_pairs(0.1, &mut degrees);
+        assert_eq!(sweep.close_pair_count(), 9 * 8 / 2);
+        assert!(degrees.iter().all(|&d| d == 8));
+    }
+
+    #[test]
+    fn zero_dimensional_rows() {
+        let m = FeatureMatrix::from_rows(vec![vec![]; 5]);
+        let index = build_index(&m);
+        let mut out = Vec::new();
+        index.within_into(&[], 0.5, false, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        index.within_row_into(2, 0.0, true, &mut out);
+        assert!(out.is_empty());
+        let mut near = Vec::new();
+        index.nearest_into(&[], 3, &mut near);
+        assert_eq!(near, vec![(0.0, 0), (0.0, 1), (0.0, 2)]);
+        let mut degrees = vec![0u32; 5];
+        let sweep = index.close_pairs(0.0, &mut degrees);
+        assert_eq!(sweep.close_pair_count(), 10, "d = 0 ≤ eps = 0 everywhere");
+    }
+
+    #[test]
+    fn non_finite_rows_degrade_but_stay_exact() {
+        let mut rows = scattered(40, 3, 21).to_rows();
+        rows[7] = vec![f64::NAN, 0.0, 0.0];
+        rows[13] = vec![f64::INFINITY, 1.0, -1.0];
+        rows[29] = vec![0.0, f64::NEG_INFINITY, f64::NAN];
+        let m = FeatureMatrix::from_rows(rows.clone());
+        let index = PivotIndex::with_pivots(&m, 4);
+        check_all_queries(&m, &index, 1.3);
+        // Non-finite queries: no hits (NaN/inf never satisfies ≤ eps²),
+        // nearest degrades to the brute ranking.
+        let mut out = Vec::new();
+        index.within_into(&rows[7], 2.0, false, &mut out);
+        assert_eq!(out, brute_within(&m, &rows[7], 2.0, false));
+        assert!(out.is_empty());
+        let mut near = Vec::new();
+        index.nearest_into(&rows[13], 4, &mut near);
+        assert_eq!(near, brute_nearest(&m, &rows[13], 4));
+        // Appending a non-finite row must not disturb later queries.
+        let mut index = index;
+        index.append(&[f64::NAN; 3]);
+        let mut all = rows.clone();
+        all.push(vec![f64::NAN; 3]);
+        let full = FeatureMatrix::from_rows(all);
+        index.within_into(full.row(0), 1.3, false, &mut out);
+        assert_eq!(out, brute_within(&full, full.row(0), 1.3, false));
+    }
+
+    #[test]
+    fn huge_magnitudes_overflow_to_linear_verification() {
+        // Coordinates whose squared norms overflow the dot trick: the
+        // window key would be garbage, so these rows must bypass it.
+        let mut rows = scattered(30, 2, 17).to_rows();
+        rows[4] = vec![1e200, 1e200];
+        rows[9] = vec![-1e200, 1e200];
+        let m = FeatureMatrix::from_rows(rows);
+        let index = PivotIndex::with_pivots(&m, 3);
+        check_all_queries(&m, &index, 0.7);
+    }
+
+    #[test]
+    fn index_mode_is_scoped_and_restored() {
+        assert_eq!(index_mode(), IndexMode::Auto);
+        let m = scattered(200, 9, 1);
+        with_index_mode(IndexMode::Sweep, || {
+            assert_eq!(index_mode(), IndexMode::Sweep);
+            assert_eq!(build_index(&m).n_pivots(), 1);
+        });
+        assert_eq!(index_mode(), IndexMode::Auto);
+        assert!(build_index(&m).n_pivots() > 1);
+    }
+
+    #[test]
+    fn stats_count_builds_and_pruning() {
+        let before = stats();
+        let m = scattered(300, 8, 77);
+        let index = build_index(&m);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            index.within_into(m.row(i), 0.4, false, &mut out);
+        }
+        // Counters are process-global and other tests run concurrently,
+        // so only lower bounds are stable.
+        let delta = stats().delta_since(&before);
+        assert!(delta.builds >= 1);
+        assert!(delta.queries >= 50);
+        assert!(delta.candidates >= 50 * 300);
+        assert!(
+            delta.pruned > 0,
+            "a 0.4 radius over scattered data must prune"
+        );
+        assert!(delta.pruned_fraction() > 0.0 && delta.pruned_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn nearest_ties_resolve_by_id_like_brute_force() {
+        // Duplicate rows force (value, id) ties.
+        let mut rows = vec![vec![0.5, 0.5]; 6];
+        rows.extend(scattered(20, 2, 31).to_rows());
+        let m = FeatureMatrix::from_rows(rows);
+        let index = PivotIndex::with_pivots(&m, 2);
+        let mut near = Vec::new();
+        index.nearest_into(&[0.5, 0.5], 4, &mut near);
+        assert_eq!(near, brute_nearest(&m, &[0.5, 0.5], 4));
+        assert_eq!(
+            near.iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+}

@@ -14,10 +14,15 @@
 //! signal — exactly the weakness of semantics-based extraction the paper
 //! reports in Table VII (structure-aware features win).
 
+pub mod index;
 pub mod matrix;
 pub mod par;
 pub mod vecmath;
 
+pub use index::{
+    build_index, with_index_mode, IndexMode, IndexStats, MetricIndex, PairSweep, PivotIndex,
+    SweepIndex,
+};
 pub use matrix::FeatureMatrix;
 pub use vecmath::{
     cosine_distance, cosine_similarity, dot, euclidean_distance, l2_normalize,

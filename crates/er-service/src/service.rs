@@ -537,6 +537,10 @@ impl ErService {
         let mut answer = tel.answer_cache_us.snapshot();
         answer.merge(&tel.answer_llm_us.snapshot());
         answer.merge(&tel.answer_fallback_us.snapshot());
+        // Like the recovery numbers, the index counters are process-wide
+        // (not gauge reads), so they stay visible with telemetry off.
+        let index = embed::index::stats();
+        let index_query = tel.index_query_us.snapshot();
         ServiceStats {
             submitted: tel.submitted.get(),
             plans: plan_full + plan_incremental,
@@ -578,6 +582,11 @@ impl ErService {
             governor_refunds: inner.governor.refunds(),
             breaker_trips: inner.breaker.trips(),
             breaker_state: inner.breaker.state_code(),
+            index_builds: index.builds,
+            index_queries: index.queries,
+            index_pruned_bp: (index.pruned_fraction() * 10_000.0) as u64,
+            index_query_p50_us: index_query.quantile(0.5),
+            index_query_p99_us: index_query.quantile(0.99),
         }
     }
 
@@ -820,6 +829,10 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
     // plan_last_us/plan_avg_us gauges keep their meaning: the planning
     // cost of this flush.
     let plan_started = Instant::now();
+    // Index counters are process-wide; deltas taken under the planner
+    // lock attribute exactly this flush's builds and queries (the index
+    // is only touched by planning, which this lock serializes).
+    let idx_before = embed::index::stats();
     // Apply the insertion half of the delta: brand-new questions enter
     // the plan state; duplicates of questions the planner already holds
     // attach their waiters. The in-flight check repeats here *under the
@@ -889,6 +902,14 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
     tel.plan_last_inserted.set(epoch.inserted as i64);
     tel.plan_last_retired.set(epoch.retired as i64);
     tel.plan_last_us.set(plan_us as i64);
+    let idx = embed::index::stats();
+    let idx_delta = idx.delta_since(&idx_before);
+    tel.index_builds.add(idx_delta.builds);
+    if let Some(per_query_ns) = idx_delta.query_ns.checked_div(idx_delta.queries) {
+        tel.index_query_us.record(per_query_ns / 1_000);
+    }
+    tel.index_pruned_bp
+        .set((idx.pruned_fraction() * 10_000.0) as i64);
 
     for (bi, batch) in epoch.plan.batches.iter().enumerate() {
         if !urgent && batch.len() < inner.config.batch_size {

@@ -113,6 +113,25 @@ pub struct ServiceStats {
     /// Breaker state: 0 closed, 1 open, 2 half-open.
     #[serde(default)]
     pub breaker_state: u64,
+    /// Metric-index builds (ε-graph, coverage, and top-k accelerators).
+    /// Process-wide, so it stays visible with telemetry disabled.
+    #[serde(default)]
+    pub index_builds: u64,
+    /// Metric-index queries answered (region, top-k, and pair sweeps).
+    #[serde(default)]
+    pub index_queries: u64,
+    /// Fraction of candidate comparisons the metric index eliminated
+    /// before any full distance computation, basis points (0-10000).
+    #[serde(default)]
+    pub index_pruned_bp: u64,
+    /// Median per-pass mean metric-index query latency, microseconds
+    /// (histogram-backed).
+    #[serde(default)]
+    pub index_query_p50_us: u64,
+    /// 99th-percentile per-pass mean metric-index query latency,
+    /// microseconds.
+    #[serde(default)]
+    pub index_query_p99_us: u64,
 }
 
 /// The `GET /healthz` payload: readiness plus the durability and
@@ -221,6 +240,11 @@ mod tests {
             governor_refunds: 1,
             breaker_trips: 0,
             breaker_state: 0,
+            index_builds: 3,
+            index_queries: 210,
+            index_pruned_bp: 9_870,
+            index_query_p50_us: 45,
+            index_query_p99_us: 160,
         }
     }
 
@@ -289,6 +313,29 @@ mod tests {
         assert!(!back.wal_enabled);
         assert_eq!(back.recovery_answers_restored, 0);
         assert_eq!(back.spent_micros, sample().spent_micros);
+    }
+
+    #[test]
+    fn pre_index_wire_payload_still_parses() {
+        // Scrapers from before the metric-index tier sent none of the
+        // index fields; `#[serde(default)]` keeps their payloads
+        // readable.
+        let mut json = String::from_utf8(serde_json::to_vec(&sample()).unwrap()).unwrap();
+        for field in [
+            "\"index_builds\":3,",
+            "\"index_queries\":210,",
+            "\"index_pruned_bp\":9870,",
+            "\"index_query_p50_us\":45,",
+            ",\"index_query_p99_us\":160", // last field: leading comma instead
+        ] {
+            let stripped = json.replace(field, "");
+            assert_ne!(stripped, json, "field pattern `{field}` did not match");
+            json = stripped;
+        }
+        let back: ServiceStats = serde_json::from_slice(json.as_bytes()).unwrap();
+        assert_eq!(back.index_builds, 0);
+        assert_eq!(back.index_query_p99_us, 0);
+        assert_eq!(back.submitted, sample().submitted);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub struct Telemetry {
     pub(crate) wal_append_errors: Arc<Counter>,
     pub(crate) breaker_trips: Arc<Counter>,
     pub(crate) breaker_short_circuits: Arc<Counter>,
+    pub(crate) index_builds: Arc<Counter>,
 
     // Gauges.
     pub(crate) queue_depth: Arc<Gauge>,
@@ -52,6 +53,7 @@ pub struct Telemetry {
     pub(crate) recovery_truncated_bytes: Arc<Gauge>,
     pub(crate) recovery_answers_restored: Arc<Gauge>,
     pub(crate) recovery_open_reservations: Arc<Gauge>,
+    pub(crate) index_pruned_bp: Arc<Gauge>,
 
     // Histograms.
     pub(crate) queue_wait_us: Arc<Histogram>,
@@ -66,6 +68,7 @@ pub struct Telemetry {
     pub(crate) answer_fallback_us: Arc<Histogram>,
     pub(crate) batch_spend_micros: Arc<Histogram>,
     pub(crate) batch_prompt_tokens: Arc<Histogram>,
+    pub(crate) index_query_us: Arc<Histogram>,
 }
 
 impl Telemetry {
@@ -163,6 +166,11 @@ impl Telemetry {
             "Batches routed to the fallback by an open circuit breaker.",
             &[],
         );
+        let index_builds = registry.counter(
+            "er_index_builds_total",
+            "Metric-index builds (ε-graph, coverage, and top-k accelerators).",
+            &[],
+        );
 
         let queue_depth = registry.gauge(
             "er_queue_depth",
@@ -217,6 +225,11 @@ impl Telemetry {
         let recovery_open_reservations = registry.gauge(
             "er_recovery_open_reservations",
             "Reserves found without settle-or-refund at the last startup (crash evidence, treated as refunded).",
+            &[],
+        );
+        let index_pruned_bp = registry.gauge(
+            "er_index_candidates_pruned_bp",
+            "Fraction of candidate comparisons the metric index eliminated via the triangle bound before any full distance computation, basis points (0-10000).",
             &[],
         );
 
@@ -280,6 +293,11 @@ impl Telemetry {
             "Prompt tokens sent per executed batch.",
             &[],
         );
+        let index_query_us = registry.histogram(
+            "er_index_query_us",
+            "Mean metric-index query latency per planning pass (region, top-k, and pair-sweep queries folded), microseconds.",
+            &[],
+        );
 
         Self {
             registry,
@@ -300,6 +318,7 @@ impl Telemetry {
             wal_append_errors,
             breaker_trips,
             breaker_short_circuits,
+            index_builds,
             queue_depth,
             cache_entries,
             governor_reserved_micros,
@@ -311,6 +330,7 @@ impl Telemetry {
             recovery_truncated_bytes,
             recovery_answers_restored,
             recovery_open_reservations,
+            index_pruned_bp,
             queue_wait_us,
             plan_full_us,
             plan_incremental_us,
@@ -323,6 +343,7 @@ impl Telemetry {
             answer_fallback_us,
             batch_spend_micros,
             batch_prompt_tokens,
+            index_query_us,
         }
     }
 
@@ -349,12 +370,18 @@ mod tests {
         t.queue_wait_us.record(120);
         t.answer_llm_us.record(4_000);
         t.plan_incremental_us.record(90);
+        t.index_builds.inc();
+        t.index_pruned_bp.set(9_900);
+        t.index_query_us.record(60);
         let text = t.registry().render_prometheus();
         for family in [
             "er_questions_submitted_total",
             "er_queue_wait_us",
             "er_answer_us",
             "er_plan_wall_us",
+            "er_index_builds_total",
+            "er_index_candidates_pruned_bp",
+            "er_index_query_us",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
