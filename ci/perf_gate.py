@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh quick-mode bench snapshot
+against the committed full-mode baseline.
+
+Usage: perf_gate.py <bench> <committed_baseline.json> <current.json>
+
+Quick-mode workloads are smaller than the committed full-mode runs, so
+absolute wall-times are not comparable across the two; the gate checks
+the *shape* of the result instead — overhead percentages, speedup
+ratios, and exact-equivalence counters — with envelopes wide enough for
+shared-runner noise but narrow enough to catch a real regression (a
+lost kernel path, an accidental fsync-per-record, instrumentation on a
+hot loop).
+
+Exit code 0 = within envelope, 1 = regression, 2 = usage/parse error.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"PERF GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def ok(msg):
+    print(f"perf gate ok: {msg}")
+
+
+def gate_serving(base, cur):
+    # Telemetry overhead is a ratio of two runs on the same machine, so
+    # it transfers across workload sizes. The committed full run holds
+    # |overhead| <= 5%; allow 10 extra points for runner noise.
+    limit = abs(base["telemetry_overhead_pct"]) + 10.0
+    got = cur["telemetry_overhead_pct"]
+    if abs(got) > limit:
+        fail(f"telemetry overhead {got:.2f}% vs committed "
+             f"{base['telemetry_overhead_pct']:.2f}% (limit ±{limit:.2f}%)")
+    ok(f"telemetry overhead {got:.2f}% (limit ±{limit:.2f}%)")
+
+    # WAL overhead envelopes mirror the bench's own full-mode asserts,
+    # widened for CI: a regression to fsync-per-record blows far past
+    # these regardless of machine.
+    for key, limit in [("wal_batched_overhead_pct", 40.0),
+                       ("wal_always_overhead_pct", 85.0)]:
+        got = cur[key]
+        if got > limit:
+            fail(f"{key} {got:.2f}% exceeds {limit:.2f}%")
+        ok(f"{key} {got:.2f}% (limit {limit:.2f}%)")
+
+    # The cache-hit fast path must stay microseconds, not milliseconds.
+    got = cur["cache_hit_p50_us"]
+    if got > 1000:
+        fail(f"cache-hit p50 {got}us exceeds 1000us")
+    ok(f"cache-hit p50 {got}us")
+
+
+def gate_planning(base, cur):
+    # The kernel must still beat the scalar baseline, and the metric
+    # index must still prune. Quick mode shrinks the workload, which
+    # shrinks the speedup — gate on a floor, not on the committed value.
+    got = cur["speedup_vs_baseline"]
+    if got < 1.2:
+        fail(f"kernel speedup {got:.2f}x vs scalar baseline fell below 1.2x "
+             f"(committed: {base['speedup_vs_baseline']:.2f}x)")
+    ok(f"kernel speedup {got:.2f}x")
+
+    # Exact equivalence is binary and workload-independent.
+    if cur["kernel_batches"] != cur["baseline_batches"]:
+        fail(f"kernel batches {cur['kernel_batches']} != "
+             f"baseline batches {cur['baseline_batches']}")
+    ok(f"plan equivalence: {cur['kernel_batches']} batches both paths")
+
+    for point in cur.get("index_scaling", []):
+        if point["index_speedup"] < 1.0:
+            fail(f"metric index slower than sweep at n={point['n']}: "
+                 f"{point['index_speedup']:.2f}x")
+        if point["pruned_fraction"] < 0.5:
+            fail(f"metric index barely prunes at n={point['n']}: "
+                 f"{point['pruned_fraction']:.4f}")
+    ok(f"index scaling: {len(cur.get('index_scaling', []))} points prune and win")
+
+
+def gate_incremental(base, cur):
+    got = cur["speedup_avg"]
+    if got < 2.0:
+        fail(f"incremental replanning speedup {got:.2f}x fell below 2.0x "
+             f"(committed: {base['speedup_avg']:.2f}x)")
+    ok(f"incremental speedup {got:.2f}x")
+
+    if cur["equivalence_checked_epochs"] < 1:
+        fail("no epoch was checked for incremental/full plan equivalence")
+    ok(f"equivalence checked on {cur['equivalence_checked_epochs']} epochs")
+
+
+GATES = {
+    "serving": gate_serving,
+    "planning": gate_planning,
+    "incremental": gate_incremental,
+}
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in GATES:
+        print(__doc__)
+        print(f"benches: {', '.join(sorted(GATES))}")
+        sys.exit(2)
+    bench, base_path, cur_path = sys.argv[1:4]
+    try:
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(cur_path) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"PERF GATE ERROR: {e}")
+        sys.exit(2)
+    GATES[bench](base, cur)
+    print(f"perf gate passed for {bench}")
+
+
+if __name__ == "__main__":
+    main()

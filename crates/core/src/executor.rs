@@ -13,6 +13,10 @@ pub struct Executor<'a> {
     model: ModelKind,
     /// Retries on unparseable output or rate limiting.
     max_retries: u32,
+    /// Caller's trace id, stamped onto every request this executor issues
+    /// so HTTP-backed [`ChatApi`] implementations can propagate it
+    /// downstream (0 = untraced).
+    trace_id: u64,
 }
 
 /// Aggregate outcome of executing one or more batches.
@@ -36,7 +40,13 @@ pub struct ExecutionOutcome {
 impl<'a> Executor<'a> {
     /// An executor for `model` over `api`.
     pub fn new(api: &'a dyn ChatApi, model: ModelKind, max_retries: u32) -> Self {
-        Self { api, model, max_retries }
+        Self { api, model, max_retries, trace_id: 0 }
+    }
+
+    /// Stamps `trace_id` onto every request this executor issues.
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
     }
 
     /// Runs one batch: builds the prompt from `description`, `demos` and
@@ -64,7 +74,8 @@ impl<'a> Executor<'a> {
         let prompt = build_batch_prompt(description, demos, questions);
         let mut attempt = 0u32;
         loop {
-            let request = ChatRequest::new(self.model, prompt.clone(), seed ^ u64::from(attempt));
+            let request = ChatRequest::new(self.model, prompt.clone(), seed ^ u64::from(attempt))
+                .with_trace(self.trace_id, attempt);
             let call_started = std::time::Instant::now();
             let result = self.api.complete(&request);
             outcome

@@ -9,7 +9,15 @@
 //! * `GET /stats` — the [`ServiceStats`] snapshot as JSON.
 //! * `GET /metrics` — Prometheus text exposition of every metric family.
 //! * `GET /trace?n=K` — the `K` most recent completed lifecycle spans as
-//!   JSON, newest first (default 32).
+//!   JSON, newest first (default 32, clamped to the ring capacity).
+//! * `GET /trace?id=N` — the assembled cross-service span tree for one
+//!   trace: the local span plus the llm-service child spans the
+//!   propagated traceparent produced (or a `shared_llm_trace` reference
+//!   for coalesced duplicates). `404` for unknown ids, `400` for
+//!   unparsable ones.
+//! * `GET /slo` — every objective's multi-window burn-rate status.
+//! * `GET /debug/bundle` — the flight recorder's debug bundle, assembled
+//!   on demand (the same document anomaly triggers dump to disk).
 //! * `GET /healthz` — readiness + durability: WAL health and last-fsync
 //!   age, circuit-breaker state, and startup-recovery counters (the
 //!   [`crate::stats::HealthReport`] payload).
@@ -130,10 +138,27 @@ fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
         }
         ("GET", "/metrics") => HttpResponse::text(200, service.render_metrics().into_bytes()),
         ("GET", "/trace") => {
-            let n = query_param(query, "n")
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(32);
-            HttpResponse::json(200, service.trace_json(n).into_bytes())
+            // `?id=` assembles one cross-service span tree; `?n=` lists
+            // recent spans. Unparsable values are client errors, not
+            // silent defaults.
+            if let Some(raw) = query_param(query, "id") {
+                return match raw.parse::<u64>() {
+                    Ok(id) => match service.trace_tree_json(id) {
+                        Some(body) => HttpResponse::json(200, body.into_bytes()),
+                        None => error(404, &format!("no retained span with trace id {id}")),
+                    },
+                    Err(_) => error(400, "trace id must be a decimal u64"),
+                };
+            }
+            match query_param(query, "n").map(|v| v.parse::<usize>()) {
+                None => HttpResponse::json(200, service.trace_json(32).into_bytes()),
+                Some(Ok(n)) => HttpResponse::json(200, service.trace_json(n).into_bytes()),
+                Some(Err(_)) => error(400, "trace count must be a non-negative integer"),
+            }
+        }
+        ("GET", "/slo") => HttpResponse::json(200, service.slo_json().into_bytes()),
+        ("GET", "/debug/bundle") => {
+            HttpResponse::json(200, service.debug_bundle_json("on_demand").into_bytes())
         }
         ("GET", "/healthz") => json(200, &service.health()),
         ("GET", _) | ("POST", _) => error(404, &format!("no such route: {}", request.path)),

@@ -27,9 +27,18 @@
 //!   service (`llm_service::serve`).
 //! * **Telemetry** ([`telemetry`]) — histogram-backed metrics (queue
 //!   wait, plan wall time, LLM call latency, end-to-end answer latency,
-//!   spend per batch) rendered as Prometheus text at `/metrics`, plus a
-//!   per-question lifecycle trace log served at `/trace`. Recording is
-//!   lock-free; a scraper can never stall `submit`.
+//!   spend per batch) rendered as Prometheus text at `/metrics` with
+//!   per-bucket trace exemplars on the answer histograms, plus a
+//!   per-question lifecycle trace log served at `/trace`. Traces
+//!   propagate across the LLM socket as `traceparent` headers, so
+//!   `GET /trace?id=` assembles the cross-service span tree. Recording
+//!   is lock-free; a scraper can never stall `submit`.
+//! * **SLOs + flight recorder** ([`telemetry`], [`flight`]) — burn-rate
+//!   evaluation of three objectives (answer latency, availability,
+//!   budget) over 5m/1h windows at `GET /slo` and as gauges; anomalies
+//!   (breaker open, WAL degraded, recovery violation, SLO fast burn)
+//!   dump bounded flight-recorder debug bundles to disk and on demand
+//!   at `GET /debug/bundle`.
 //! * **Durable tier** ([`durable`]) — an embedded write-ahead log
 //!   (`wal`) journals every answer and governor reserve/settle/refund
 //!   event; startup replay rebuilds the cache and spend ledger so a
@@ -61,6 +70,7 @@ pub mod breaker;
 pub mod cache;
 pub mod durable;
 pub mod fingerprint;
+pub mod flight;
 pub mod governor;
 pub mod http;
 pub mod service;
@@ -72,6 +82,7 @@ pub use breaker::Breaker;
 pub use cache::AnswerCache;
 pub use durable::{DurableLog, DurableRecord, RecoveryReport, Replay, WalConfig};
 pub use fingerprint::{pair_fingerprint, PairFingerprint, FINGERPRINT_VERSION};
+pub use flight::FlightRecorder;
 pub use governor::{CostGovernor, Reservation, ReservationGuard};
 pub use http::{MatchRequestWire, MatchResponseWire, MatchServer};
 pub use service::{DecisionSource, ErService, MatchDecision, ServiceConfig};

@@ -48,6 +48,7 @@ use crate::breaker::Breaker;
 use crate::cache::AnswerCache;
 use crate::durable::{DurableLog, DurableRecord, RecoveryReport, WalConfig};
 use crate::fingerprint::{pair_fingerprint, PairFingerprint, FINGERPRINT_VERSION};
+use crate::flight::FlightRecorder;
 use crate::governor::CostGovernor;
 use crate::stats::{HealthReport, ServiceStats};
 use crate::sync::lock;
@@ -141,6 +142,13 @@ pub struct ServiceConfig {
     pub breaker_threshold: u32,
     /// How long an open breaker holds before admitting a probe batch.
     pub breaker_cooldown: Duration,
+    /// Answer-latency SLO threshold: a submit is "good" for the latency
+    /// objective when it answers within this many microseconds.
+    pub slo_latency_us: u64,
+    /// Where the flight recorder writes anomaly debug bundles. `None`
+    /// keeps bundles in memory only (still fetchable at
+    /// `GET /debug/bundle`).
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +171,8 @@ impl Default for ServiceConfig {
             wal: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(250),
+            slo_latency_us: 250_000,
+            flight_dir: None,
         }
     }
 }
@@ -284,6 +294,8 @@ struct Inner {
     /// local fallback.
     live_workers: AtomicU64,
     telemetry: Telemetry,
+    /// The anomaly flight recorder (events, snapshots, bundle triggers).
+    flight: FlightRecorder,
 }
 
 /// The running service. Cloneable via `Arc`; dropping the last handle
@@ -354,6 +366,7 @@ impl ErService {
             queued: HashMap::new(),
         };
         let telemetry = Telemetry::new(config.telemetry, config.trace_capacity);
+        let flight = FlightRecorder::new(config.telemetry, config.flight_dir.clone());
 
         // Recovery replay runs to completion here, before any thread
         // starts or the HTTP front end can bind — externally the service
@@ -369,10 +382,27 @@ impl ErService {
                     });
                 // The same conservation rules the stress suite asserts,
                 // applied to the replayed history. Violations mean a
-                // corrupt or foreign log; surface them loudly.
+                // corrupt or foreign log; surface them loudly — and leave
+                // a flight-recorder bundle behind, since a service that
+                // starts from corrupt history is exactly the situation a
+                // debug artifact exists for.
                 let violations = replayed.report.conservation_violations(config.budget);
                 for violation in &violations {
                     eprintln!("er-service: recovery conservation violation: {violation}");
+                    flight.event("recovery_violation", violation.clone());
+                }
+                if !violations.is_empty() && flight.should_trigger("recovery_violation") {
+                    // The pipeline is not assembled yet, so this bundle
+                    // holds what exists at this point: the violations and
+                    // the recovery report.
+                    let listed: Vec<String> = violations.iter().map(|v| json_string(v)).collect();
+                    let bundle = format!(
+                        "{{\"reason\":\"recovery_violation\",\"violations\":[{}],\"records_replayed\":{},\"open_reservations\":{}}}",
+                        listed.join(","),
+                        replayed.report.records_replayed,
+                        replayed.report.open_reservations
+                    );
+                    flight.write_bundle("recovery_violation", &bundle);
                 }
                 debug_assert!(violations.is_empty(), "recovery violated conservation");
                 (Some(log), Some(replayed.report), replayed.answers)
@@ -430,6 +460,7 @@ impl ErService {
             in_flight: Mutex::new(HashMap::new()),
             planner: Mutex::new(planner),
             telemetry,
+            flight,
             live_workers: AtomicU64::new(config.workers as u64),
             config,
         });
@@ -467,7 +498,10 @@ impl ErService {
         let fp = pair_fingerprint(pair);
         let trace = tel.trace.begin(fp.0, "submitted");
         if let Some(label) = inner.cache.get(fp) {
-            tel.answer_cache_us.record_duration_us(started.elapsed());
+            let latency = started.elapsed();
+            tel.answer_cache_us
+                .record_duration_us_with_exemplar(latency, trace);
+            record_answer_slos(inner, latency, DecisionSource::Cache);
             tel.trace
                 .finish(trace, "answered", Some("cache".to_owned()));
             return MatchDecision {
@@ -484,7 +518,10 @@ impl ErService {
             if queue.stopping {
                 drop(queue);
                 let decision = fallback_decision(inner, fp, pair);
-                tel.answer_fallback_us.record_duration_us(started.elapsed());
+                let latency = started.elapsed();
+                tel.answer_fallback_us
+                    .record_duration_us_with_exemplar(latency, trace);
+                record_answer_slos(inner, latency, DecisionSource::Fallback);
                 tel.trace
                     .finish(trace, "answered", Some("fallback".to_owned()));
                 return MatchDecision { trace_id: trace, ..decision };
@@ -509,10 +546,17 @@ impl ErService {
             .unwrap_or_else(|_| fallback_decision(inner, fp, pair));
         let latency = started.elapsed();
         match decision.source {
-            DecisionSource::Cache => tel.answer_cache_us.record_duration_us(latency),
-            DecisionSource::Llm => tel.answer_llm_us.record_duration_us(latency),
-            DecisionSource::Fallback => tel.answer_fallback_us.record_duration_us(latency),
+            DecisionSource::Cache => tel
+                .answer_cache_us
+                .record_duration_us_with_exemplar(latency, trace),
+            DecisionSource::Llm => tel
+                .answer_llm_us
+                .record_duration_us_with_exemplar(latency, trace),
+            DecisionSource::Fallback => tel
+                .answer_fallback_us
+                .record_duration_us_with_exemplar(latency, trace),
         }
+        record_answer_slos(inner, latency, decision.source);
         tel.trace
             .finish(trace, "answered", Some(decision.source.name().to_owned()));
         MatchDecision { trace_id: trace, ..decision }
@@ -524,104 +568,14 @@ impl ErService {
     /// lock-free handles or folds histogram shards — a slow or hammering
     /// scraper can never stall `submit` or the flush path.
     pub fn stats(&self) -> ServiceStats {
-        let inner = &*self.inner;
-        let tel = &inner.telemetry;
-        let ledger = inner.governor.ledger().snapshot();
-        // Recovery numbers come from the report, not the gauges, so they
-        // stay visible with telemetry disabled.
-        let recovery = inner.recovery.clone().unwrap_or_default();
-        let plan_full = tel.plans_full.get();
-        let plan_incremental = tel.plans_incremental.get();
-        let mut plan_wall = tel.plan_full_us.snapshot();
-        plan_wall.merge(&tel.plan_incremental_us.snapshot());
-        let mut answer = tel.answer_cache_us.snapshot();
-        answer.merge(&tel.answer_llm_us.snapshot());
-        answer.merge(&tel.answer_fallback_us.snapshot());
-        // Like the recovery numbers, the index counters are process-wide
-        // (not gauge reads), so they stay visible with telemetry off.
-        let index = embed::index::stats();
-        let index_query = tel.index_query_us.snapshot();
-        ServiceStats {
-            submitted: tel.submitted.get(),
-            plans: plan_full + plan_incremental,
-            plan_full,
-            plan_incremental,
-            plan_last_inserted: tel.plan_last_inserted.get() as u64,
-            plan_last_retired: tel.plan_last_retired.get() as u64,
-            plan_last_us: tel.plan_last_us.get() as u64,
-            plan_avg_us: plan_wall.mean(),
-            plan_p50_us: plan_wall.quantile(0.5),
-            plan_p99_us: plan_wall.quantile(0.99),
-            answer_p50_us: answer.quantile(0.5),
-            answer_p99_us: answer.quantile(0.99),
-            cache_hits: tel.cache_hits.get(),
-            cache_misses: tel.cache_misses.get(),
-            cache_entries: tel.cache_entries.get() as u64,
-            coalesced_duplicates: tel.coalesced.get(),
-            llm_answered: tel.llm_answered.get(),
-            fallback_answered: tel.fallback_answered.get(),
-            batches_flushed: tel.batches_flushed.get(),
-            retries: tel.retries.get(),
-            api_calls: ledger.api_calls,
-            prompt_tokens: ledger.prompt_tokens.get(),
-            completion_tokens: ledger.completion_tokens.get(),
-            demos_labeled: ledger.pairs_labeled,
-            api_micros: ledger.api.micros(),
-            labeling_micros: ledger.labeling.micros(),
-            spent_micros: ledger.total().micros(),
-            budget_micros: inner.governor.budget().micros(),
-            remaining_micros: inner.governor.remaining().micros(),
-            budget_denials: inner.governor.denials(),
-            wal_enabled: inner.durable.is_some(),
-            wal_appends: tel.wal_appends.get(),
-            wal_append_errors: tel.wal_append_errors.get(),
-            recovery_records_replayed: recovery.records_replayed,
-            recovery_truncated_bytes: recovery.truncated_bytes,
-            recovery_answers_restored: recovery.answers_restored,
-            recovery_open_reservations: recovery.open_reservations,
-            governor_refunds: inner.governor.refunds(),
-            breaker_trips: inner.breaker.trips(),
-            breaker_state: inner.breaker.state_code(),
-            index_builds: index.builds,
-            index_queries: index.queries,
-            index_pruned_bp: (index.pruned_fraction() * 10_000.0) as u64,
-            index_query_p50_us: index_query.quantile(0.5),
-            index_query_p99_us: index_query.quantile(0.99),
-        }
+        stats_of(&self.inner)
     }
 
     /// The readiness/durability report (the `GET /healthz` payload):
     /// whether journaling is still healthy, how stale the last fsync is,
     /// the breaker's state, and what startup recovery replayed.
     pub fn health(&self) -> HealthReport {
-        let inner = &*self.inner;
-        let recovery = inner.recovery.clone().unwrap_or_default();
-        let (status, last_sync_age_ms, unsynced, total_bytes) = match &inner.durable {
-            Some(durable) => {
-                let wal = durable.status();
-                let degraded = durable.failed() || wal.wedged;
-                (
-                    if degraded { "degraded" } else { "serving" },
-                    wal.last_sync_age
-                        .map_or(-1, |age| i64::try_from(age.as_millis()).unwrap_or(i64::MAX)),
-                    wal.unsynced_appends,
-                    wal.total_bytes,
-                )
-            }
-            None => ("serving", -1, 0, 0),
-        };
-        HealthReport {
-            status: status.to_owned(),
-            wal_enabled: inner.durable.is_some(),
-            wal_last_sync_age_ms: last_sync_age_ms,
-            wal_unsynced_appends: unsynced,
-            wal_total_bytes: total_bytes,
-            breaker: inner.breaker.state_name().to_owned(),
-            recovery_records_replayed: recovery.records_replayed,
-            recovery_truncated_bytes: recovery.truncated_bytes,
-            recovery_answers_restored: recovery.answers_restored,
-            recovery_open_reservations: recovery.open_reservations,
-        }
+        health_of(&self.inner)
     }
 
     /// The service's telemetry bundle (registry + trace log).
@@ -629,21 +583,236 @@ impl ErService {
         &self.inner.telemetry
     }
 
-    /// Renders every metric family in Prometheus text exposition format
-    /// (the `GET /metrics` payload).
+    /// The anomaly flight recorder (events, snapshots, bundles).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Renders every metric family in Prometheus text exposition format,
+    /// SLO burn-rate gauges refreshed first (the `GET /metrics` payload).
     pub fn render_metrics(&self) -> String {
-        self.inner.telemetry.registry.render_prometheus()
+        self.inner.telemetry.render_prometheus()
     }
 
     /// The most recent `n` completed lifecycle spans as JSON, newest
-    /// first (the `GET /trace` payload).
+    /// first (the `GET /trace?n=` payload). `n` is clamped to the trace
+    /// ring's capacity — asking for more than the ring can hold is a
+    /// client mistake, not an allocation request.
     pub fn trace_json(&self, n: usize) -> String {
+        let n = n.min(self.inner.config.trace_capacity.max(1));
         self.inner.telemetry.trace.recent_json(n)
+    }
+
+    /// The assembled cross-service span tree for one trace id (the
+    /// `GET /trace?id=` payload), or `None` when the id matches no
+    /// retained span.
+    ///
+    /// When the question was answered by an LLM call that a *different*
+    /// trace paid for (a coalesced duplicate), the tree carries a
+    /// `shared_llm_trace` reference instead of the child spans — each
+    /// downstream span is attributed to exactly one trace, the one that
+    /// carried the traceparent header.
+    pub fn trace_tree_json(&self, id: u64) -> Option<String> {
+        let inner = &*self.inner;
+        let span = inner.telemetry.trace.find(id)?;
+        let shared_primary = span
+            .events
+            .iter()
+            .find(|e| e.stage == "llm_shared")
+            .and_then(|e| e.detail.as_ref())
+            .and_then(|d| d.parse::<u64>().ok());
+        let mut out = String::from("{\"span\":");
+        out.push_str(&obs::span_json(&span));
+        match shared_primary {
+            Some(primary) => {
+                out.push_str(&format!(",\"shared_llm_trace\":{primary},\"children\":[]"));
+            }
+            None => {
+                let children = inner
+                    .api
+                    .trace_children(id)
+                    .unwrap_or_else(|| "[]".to_owned());
+                out.push_str(&format!(",\"children\":{children}"));
+            }
+        }
+        out.push('}');
+        Some(out)
+    }
+
+    /// Every SLO's multi-window burn-rate status as JSON (the `GET /slo`
+    /// payload).
+    pub fn slo_json(&self) -> String {
+        self.inner.telemetry.slo_json()
+    }
+
+    /// Assembles the flight-recorder debug bundle (the
+    /// `GET /debug/bundle` payload; also what triggers write to disk).
+    pub fn debug_bundle_json(&self, reason: &str) -> String {
+        assemble_bundle(&self.inner, reason)
     }
 
     /// The shared cost ledger (for tests and embedding harnesses).
     pub fn ledger(&self) -> &SharedCostLedger {
         self.inner.governor.ledger()
+    }
+}
+
+/// The `/stats` snapshot, assembled from `inner` so worker threads (the
+/// flight recorder's periodic snapshots) can build it too.
+fn stats_of(inner: &Inner) -> ServiceStats {
+    let tel = &inner.telemetry;
+    let ledger = inner.governor.ledger().snapshot();
+    // Recovery numbers come from the report, not the gauges, so they
+    // stay visible with telemetry disabled.
+    let recovery = inner.recovery.clone().unwrap_or_default();
+    let plan_full = tel.plans_full.get();
+    let plan_incremental = tel.plans_incremental.get();
+    let mut plan_wall = tel.plan_full_us.snapshot();
+    plan_wall.merge(&tel.plan_incremental_us.snapshot());
+    let mut answer = tel.answer_cache_us.snapshot();
+    answer.merge(&tel.answer_llm_us.snapshot());
+    answer.merge(&tel.answer_fallback_us.snapshot());
+    // Like the recovery numbers, the index counters are process-wide
+    // (not gauge reads), so they stay visible with telemetry off.
+    let index = embed::index::stats();
+    let index_query = tel.index_query_us.snapshot();
+    ServiceStats {
+        submitted: tel.submitted.get(),
+        plans: plan_full + plan_incremental,
+        plan_full,
+        plan_incremental,
+        plan_last_inserted: tel.plan_last_inserted.get() as u64,
+        plan_last_retired: tel.plan_last_retired.get() as u64,
+        plan_last_us: tel.plan_last_us.get() as u64,
+        plan_avg_us: plan_wall.mean(),
+        plan_p50_us: plan_wall.quantile(0.5),
+        plan_p99_us: plan_wall.quantile(0.99),
+        answer_p50_us: answer.quantile(0.5),
+        answer_p99_us: answer.quantile(0.99),
+        cache_hits: tel.cache_hits.get(),
+        cache_misses: tel.cache_misses.get(),
+        cache_entries: tel.cache_entries.get() as u64,
+        coalesced_duplicates: tel.coalesced.get(),
+        llm_answered: tel.llm_answered.get(),
+        fallback_answered: tel.fallback_answered.get(),
+        batches_flushed: tel.batches_flushed.get(),
+        retries: tel.retries.get(),
+        api_calls: ledger.api_calls,
+        prompt_tokens: ledger.prompt_tokens.get(),
+        completion_tokens: ledger.completion_tokens.get(),
+        demos_labeled: ledger.pairs_labeled,
+        api_micros: ledger.api.micros(),
+        labeling_micros: ledger.labeling.micros(),
+        spent_micros: ledger.total().micros(),
+        budget_micros: inner.governor.budget().micros(),
+        remaining_micros: inner.governor.remaining().micros(),
+        budget_denials: inner.governor.denials(),
+        wal_enabled: inner.durable.is_some(),
+        wal_appends: tel.wal_appends.get(),
+        wal_append_errors: tel.wal_append_errors.get(),
+        recovery_records_replayed: recovery.records_replayed,
+        recovery_truncated_bytes: recovery.truncated_bytes,
+        recovery_answers_restored: recovery.answers_restored,
+        recovery_open_reservations: recovery.open_reservations,
+        governor_refunds: inner.governor.refunds(),
+        breaker_trips: inner.breaker.trips(),
+        breaker_state: inner.breaker.state_code(),
+        index_builds: index.builds,
+        index_queries: index.queries,
+        index_pruned_bp: (index.pruned_fraction() * 10_000.0) as u64,
+        index_query_p50_us: index_query.quantile(0.5),
+        index_query_p99_us: index_query.quantile(0.99),
+    }
+}
+
+/// The `/healthz` report, assembled from `inner` (see [`stats_of`]).
+fn health_of(inner: &Inner) -> HealthReport {
+    let recovery = inner.recovery.clone().unwrap_or_default();
+    let (status, last_sync_age_ms, unsynced, total_bytes) = match &inner.durable {
+        Some(durable) => {
+            let wal = durable.status();
+            let degraded = durable.failed() || wal.wedged;
+            (
+                if degraded { "degraded" } else { "serving" },
+                wal.last_sync_age
+                    .map_or(-1, |age| i64::try_from(age.as_millis()).unwrap_or(i64::MAX)),
+                wal.unsynced_appends,
+                wal.total_bytes,
+            )
+        }
+        None => ("serving", -1, 0, 0),
+    };
+    HealthReport {
+        status: status.to_owned(),
+        wal_enabled: inner.durable.is_some(),
+        wal_last_sync_age_ms: last_sync_age_ms,
+        wal_unsynced_appends: unsynced,
+        wal_total_bytes: total_bytes,
+        breaker: inner.breaker.state_name().to_owned(),
+        recovery_records_replayed: recovery.records_replayed,
+        recovery_truncated_bytes: recovery.truncated_bytes,
+        recovery_answers_restored: recovery.answers_restored,
+        recovery_open_reservations: recovery.open_reservations,
+    }
+}
+
+/// Records the per-answer SLO signals (latency, availability). Gated on
+/// the telemetry switch like every metric handle.
+fn record_answer_slos(inner: &Inner, latency: Duration, source: DecisionSource) {
+    let tel = &inner.telemetry;
+    if !tel.is_enabled() {
+        return;
+    }
+    let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+    tel.slo_latency
+        .record(latency_us <= inner.config.slo_latency_us);
+    tel.slo_availability
+        .record(source != DecisionSource::Fallback);
+}
+
+/// Minimal JSON string quoting for bundle fields assembled by hand.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Assembles the self-contained debug bundle: what happened (reason +
+/// recent events), what the system looked like (stats, health, SLO
+/// windows, snapshots), and what was in flight (recent spans).
+fn assemble_bundle(inner: &Inner, reason: &str) -> String {
+    let stats = serde_json::to_string(&stats_of(inner)).unwrap_or_else(|_| "{}".to_owned());
+    let health = serde_json::to_string(&health_of(inner)).unwrap_or_else(|_| "{}".to_owned());
+    format!(
+        "{{\"reason\":{},\"breaker\":{},\"health\":{health},\"stats\":{stats},\"slo\":{},\"recent_traces\":{},\"events\":{},\"snapshots\":{}}}",
+        json_string(reason),
+        json_string(inner.breaker.state_name()),
+        inner.telemetry.slo_json(),
+        inner.telemetry.trace.recent_json(32),
+        inner.flight.events_json(),
+        inner.flight.snapshots_json(),
+    )
+}
+
+/// Records an anomaly event and, unless the reason fired recently, dumps
+/// a debug bundle to the flight directory.
+fn trigger_bundle(inner: &Inner, reason: &'static str, detail: String) {
+    inner.flight.event(reason, detail);
+    if inner.flight.should_trigger(reason) {
+        let bundle = assemble_bundle(inner, reason);
+        inner.flight.write_bundle(reason, &bundle);
     }
 }
 
@@ -770,6 +939,21 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
 /// flush deadline) for co-batched traffic instead of flying alone.
 fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<WorkItem>) {
     let tel = &inner.telemetry;
+    // Flight recorder heartbeat: at most once a second (while traffic
+    // flows) snapshot the stats into the bounded ring and check the SLO
+    // windows — a fast burn on both windows dumps a bundle.
+    if inner.flight.snapshot_due() {
+        if let Ok(json) = serde_json::to_string(&stats_of(inner)) {
+            inner.flight.snapshot(json);
+        }
+        if let Some(objective) = tel.any_fast_burn() {
+            trigger_bundle(
+                inner,
+                "slo_fast_burn",
+                format!("objective {objective} burning on both windows"),
+            );
+        }
+    }
     // Dedupe by fingerprint. Four ways a question avoids its own LLM
     // slot: answered into the cache while it sat in the queue, identical
     // to a question an executing batch is already asking (attach to its
@@ -1066,6 +1250,15 @@ fn execute_job(inner: &Inner, job: BatchJob) {
     // batches short-circuit straight to the logistic fallback — no
     // reservation, no retries — until a cooldown-spaced probe succeeds.
     if !inner.breaker.allow() {
+        for (_, _, senders) in &job.questions {
+            for w in senders {
+                tel.trace.stamp(w.trace, "breaker_short_circuit");
+            }
+        }
+        inner.flight.event(
+            "breaker_short_circuit",
+            format!("batch of {} routed to fallback", job.questions.len()),
+        );
         answer_via_fallback(inner, &job);
         return;
     }
@@ -1119,13 +1312,32 @@ fn execute_job(inner: &Inner, job: BatchJob) {
             (guard, newly, projected)
         })
     };
+    if tel.is_enabled() {
+        tel.slo_budget.record(granted.is_some());
+    }
     let Some((guard, newly_labeled, projected)) = granted else {
         // Over budget: answer locally, free of charge.
+        inner.flight.event(
+            "budget_denied",
+            format!("batch of {} answered by fallback", job.questions.len()),
+        );
         answer_via_fallback(inner, &job);
         return;
     };
 
-    let executor = Executor::new(inner.api.as_ref(), config.model, config.max_retries);
+    // The first traced waiter's id rides the batch's LLM calls as the
+    // propagated traceparent: one batch, one downstream trace, no matter
+    // how many coalesced waiters share the call. Everyone else's span
+    // gets an `llm_shared` reference to this primary at resolution.
+    let primary_trace = job
+        .questions
+        .iter()
+        .flat_map(|(_, _, senders)| senders.iter())
+        .map(|w| w.trace)
+        .find(|&t| t != 0)
+        .unwrap_or(0);
+    let executor = Executor::new(inner.api.as_ref(), config.model, config.max_retries)
+        .with_trace(primary_trace);
     let mut outcome = ExecutionOutcome::default();
     executor.run_batch(&description, &demos, &questions, job.seed, &mut outcome);
     outcome.ledger.record_labeling(newly_labeled.len() as u64);
@@ -1139,7 +1351,18 @@ fn execute_job(inner: &Inner, job: BatchJob) {
     if endpoint_alive {
         inner.breaker.record_success();
     } else {
+        let trips_before = inner.breaker.trips();
         inner.breaker.record_failure();
+        if inner.breaker.trips() > trips_before {
+            trigger_bundle(
+                inner,
+                "breaker_open",
+                format!(
+                    "circuit opened after a dead-endpoint batch of {}",
+                    job.questions.len()
+                ),
+            );
+        }
     }
     tel.retries.add(u64::from(outcome.retries));
     for &latency in &outcome.call_latencies_us {
@@ -1182,6 +1405,13 @@ fn execute_job(inner: &Inner, job: BatchJob) {
                 })
                 .collect();
             durable.append_group(&records);
+            if durable.failed() {
+                trigger_bundle(
+                    inner,
+                    "wal_degraded",
+                    "journal append failed; serving without durability".to_owned(),
+                );
+            }
         }
     }
 
@@ -1195,7 +1425,7 @@ fn execute_job(inner: &Inner, job: BatchJob) {
             // No parseable answer after retries: conservative local call.
             None => fallback_decision(inner, *fp, pair),
         };
-        resolve_question(inner, *fp, decision, senders);
+        resolve_question(inner, *fp, decision, senders, primary_trace);
     }
 }
 
@@ -1212,6 +1442,7 @@ fn resolve_question(
     fp: PairFingerprint,
     decision: MatchDecision,
     senders: &[Waiter],
+    primary_trace: u64,
 ) {
     let stage = match decision.source {
         DecisionSource::Llm => "llm_called",
@@ -1221,6 +1452,18 @@ fn resolve_question(
     let attached = lock(&inner.in_flight).remove(&fp).unwrap_or_default();
     for waiter in senders.iter().chain(&attached) {
         inner.telemetry.trace.stamp(waiter.trace, stage);
+        // Coalesced waiters rode an LLM call another trace paid for:
+        // point their span at the primary, which owns the downstream
+        // child spans (each child is attributed exactly once).
+        if decision.source == DecisionSource::Llm
+            && primary_trace != 0
+            && waiter.trace != primary_trace
+        {
+            inner
+                .telemetry
+                .trace
+                .stamp_with(waiter.trace, "llm_shared", primary_trace.to_string());
+        }
         inner.telemetry.trace.stamp(waiter.trace, "settled");
         let _ = waiter.tx.send(decision);
     }
@@ -1230,6 +1473,6 @@ fn resolve_question(
 fn answer_via_fallback(inner: &Inner, job: &BatchJob) {
     for (fp, pair, senders) in &job.questions {
         let decision = fallback_decision(inner, *fp, pair);
-        resolve_question(inner, *fp, decision, senders);
+        resolve_question(inner, *fp, decision, senders, 0);
     }
 }

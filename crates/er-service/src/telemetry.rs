@@ -8,7 +8,16 @@
 
 use std::sync::Arc;
 
-use obs::{Counter, Gauge, Histogram, Registry, TraceLog};
+use obs::{Counter, Gauge, Histogram, Registry, Slo, SloStatus, TraceLog};
+
+/// Latency objective: this fraction of answers must beat the configured
+/// latency threshold ([`crate::ServiceConfig::slo_latency_us`]).
+pub const SLO_LATENCY_OBJECTIVE: f64 = 0.95;
+/// Availability objective: this fraction of answers must come from the
+/// cache or the LLM, not the degraded logistic fallback.
+pub const SLO_AVAILABILITY_OBJECTIVE: f64 = 0.99;
+/// Budget objective: this fraction of batch reservations must be granted.
+pub const SLO_BUDGET_OBJECTIVE: f64 = 0.90;
 
 /// Every metric handle the service records into, plus the trace log.
 ///
@@ -49,6 +58,8 @@ pub struct Telemetry {
     pub(crate) plan_last_retired: Arc<Gauge>,
     pub(crate) plan_last_us: Arc<Gauge>,
     pub(crate) breaker_state: Arc<Gauge>,
+    pub(crate) slo_burn_milli: [Arc<Gauge>; 6],
+    pub(crate) slo_fast_burn: [Arc<Gauge>; 3],
     pub(crate) recovery_records: Arc<Gauge>,
     pub(crate) recovery_truncated_bytes: Arc<Gauge>,
     pub(crate) recovery_answers_restored: Arc<Gauge>,
@@ -69,6 +80,12 @@ pub struct Telemetry {
     pub(crate) batch_spend_micros: Arc<Histogram>,
     pub(crate) batch_prompt_tokens: Arc<Histogram>,
     pub(crate) index_query_us: Arc<Histogram>,
+
+    // SLO burn-rate engines (multi-window: 5m and 1h). Recording is
+    // gated on the telemetry switch like every other handle.
+    pub(crate) slo_latency: Slo,
+    pub(crate) slo_availability: Slo,
+    pub(crate) slo_budget: Slo,
 }
 
 impl Telemetry {
@@ -207,6 +224,27 @@ impl Telemetry {
             "LLM circuit breaker state: 0 closed, 1 open, 2 half-open.",
             &[],
         );
+        let mut slo_burn_milli_vec = Vec::with_capacity(6);
+        for slo_name in ["answer_latency", "availability", "budget"] {
+            for window in ["5m", "1h"] {
+                slo_burn_milli_vec.push(registry.gauge(
+                    "er_slo_burn_rate_milli",
+                    "SLO error-budget burn rate over the window, thousandths (1000 = burning exactly at budget).",
+                    &[("slo", slo_name), ("window", window)],
+                ));
+            }
+        }
+        let slo_burn_milli: [Arc<Gauge>; 6] =
+            slo_burn_milli_vec.try_into().expect("six burn gauges");
+        let slo_fast_burn: [Arc<Gauge>; 3] =
+            ["answer_latency", "availability", "budget"].map(|slo_name| {
+                registry.gauge(
+                    "er_slo_fast_burn",
+                    "1 when both the 5m and 1h burn rates exceed the paging threshold.",
+                    &[("slo", slo_name)],
+                )
+            });
+
         let recovery_records = registry.gauge(
             "er_recovery_records_replayed",
             "Durable records replayed at the last startup.",
@@ -268,17 +306,20 @@ impl Telemetry {
             "Cost-governor settlement latency, microseconds.",
             &[],
         );
-        let answer_cache_us = registry.histogram(
+        // Exemplar-armed: the top buckets carry the trace id of the last
+        // sample that landed there, so a latency spike on a dashboard
+        // links straight to its `/trace?id=` span tree.
+        let answer_cache_us = registry.histogram_with_exemplars(
             "er_answer_us",
             "End-to-end submit-to-answer latency, microseconds, by source.",
             &[("source", "cache")],
         );
-        let answer_llm_us = registry.histogram(
+        let answer_llm_us = registry.histogram_with_exemplars(
             "er_answer_us",
             "End-to-end submit-to-answer latency, microseconds, by source.",
             &[("source", "llm")],
         );
-        let answer_fallback_us = registry.histogram(
+        let answer_fallback_us = registry.histogram_with_exemplars(
             "er_answer_us",
             "End-to-end submit-to-answer latency, microseconds, by source.",
             &[("source", "fallback")],
@@ -326,6 +367,8 @@ impl Telemetry {
             plan_last_retired,
             plan_last_us,
             breaker_state,
+            slo_burn_milli,
+            slo_fast_burn,
             recovery_records,
             recovery_truncated_bytes,
             recovery_answers_restored,
@@ -344,7 +387,64 @@ impl Telemetry {
             batch_spend_micros,
             batch_prompt_tokens,
             index_query_us,
+            slo_latency: Slo::new("answer_latency", SLO_LATENCY_OBJECTIVE),
+            slo_availability: Slo::new("availability", SLO_AVAILABILITY_OBJECTIVE),
+            slo_budget: Slo::new("budget", SLO_BUDGET_OBJECTIVE),
         }
+    }
+
+    /// The three SLO engines paired with their names, in gauge order.
+    fn slos(&self) -> [&Slo; 3] {
+        [&self.slo_latency, &self.slo_availability, &self.slo_budget]
+    }
+
+    /// Evaluates every SLO and refreshes the burn-rate gauges. Called at
+    /// render time so `/metrics` always scrapes current windows without a
+    /// background thread.
+    pub fn refresh_slo_gauges(&self) -> Vec<SloStatus> {
+        let statuses: Vec<SloStatus> = self.slos().iter().map(|s| s.evaluate()).collect();
+        for (i, status) in statuses.iter().enumerate() {
+            self.slo_burn_milli[2 * i].set((status.short.burn_rate * 1000.0) as i64);
+            self.slo_burn_milli[2 * i + 1].set((status.long.burn_rate * 1000.0) as i64);
+            self.slo_fast_burn[i].set(i64::from(status.fast_burn));
+        }
+        statuses
+    }
+
+    /// Renders every metric family as Prometheus text, with the SLO
+    /// gauges refreshed first.
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_slo_gauges();
+        self.registry.render_prometheus()
+    }
+
+    /// The `GET /slo` payload: every objective with both burn windows.
+    pub fn slo_json(&self) -> String {
+        let statuses = self.refresh_slo_gauges();
+        let mut out = String::from("{\"slos\":[");
+        for (i, (slo, status)) in self.slos().iter().zip(&statuses).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"objective\":{},\"short\":{},\"long\":{},\"fast_burn\":{}}}",
+                slo.name(),
+                status.objective,
+                window_json(&status.short),
+                window_json(&status.long),
+                status.fast_burn
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// True when any objective is in fast burn (both windows over the
+    /// paging threshold) — the flight recorder's SLO trigger.
+    pub fn any_fast_burn(&self) -> Option<&'static str> {
+        const NAMES: [&str; 3] = ["answer_latency", "availability", "budget"];
+        let statuses = self.refresh_slo_gauges();
+        statuses.iter().position(|s| s.fast_burn).map(|i| NAMES[i])
     }
 
     /// The metric registry (render with
@@ -357,6 +457,18 @@ impl Telemetry {
     pub fn trace(&self) -> &TraceLog {
         &self.trace
     }
+
+    /// Whether recording is live (false = dark no-op mode).
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+}
+
+fn window_json(w: &obs::WindowBurn) -> String {
+    format!(
+        "{{\"window_secs\":{},\"good\":{},\"bad\":{},\"burn_rate\":{:.3}}}",
+        w.window_secs, w.good, w.bad, w.burn_rate
+    )
 }
 
 #[cfg(test)]
@@ -386,6 +498,40 @@ mod tests {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
         obs::lint(&text).expect("telemetry render is valid Prometheus text");
+    }
+
+    #[test]
+    fn slo_gauges_and_json_render() {
+        let t = Telemetry::new(true, 16);
+        for _ in 0..20 {
+            t.slo_latency.record(true);
+            t.slo_availability.record(false); // 100% bad: fast burn
+            t.slo_budget.record(true);
+        }
+        let text = t.render_prometheus();
+        assert!(
+            text.contains(r#"er_slo_burn_rate_milli{slo="answer_latency",window="5m"} 0"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"er_slo_fast_burn{slo="availability"} 1"#),
+            "{text}"
+        );
+        obs::lint(&text).expect("slo gauges render as valid Prometheus text");
+
+        let json = t.slo_json();
+        assert!(json.contains(r#""name":"availability""#), "{json}");
+        assert!(json.contains(r#""fast_burn":true"#), "{json}");
+        assert_eq!(t.any_fast_burn(), Some("availability"));
+    }
+
+    #[test]
+    fn answer_histograms_carry_exemplars() {
+        let t = Telemetry::new(true, 16);
+        t.answer_llm_us.record_with_exemplar(5_000, 91);
+        let text = t.render_prometheus();
+        assert!(text.contains(r#"# {trace_id="91"} 5000"#), "{text}");
+        obs::lint(&text).expect("exemplar render is lint-clean");
     }
 
     #[test]

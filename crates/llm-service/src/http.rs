@@ -9,8 +9,23 @@ pub struct HttpRequest {
     pub method: String,
     /// Request path, e.g. `/v1/chat/completions`.
     pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Microseconds the connection waited in the accept backlog before a
+    /// worker picked it up (stamped by the serve loop; 0 otherwise).
+    pub queued_us: u64,
+}
+
+impl HttpRequest {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// An HTTP response to serialize.
@@ -56,6 +71,7 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<HttpRequest> {
     }
 
     let mut content_length = 0u64;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -69,6 +85,7 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<HttpRequest> {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -79,7 +96,7 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<HttpRequest> {
     }
     let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body)?;
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest { method, path, headers, body, queued_us: 0 })
 }
 
 /// Writes an HTTP/1.1 response with `Connection: close` semantics.
@@ -223,6 +240,19 @@ mod tests {
             let text = String::from_utf8(buf).unwrap();
             assert!(text.starts_with(&format!("HTTP/1.1 {status} ")));
         }
+    }
+
+    #[test]
+    fn headers_captured_lowercased() {
+        let raw = b"POST /x HTTP/1.1\r\nTraceparent: 00-abc-def-01\r\nX-Attempt: 2\r\nContent-Length: 2\r\n\r\nab";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.header("traceparent"), Some("00-abc-def-01"));
+        assert_eq!(req.header("X-ATTEMPT"), Some("2"));
+        assert_eq!(req.header("absent"), None);
+        assert!(req
+            .headers
+            .iter()
+            .all(|(k, _)| k.chars().all(|c| !c.is_ascii_uppercase())));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::http::{read_request, write_response, HttpRequest, HttpResponse};
 
@@ -98,7 +98,10 @@ where
     let stop = Arc::new(AtomicBool::new(false));
 
     let workers = options.worker_threads.max(1);
-    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+    // Each queued connection carries its accept timestamp so the worker
+    // that picks it up can report the backlog wait.
+    type QueuedConn = (TcpStream, Instant);
+    let (tx, rx): (SyncSender<QueuedConn>, Receiver<QueuedConn>) =
         sync_channel(options.backlog.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
@@ -112,8 +115,11 @@ where
                     let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
                     guard.recv()
                 };
-                let Ok(stream) = stream else { break };
-                handle_connection(stream, handler.as_ref(), options.io_timeout);
+                let Ok((stream, accepted)) = stream else {
+                    break;
+                };
+                let queued_us = accepted.elapsed().as_micros() as u64;
+                handle_connection(stream, handler.as_ref(), options.io_timeout, queued_us);
             })
         })
         .collect();
@@ -126,8 +132,9 @@ where
             }
             let Ok(stream) = stream else { continue };
             // Blocks when every worker is busy and the backlog is full:
-            // deliberate backpressure instead of unbounded threads.
-            if tx.send(stream).is_err() {
+            // deliberate backpressure instead of unbounded threads. The
+            // accept stamp lets workers report time spent waiting here.
+            if tx.send((stream, Instant::now())).is_err() {
                 break;
             }
         }
@@ -137,7 +144,7 @@ where
     Ok(HttpServerHandle { addr, stop, accept_handle: Some(accept_handle), worker_handles })
 }
 
-fn handle_connection<H>(mut stream: TcpStream, handler: &H, io_timeout: Duration)
+fn handle_connection<H>(mut stream: TcpStream, handler: &H, io_timeout: Duration, queued_us: u64)
 where
     H: Fn(HttpRequest) -> HttpResponse,
 {
@@ -146,7 +153,10 @@ where
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
     let response = match read_request(&mut stream) {
-        Ok(request) => handler(request),
+        Ok(mut request) => {
+            request.queued_us = queued_us;
+            handler(request)
+        }
         Err(e) => {
             // Serialized through the wire types, not by string pasting —
             // io::Error text may contain JSON-significant characters.

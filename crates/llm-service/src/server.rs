@@ -4,7 +4,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use llm::{ChatApi, ChatRequest, ChatResponse, LlmError, SimLlm, SimLlmConfig};
-use obs::{Counter, Histogram, Registry};
+use obs::{Counter, Histogram, Registry, TraceLog};
 
 use crate::http::{read_response, HttpRequest, HttpResponse};
 use crate::serve::{spawn_http_server, HttpServerHandle, ServeOptions};
@@ -58,6 +58,10 @@ struct ServerMetrics {
     completions: Arc<Counter>,
     errors: Arc<Counter>,
     request_us: Arc<Histogram>,
+    /// Child spans for requests that arrived with a `traceparent` header,
+    /// keyed by the caller's trace id so the caller can assemble the
+    /// cross-service span tree via `GET /trace?id=`.
+    traces: TraceLog,
 }
 
 impl ServerMetrics {
@@ -78,8 +82,22 @@ impl ServerMetrics {
             "Wall time spent handling one chat completion request, microseconds.",
             &[],
         );
-        Self { registry, completions, errors, request_us }
+        Self { registry, completions, errors, request_us, traces: TraceLog::new(512) }
     }
+}
+
+/// Extracts the caller's trace id from a `traceparent` header value
+/// (`00-<32 hex trace>-<16 hex parent>-<flags>`). The upper 64 bits of
+/// the trace field must be zero — this workspace's trace ids are u64.
+fn parse_traceparent(value: &str) -> Option<u64> {
+    let mut parts = value.split('-');
+    let _version = parts.next()?;
+    let trace_field = parts.next()?;
+    if trace_field.len() != 32 {
+        return None;
+    }
+    let wide = u128::from_str_radix(trace_field, 16).ok()?;
+    u64::try_from(wide).ok().filter(|&id| id != 0)
 }
 
 /// A running loopback service. Dropping it shuts the server down and
@@ -102,40 +120,56 @@ impl RunningServer {
 }
 
 fn route(req: HttpRequest, llm: &SimLlm, metrics: &ServerMetrics) -> HttpResponse {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (req.path.clone(), String::new()),
+    };
+    match (req.method.as_str(), path.as_str()) {
         ("POST", "/v1/chat/completions") => {
             let _timer = metrics.request_us.start_timer();
-            let wire: WireRequest = match serde_json::from_slice(&req.body) {
-                Ok(w) => w,
-                Err(e) => {
-                    metrics.errors.inc();
-                    return bad_request(&format!("invalid JSON body: {e}"));
-                }
+            // Callers propagate their trace in a traceparent header; record
+            // this request as a child span keyed by that id so the caller
+            // can pull it back out with `GET /trace?id=`.
+            let caller_trace = req
+                .header("traceparent")
+                .and_then(parse_traceparent)
+                .unwrap_or(0);
+            let span = if caller_trace != 0 {
+                let span = metrics.traces.begin(caller_trace, "received");
+                metrics
+                    .traces
+                    .stamp_with(span, "queue_wait", format!("{}us", req.queued_us));
+                let attempt = req
+                    .header("x-attempt")
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or(0);
+                metrics
+                    .traces
+                    .stamp_with(span, "attempt", attempt.to_string());
+                span
+            } else {
+                0
             };
-            let chat_req = match to_chat_request(&wire) {
-                Ok(r) => r,
-                Err(err) => {
-                    metrics.errors.inc();
-                    return error_response(&err);
-                }
-            };
-            match llm.complete(&chat_req) {
-                Ok(resp) => {
-                    let body = serde_json::to_vec(&from_chat_response(&resp))
-                        .expect("wire response serializes");
-                    metrics.completions.inc();
-                    HttpResponse::json(200, body)
-                }
-                Err(err) => {
-                    metrics.errors.inc();
-                    error_response(&err)
+            let response = complete_chat(&req, llm, metrics);
+            if span != 0 {
+                if response.status == 200 {
+                    metrics.traces.finish(span, "completed", None);
+                } else {
+                    metrics
+                        .traces
+                        .finish(span, "error", Some(format!("http {}", response.status)));
                 }
             }
+            response
         }
         ("GET", "/healthz") => HttpResponse::json(200, br#"{"status":"ok"}"#.to_vec()),
         ("GET", "/metrics") => {
             HttpResponse::text(200, metrics.registry.render_prometheus().into_bytes())
         }
+        ("GET", "/trace") => match query_param(&query, "id").map(|v| v.parse::<u64>()) {
+            Some(Ok(id)) => HttpResponse::json(200, metrics.traces.by_key_json(id).into_bytes()),
+            _ => bad_request("trace lookup needs a numeric ?id= parameter"),
+        },
         ("POST", _) | ("GET", _) => HttpResponse::json(
             404,
             serde_json::to_vec(&WireError {
@@ -151,6 +185,45 @@ fn route(req: HttpRequest, llm: &SimLlm, metrics: &ServerMetrics) -> HttpRespons
             br#"{"error":{"message":"method not allowed","code":"method_not_allowed"}}"#.to_vec(),
         ),
     }
+}
+
+/// The body of `POST /v1/chat/completions`: decode, simulate, encode.
+fn complete_chat(req: &HttpRequest, llm: &SimLlm, metrics: &ServerMetrics) -> HttpResponse {
+    let wire: WireRequest = match serde_json::from_slice(&req.body) {
+        Ok(w) => w,
+        Err(e) => {
+            metrics.errors.inc();
+            return bad_request(&format!("invalid JSON body: {e}"));
+        }
+    };
+    let chat_req = match to_chat_request(&wire) {
+        Ok(r) => r,
+        Err(err) => {
+            metrics.errors.inc();
+            return error_response(&err);
+        }
+    };
+    match llm.complete(&chat_req) {
+        Ok(resp) => {
+            let body =
+                serde_json::to_vec(&from_chat_response(&resp)).expect("wire response serializes");
+            metrics.completions.inc();
+            HttpResponse::json(200, body)
+        }
+        Err(err) => {
+            metrics.errors.inc();
+            error_response(&err)
+        }
+    }
+}
+
+/// The value of `name` in an `a=1&b=2` query string.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
 }
 
 fn error_response(err: &LlmError) -> HttpResponse {
@@ -262,9 +335,20 @@ impl HttpChatClient {
 
         let mut stream = TcpStream::connect(self.addr)
             .map_err(|e| LlmError::Transport(format!("connect {}: {e}", self.addr)))?;
+        // Propagate the caller's trace context (W3C traceparent shape:
+        // u64 trace id zero-extended to 128 bits, reused as parent span).
+        let trace_headers = if request.trace_id != 0 {
+            format!(
+                "Traceparent: 00-{:032x}-{:016x}-01\r\nX-Attempt: {}\r\n",
+                request.trace_id, request.trace_id, request.attempt
+            )
+        } else {
+            String::new()
+        };
         let header = format!(
-            "POST /v1/chat/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "POST /v1/chat/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n{}Content-Length: {}\r\n\r\n",
             self.addr,
+            trace_headers,
             body.len()
         );
         use std::io::Write;
@@ -307,6 +391,25 @@ impl ChatApi for HttpChatClient {
                 other => return other,
             }
         }
+    }
+
+    fn trace_children(&self, trace_id: u64) -> Option<String> {
+        if trace_id == 0 {
+            return None;
+        }
+        let mut stream = TcpStream::connect(self.addr).ok()?;
+        use std::io::Write;
+        write!(
+            stream,
+            "GET /trace?id={trace_id} HTTP/1.1\r\nHost: {}\r\n\r\n",
+            self.addr
+        )
+        .ok()?;
+        let (status, body) = read_response(&mut stream).ok()?;
+        if status != 200 {
+            return None;
+        }
+        String::from_utf8(body).ok()
     }
 }
 
@@ -556,6 +659,97 @@ mod tests {
             .unwrap();
         assert!(parse_answers(&resp.content, 2).is_ok());
         assert_eq!(retries.get(), 0);
+    }
+
+    #[test]
+    fn traceparent_parses_and_rejects() {
+        assert_eq!(
+            parse_traceparent("00-0000000000000000000000000000002a-000000000000002a-01"),
+            Some(42)
+        );
+        // Zero trace id means "untraced".
+        assert_eq!(
+            parse_traceparent("00-00000000000000000000000000000000-0000000000000000-01"),
+            None
+        );
+        // Trace ids wider than u64 are not ours.
+        assert_eq!(
+            parse_traceparent("00-10000000000000000000000000000001-0000000000000001-01"),
+            None
+        );
+        assert_eq!(parse_traceparent("garbage"), None);
+        assert_eq!(parse_traceparent("00-abc-def-01"), None);
+    }
+
+    #[test]
+    fn traced_request_leaves_a_child_span() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        let req = ChatRequest::new(ModelKind::Gpt4, prompt(), 5).with_trace(777, 2);
+        client.complete(&req).unwrap();
+
+        let children = client.trace_children(777).expect("trace endpoint answers");
+        assert!(
+            children.contains(r#""key":"0000000000000309""#),
+            "{children}"
+        );
+        assert!(children.contains(r#""stage":"received""#), "{children}");
+        assert!(children.contains(r#""stage":"queue_wait""#), "{children}");
+        assert!(children.contains(r#""stage":"attempt""#), "{children}");
+        assert!(children.contains(r#""detail":"2""#), "{children}");
+        assert!(children.contains(r#""stage":"completed""#), "{children}");
+
+        // An untraced id yields an empty span list, not an error.
+        assert_eq!(client.trace_children(424242).as_deref(), Some("[]"));
+        // Untraced requests never open spans.
+        assert!(client.trace_children(0).is_none());
+    }
+
+    #[test]
+    fn each_retry_attempt_is_its_own_child_span() {
+        let server = LlmServer::new().start().unwrap();
+        let client = server.client();
+        for attempt in 0..3u32 {
+            let req = ChatRequest::new(ModelKind::Gpt4, prompt(), 9).with_trace(555, attempt);
+            client.complete(&req).unwrap();
+        }
+        let children = client.trace_children(555).unwrap();
+        assert_eq!(
+            children.matches(r#""stage":"received""#).count(),
+            3,
+            "{children}"
+        );
+        assert_eq!(
+            children.matches(r#""stage":"completed""#).count(),
+            3,
+            "{children}"
+        );
+    }
+
+    #[test]
+    fn trace_endpoint_rejects_unparsable_id() {
+        let server = LlmServer::new().start().unwrap();
+        for path in ["/trace", "/trace?id=bogus", "/trace?x=1"] {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            use std::io::Write;
+            write!(stream, "GET {path} HTTP/1.1\r\n\r\n").unwrap();
+            let (status, _) = read_response(&mut stream).unwrap();
+            assert_eq!(status, 400, "{path}");
+        }
+    }
+
+    #[test]
+    fn failed_traced_request_finishes_with_error_span() {
+        let server =
+            LlmServer::with_config(SimLlmConfig { rate_limit_rate: 1.0, ..Default::default() })
+                .start()
+                .unwrap();
+        let client = server.client();
+        let req = ChatRequest::new(ModelKind::Gpt4, prompt(), 1).with_trace(31, 0);
+        client.complete(&req).unwrap_err();
+        let children = client.trace_children(31).unwrap();
+        assert!(children.contains(r#""stage":"error""#), "{children}");
+        assert!(children.contains("http 429"), "{children}");
     }
 
     #[test]

@@ -88,7 +88,16 @@ pub fn to_chat_request(wire: &WireRequest) -> Result<ChatRequest, LlmError> {
         .map(|m| m.content.as_str())
         .collect::<Vec<_>>()
         .join("\n");
-    Ok(ChatRequest { model, prompt, temperature: wire.temperature, seed: wire.seed })
+    // Trace context travels in headers (`traceparent` / `x-attempt`), not
+    // the body; the server stamps it onto the request after parsing.
+    Ok(ChatRequest {
+        model,
+        prompt,
+        temperature: wire.temperature,
+        seed: wire.seed,
+        trace_id: 0,
+        attempt: 0,
+    })
 }
 
 /// Converts a simulator response into the wire shape.

@@ -25,12 +25,28 @@ pub struct ChatRequest {
     /// Per-request seed for reproducible runs. Two identical requests with
     /// the same seed produce identical responses.
     pub seed: u64,
+    /// Caller's trace id, propagated across service hops as a
+    /// `traceparent`-style header by HTTP clients (0 = untraced). Never
+    /// affects the completion itself.
+    #[serde(default)]
+    pub trace_id: u64,
+    /// Which retry attempt this request is (0 = first try); recorded on
+    /// the callee's child span.
+    #[serde(default)]
+    pub attempt: u32,
 }
 
 impl ChatRequest {
     /// A request with the paper's default temperature (0.01).
     pub fn new(model: ModelKind, prompt: impl Into<String>, seed: u64) -> Self {
-        Self { model, prompt: prompt.into(), temperature: 0.01, seed }
+        Self { model, prompt: prompt.into(), temperature: 0.01, seed, trace_id: 0, attempt: 0 }
+    }
+
+    /// Stamps the propagated trace context onto the request.
+    pub fn with_trace(mut self, trace_id: u64, attempt: u32) -> Self {
+        self.trace_id = trace_id;
+        self.attempt = attempt;
+        self
     }
 }
 

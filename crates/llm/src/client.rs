@@ -20,6 +20,14 @@ use crate::tokenizer::count_tokens;
 pub trait ChatApi: Send + Sync {
     /// Performs one chat completion.
     fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
+
+    /// The endpoint's child spans for a propagated trace id, as a JSON
+    /// array, for assembling a cross-service span tree. `None` when the
+    /// endpoint keeps no trace log (the in-process simulator) or cannot
+    /// be reached; remote clients fetch the callee's `GET /trace?id=`.
+    fn trace_children(&self, _trace_id: u64) -> Option<String> {
+        None
+    }
 }
 
 /// Fault-injection knobs for resilience testing. All rates are

@@ -34,8 +34,8 @@ fn main() -> ExitCode {
     for (name, body) in inputs {
         match obs::lint(&body) {
             Ok(report) => println!(
-                "{name}: OK ({} families, {} histograms, {} samples)",
-                report.families, report.histograms, report.samples
+                "{name}: OK ({} families, {} histograms, {} samples, {} exemplars)",
+                report.families, report.histograms, report.samples, report.exemplars
             ),
             Err(issues) => {
                 failed = true;

@@ -1,0 +1,143 @@
+//! A bounded ring of structured events — the flight recorder's memory.
+//!
+//! Unlike the span log (which follows one request), the event log records
+//! *system* transitions: breaker trips, degraded-mode entries, SLO
+//! fast-burns, recovery findings, periodic metric snapshots. It is
+//! always on and strictly bounded, so when an anomaly trigger fires the
+//! recent history is already there to dump — no "enable debug logging
+//! and wait for it to happen again".
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the log was created.
+    pub at_us: u64,
+    /// Event kind (static by design — kinds are code, not data).
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded, always-on event ring. One per service; share by reference.
+pub struct EventLog {
+    capacity: usize,
+    started: Instant,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventLog {
+    /// A log retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            started: Instant::now(),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) {
+        let seq = self.recorded.fetch_add(1, Ordering::Relaxed) + 1;
+        let at_us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut ring = lock(&self.ring);
+        ring.push_back(Event { seq, at_us, kind, detail: detail.into() });
+        if ring.len() > self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events recorded so far (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `k` events, newest first.
+    pub fn recent(&self, k: usize) -> Vec<Event> {
+        let ring = lock(&self.ring);
+        ring.iter().rev().take(k).cloned().collect()
+    }
+
+    /// The most recent `k` events as a JSON array, newest first.
+    pub fn recent_json(&self, k: usize) -> String {
+        let events = self.recent(k);
+        let mut out = String::with_capacity(events.len() * 96 + 2);
+        out.push('[');
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                e.seq,
+                e.at_us,
+                crate::trace::json_escape(e.kind),
+                crate::trace::json_escape(&e.detail)
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_sequences() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.record("tick", format!("n={i}"));
+        }
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 2);
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 5); // newest first
+        assert_eq!(recent[2].seq, 3);
+        assert_eq!(recent[0].detail, "n=4");
+    }
+
+    #[test]
+    fn json_shape_escapes() {
+        let log = EventLog::new(4);
+        log.record("breaker_open", "state=\"open\"\n");
+        let json = log.recent_json(4);
+        assert!(json.starts_with("[{\"seq\":1,"), "{json}");
+        assert!(json.contains("\"kind\":\"breaker_open\""), "{json}");
+        assert!(
+            json.contains("\"detail\":\"state=\\\"open\\\"\\n\""),
+            "{json}"
+        );
+    }
+}

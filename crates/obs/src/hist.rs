@@ -76,6 +76,24 @@ impl Shard {
     }
 }
 
+/// One captured exemplar: the trace id of a real observation that landed
+/// in a bucket, plus the observed value itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The trace id recorded alongside the observation (never 0).
+    pub trace_id: u64,
+    /// The observed value (always within the bucket's bounds).
+    pub value: u64,
+}
+
+/// Per-bucket exemplar slot, last write wins. The value is stored before
+/// the id; a racing reader can at worst pair the new id with the previous
+/// observation's value, which still lies in the same bucket.
+struct ExemplarSlot {
+    trace_id: AtomicU64,
+    value: AtomicU64,
+}
+
 /// A concurrent log-linear histogram. Created through
 /// [`crate::registry::Registry`] for exposition, or
 /// [`Histogram::detached`] for standalone measurement.
@@ -85,6 +103,9 @@ pub struct Histogram {
     /// Exact extremes (the bucketed quantiles clamp to these).
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar capture, armed at construction (`None` keeps
+    /// the recording path allocation- and branch-light).
+    exemplars: Option<Box<[ExemplarSlot]>>,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -110,12 +131,26 @@ impl Histogram {
     }
 
     pub(crate) fn with_enabled(enabled: bool) -> Self {
+        Self::with_options(enabled, false)
+    }
+
+    pub(crate) fn with_options(enabled: bool, exemplars: bool) -> Self {
         Self {
             enabled,
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: (enabled && exemplars).then(|| {
+                (0..N_BUCKETS)
+                    .map(|_| ExemplarSlot { trace_id: AtomicU64::new(0), value: AtomicU64::new(0) })
+                    .collect()
+            }),
         }
+    }
+
+    /// A standalone histogram with per-bucket exemplar capture armed.
+    pub fn detached_with_exemplars() -> Self {
+        Self::with_options(true, true)
     }
 
     /// Records one observation. Lock-free; a disabled histogram records
@@ -134,6 +169,45 @@ impl Histogram {
     /// Records a [`std::time::Duration`] in microseconds.
     pub fn record_duration_us(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one observation and — when exemplar capture is armed and
+    /// `trace_id` is nonzero — stamps it as the bucket's exemplar, last
+    /// write winning. Without armed capture this is exactly [`record`].
+    ///
+    /// [`record`]: Histogram::record
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if let Some(slots) = &self.exemplars {
+            if trace_id != 0 {
+                let slot = &slots[bucket_index(v)];
+                slot.value.store(v, Ordering::Relaxed);
+                slot.trace_id.store(trace_id, Ordering::Release);
+            }
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds with an
+    /// exemplar trace id.
+    pub fn record_duration_us_with_exemplar(&self, d: std::time::Duration, trace_id: u64) {
+        self.record_with_exemplar(u64::try_from(d.as_micros()).unwrap_or(u64::MAX), trace_id);
+    }
+
+    /// The exemplar captured for bucket `i`, if capture is armed and a
+    /// traced observation ever landed there.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        let slots = self.exemplars.as_ref()?;
+        let slot = slots.get(i)?;
+        let trace_id = slot.trace_id.load(Ordering::Acquire);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Exemplar { trace_id, value: slot.value.load(Ordering::Relaxed) })
+    }
+
+    /// Whether per-bucket exemplar capture is armed.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.is_some()
     }
 
     /// Starts a timer that records its elapsed microseconds on drop —
@@ -319,6 +393,32 @@ mod tests {
         assert_eq!(s.sum, (0..8000u64).sum::<u64>());
         assert_eq!(s.max, 7999);
         assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn exemplars_capture_last_traced_observation_per_bucket() {
+        let h = Histogram::detached_with_exemplars();
+        assert!(h.has_exemplars());
+        h.record_with_exemplar(1000, 7);
+        h.record_with_exemplar(1010, 8); // same bucket: last write wins
+        h.record_with_exemplar(5, 9);
+        h.record_with_exemplar(3, 0); // zero trace id: counted, no exemplar
+        h.record(2_000_000); // untraced: counted, no exemplar
+
+        let ex = h.exemplar(bucket_index(1010)).unwrap();
+        assert_eq!((ex.trace_id, ex.value), (8, 1010));
+        let ex = h.exemplar(bucket_index(5)).unwrap();
+        assert_eq!((ex.trace_id, ex.value), (9, 5));
+        assert!(h.exemplar(bucket_index(3)).is_none());
+        assert!(h.exemplar(bucket_index(2_000_000)).is_none());
+        assert_eq!(h.snapshot().count, 5);
+
+        // Unarmed histograms record normally and expose nothing.
+        let plain = Histogram::detached();
+        plain.record_with_exemplar(1000, 7);
+        assert!(!plain.has_exemplars());
+        assert!(plain.exemplar(bucket_index(1000)).is_none());
+        assert_eq!(plain.snapshot().count, 1);
     }
 
     #[test]

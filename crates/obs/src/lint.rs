@@ -42,6 +42,8 @@ pub struct LintReport {
     pub histograms: usize,
     /// Sample lines.
     pub samples: usize,
+    /// OpenMetrics-style exemplars attached to bucket samples.
+    pub exemplars: usize,
 }
 
 /// Parsed `k="v"` label pairs in document order.
@@ -65,6 +67,7 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
     // (family, label-key-without-le) -> accumulated histogram series
     let mut hists: HashMap<(String, String), HistSeries> = HashMap::new();
     let mut samples = 0usize;
+    let mut exemplars = 0usize;
 
     for (i, raw) in text.lines().enumerate() {
         let n = i + 1;
@@ -108,8 +111,8 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
             continue;
         }
 
-        // Sample line: name[{labels}] value [timestamp]
-        let (name, labels, value) = match parse_sample(line) {
+        // Sample line: name[{labels}] value [timestamp] [# {labels} value]
+        let (name, labels, value, exemplar) = match parse_sample(line) {
             Ok(parts) => parts,
             Err(message) => {
                 issue(message);
@@ -130,6 +133,40 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
                 issue(format!("invalid label name {k:?} on {name}"));
             }
         }
+        let exemplar = match exemplar {
+            None => None,
+            Some((ex_labels, ex_value)) => {
+                let mut ok = true;
+                if ex_labels.is_empty() {
+                    issue(format!("exemplar on {name} has no labels"));
+                    ok = false;
+                }
+                for (k, _) in &ex_labels {
+                    if !crate::registry::valid_label_name(k) {
+                        issue(format!("invalid exemplar label name {k:?} on {name}"));
+                        ok = false;
+                    }
+                }
+                match parse_value(&ex_value) {
+                    Ok(v) if ok => {
+                        if !name.ends_with("_bucket") {
+                            issue(format!(
+                                "exemplar on {name}: only _bucket samples may carry exemplars"
+                            ));
+                            None
+                        } else {
+                            exemplars += 1;
+                            Some(v)
+                        }
+                    }
+                    Ok(_) => None,
+                    Err(()) => {
+                        issue(format!("unparseable exemplar value {ex_value:?} on {name}"));
+                        None
+                    }
+                }
+            }
+        };
 
         // Attribute histogram samples to their family.
         let hist_family = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
@@ -147,6 +184,13 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
                     issue(format!("unparseable le value {le:?} on {name}"));
                     continue;
                 };
+                if let Some(ex) = exemplar {
+                    if ex > le {
+                        issue(format!(
+                            "exemplar value {ex} on {name} exceeds its bucket bound le=\"{le}\""
+                        ));
+                    }
+                }
                 let key = label_key(&labels, true);
                 hists
                     .entry((family, key))
@@ -236,6 +280,7 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
             families: types.len(),
             histograms: types.values().filter(|k| *k == "histogram").count(),
             samples,
+            exemplars,
         })
     } else {
         issues.sort_by_key(|i| i.line);
@@ -243,8 +288,11 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<LintIssue>> {
     }
 }
 
-/// Splits a sample line into `(name, labels, value-token)`.
-fn parse_sample(line: &str) -> Result<(String, Labels, String), String> {
+/// Splits a sample line into `(name, labels, value-token, exemplar)`.
+/// The exemplar, when present, is the OpenMetrics `# {labels} value`
+/// suffix, returned as its label pairs and value token.
+#[allow(clippy::type_complexity)]
+fn parse_sample(line: &str) -> Result<(String, Labels, String, Option<(Labels, String)>), String> {
     let (name, rest) = match line.find(['{', ' ']) {
         Some(pos) => (line[..pos].to_owned(), &line[pos..]),
         None => return Err(format!("sample line has no value: {line:?}")),
@@ -253,6 +301,12 @@ fn parse_sample(line: &str) -> Result<(String, Labels, String), String> {
         parse_labels(body)?
     } else {
         (Vec::new(), rest)
+    };
+    // An exemplar rides after a ` # ` separator; label values were
+    // already consumed above, so any remaining '#' is the separator.
+    let (rest, exemplar_part) = match rest.find('#') {
+        Some(pos) => (&rest[..pos], Some(rest[pos + 1..].trim_start())),
+        None => (rest, None),
     };
     let mut tokens = rest.split_ascii_whitespace();
     let value = tokens
@@ -267,7 +321,30 @@ fn parse_sample(line: &str) -> Result<(String, Labels, String), String> {
     if tokens.next().is_some() {
         return Err(format!("trailing tokens after timestamp: {line:?}"));
     }
-    Ok((name, labels, value.to_owned()))
+    let exemplar = match exemplar_part {
+        None => None,
+        Some(part) => {
+            let body = part
+                .strip_prefix('{')
+                .ok_or_else(|| format!("exemplar without label set: {line:?}"))?;
+            let (ex_labels, after) = parse_labels(body)?;
+            let mut ex_tokens = after.split_ascii_whitespace();
+            let ex_value = ex_tokens
+                .next()
+                .ok_or_else(|| format!("exemplar has no value: {line:?}"))?;
+            if let Some(ts) = ex_tokens.next() {
+                // Optional exemplar timestamp (seconds, may be fractional).
+                if ts.parse::<f64>().is_err() {
+                    return Err(format!("unparseable exemplar timestamp {ts:?}"));
+                }
+            }
+            if ex_tokens.next().is_some() {
+                return Err(format!("trailing tokens after exemplar: {line:?}"));
+            }
+            Some((ex_labels, ex_value.to_owned()))
+        }
+    };
+    Ok((name, labels, value.to_owned(), exemplar))
 }
 
 /// Parses `k="v",...}` (the body after the opening `{`), returning the
@@ -377,8 +454,48 @@ mod tests {
         ));
         assert_eq!(
             report,
-            LintReport { families: 2, histograms: 1, samples: 6 }
+            LintReport { families: 2, histograms: 1, samples: 6, exemplars: 0 }
         );
+    }
+
+    #[test]
+    fn exemplars_on_bucket_lines_validate() {
+        let report = assert_clean(concat!(
+            "# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"8\"} 5 # {trace_id=\"19\"} 7\n",
+            "lat_us_bucket{le=\"+Inf\"} 6 # {trace_id=\"20\"} 90\n",
+            "lat_us_sum 120\n",
+            "lat_us_count 6\n",
+        ));
+        assert_eq!(report.exemplars, 2);
+    }
+
+    #[test]
+    fn malformed_exemplars_flagged() {
+        // Exemplar value above its bucket bound.
+        assert_flagged(
+            concat!(
+                "# TYPE lat_us histogram\n",
+                "lat_us_bucket{le=\"8\"} 5 # {trace_id=\"19\"} 9\n",
+                "lat_us_bucket{le=\"+Inf\"} 5\n",
+                "lat_us_sum 20\n",
+                "lat_us_count 5\n",
+            ),
+            "exceeds its bucket bound",
+        );
+        // Exemplars belong on bucket lines only.
+        assert_flagged("ok_total 3 # {trace_id=\"1\"} 2\n", "only _bucket samples");
+        // Syntax errors.
+        assert_flagged("ok_bucket{le=\"1\"} 1 # notlabels 2\n", "without label set");
+        assert_flagged(
+            "ok_bucket{le=\"1\"} 1 # {trace_id=\"1\"}\n",
+            "exemplar has no value",
+        );
+        assert_flagged(
+            "ok_bucket{le=\"1\"} 1 # {trace_id=\"1\"} nope\n",
+            "unparseable exemplar value",
+        );
+        assert_flagged("ok_bucket{le=\"1\"} 1 # {} 1\n", "has no labels");
     }
 
     #[test]

@@ -171,6 +171,22 @@ impl Registry {
         handle
     }
 
+    /// Registers a histogram family with per-bucket exemplar capture
+    /// armed: observations recorded through
+    /// [`Histogram::record_with_exemplar`] stamp their trace id onto the
+    /// bucket they land in, and the scrape renders an OpenMetrics-style
+    /// `# {trace_id="..."} value` suffix on that bucket's sample line.
+    pub fn histogram_with_exemplars(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let handle = Arc::new(Histogram::with_options(self.enabled, true));
+        self.register(name, help, labels, Handle::Histogram(Arc::clone(&handle)));
+        handle
+    }
+
     fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], handle: Handle) {
         assert!(valid_metric_name(name), "invalid metric name: {name:?}");
         for (k, _) in labels {
@@ -252,7 +268,9 @@ impl Registry {
                                 &series.labels,
                                 Some(&le.to_string()),
                             );
-                            out.push_str(&format!(" {cum}\n"));
+                            out.push_str(&format!(" {cum}"));
+                            push_exemplar(&mut out, h, i);
+                            out.push('\n');
                         }
                         sample_line(
                             &mut out,
@@ -261,7 +279,9 @@ impl Registry {
                             &series.labels,
                             Some("+Inf"),
                         );
-                        out.push_str(&format!(" {}\n", s.count));
+                        out.push_str(&format!(" {}", s.count));
+                        push_exemplar(&mut out, h, N_BUCKETS - 1);
+                        out.push('\n');
                         sample_line(&mut out, &family.name, "_sum", &series.labels, None);
                         out.push_str(&format!(" {}\n", s.sum));
                         sample_line(&mut out, &family.name, "_count", &series.labels, None);
@@ -276,6 +296,14 @@ impl Registry {
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Appends an OpenMetrics-style exemplar suffix (` # {trace_id="N"} v`)
+/// to a bucket sample line when the histogram captured one there.
+fn push_exemplar(out: &mut String, h: &Histogram, bucket: usize) {
+    if let Some(ex) = h.exemplar(bucket) {
+        out.push_str(&format!(" # {{trace_id=\"{}\"}} {}", ex.trace_id, ex.value));
+    }
 }
 
 fn sample_line(
@@ -404,6 +432,30 @@ mod tests {
         assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("latency_us_sum 102\n"));
         assert!(text.contains("latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn exemplar_armed_histogram_renders_bucket_exemplars() {
+        let r = Registry::new();
+        let h = r.histogram_with_exemplars("lat_us", "Latency.", &[("source", "llm")]);
+        h.record_with_exemplar(100, 41);
+        h.record_with_exemplar(u64::MAX, 42);
+        h.record(3); // untraced observation: plain bucket line
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("lat_us_bucket{source=\"llm\",le=\"111\"} 2 # {trace_id=\"41\"} 100\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "lat_us_bucket{source=\"llm\",le=\"+Inf\"} 3 # {trace_id=\"42\"} 18446744073709551615\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{source=\"llm\",le=\"3\"} 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -195,40 +195,110 @@ impl TraceLog {
         inner.done.iter().rev().take(k).cloned().collect()
     }
 
+    /// Looks up one span by its trace id: the completed ring first, then
+    /// the active table (an in-flight span renders with the stages
+    /// stamped so far and its elapsed time as `total_us`).
+    pub fn find(&self, trace_id: u64) -> Option<Span> {
+        if !self.enabled || trace_id == 0 {
+            return None;
+        }
+        let inner = lock(&self.inner);
+        if let Some(span) = inner.done.iter().rev().find(|s| s.trace_id == trace_id) {
+            return Some(span.clone());
+        }
+        inner.active.get(&trace_id).map(|active| Span {
+            trace_id,
+            key: active.key,
+            events: active.events.clone(),
+            total_us: elapsed_us(active.opened),
+        })
+    }
+
+    /// One span by trace id, rendered as a JSON object (`None` when the
+    /// id is unknown, evicted, or zero).
+    pub fn find_json(&self, trace_id: u64) -> Option<String> {
+        self.find(trace_id).map(|span| span_json(&span))
+    }
+
+    /// Every retained span whose correlation `key` matches, newest
+    /// first — completed spans before still-active ones. This is how a
+    /// downstream service's child spans are gathered: the callee keys
+    /// its spans by the caller's propagated trace id.
+    pub fn by_key(&self, key: u64) -> Vec<Span> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let inner = lock(&self.inner);
+        let mut spans: Vec<Span> = inner
+            .done
+            .iter()
+            .rev()
+            .filter(|s| s.key == key)
+            .cloned()
+            .collect();
+        for (id, active) in &inner.active {
+            if active.key == key {
+                spans.push(Span {
+                    trace_id: *id,
+                    key,
+                    events: active.events.clone(),
+                    total_us: elapsed_us(active.opened),
+                });
+            }
+        }
+        spans
+    }
+
+    /// [`TraceLog::by_key`] rendered as a JSON array.
+    pub fn by_key_json(&self, key: u64) -> String {
+        spans_json(&self.by_key(key))
+    }
+
     /// The most recent `k` completed spans as a JSON array (newest
     /// first): `[{"trace_id":n,"key":"<hex>","total_us":n,"events":
     /// [{"stage":s,"at_us":n,"detail":s?},...]},...]`.
     pub fn recent_json(&self, k: usize) -> String {
-        let spans = self.recent(k);
-        let mut out = String::with_capacity(spans.len() * 160 + 2);
-        out.push('[');
-        for (i, span) in spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"trace_id\":{},\"key\":\"{:016x}\",\"total_us\":{},\"events\":[",
-                span.trace_id, span.key, span.total_us
-            ));
-            for (j, e) in span.events.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!(
-                    "{{\"stage\":\"{}\",\"at_us\":{}",
-                    json_escape(e.stage),
-                    e.at_us
-                ));
-                if let Some(detail) = &e.detail {
-                    out.push_str(&format!(",\"detail\":\"{}\"", json_escape(detail)));
-                }
-                out.push('}');
-            }
-            out.push_str("]}");
-        }
-        out.push(']');
-        out
+        spans_json(&self.recent(k))
     }
+}
+
+/// Renders one span as a JSON object.
+pub fn span_json(span: &Span) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str(&format!(
+        "{{\"trace_id\":{},\"key\":\"{:016x}\",\"total_us\":{},\"events\":[",
+        span.trace_id, span.key, span.total_us
+    ));
+    for (j, e) in span.events.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"stage\":\"{}\",\"at_us\":{}",
+            json_escape(e.stage),
+            e.at_us
+        ));
+        if let Some(detail) = &e.detail {
+            out.push_str(&format!(",\"detail\":\"{}\"", json_escape(detail)));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a slice of spans as a JSON array.
+pub fn spans_json(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(spans.len() * 160 + 2);
+    out.push('[');
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&span_json(span));
+    }
+    out.push(']');
+    out
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -239,7 +309,7 @@ fn lock(mutex: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -321,6 +391,43 @@ mod tests {
             json.contains("\"detail\":\"cache \\\"hit\\\"\\n\""),
             "{json}"
         );
+    }
+
+    #[test]
+    fn find_covers_done_active_and_unknown() {
+        let log = TraceLog::new(4);
+        let done = log.begin(7, "submitted");
+        log.finish(done, "answered", None);
+        let live = log.begin(7, "submitted");
+        log.stamp(live, "enqueued");
+
+        let found = log.find(done).unwrap();
+        assert_eq!(found.events.last().unwrap().stage, "answered");
+        let active = log.find(live).unwrap();
+        assert_eq!(active.events.last().unwrap().stage, "enqueued");
+        assert!(log.find(0).is_none());
+        assert!(log.find(done + live + 99).is_none());
+        assert!(log.find_json(done).unwrap().starts_with("{\"trace_id\":"));
+    }
+
+    #[test]
+    fn by_key_gathers_every_span_for_a_correlation_key() {
+        let log = TraceLog::new(8);
+        let a = log.begin(42, "received");
+        log.finish(a, "completed", None);
+        let b = log.begin(42, "received");
+        log.finish(b, "completed", None);
+        let live = log.begin(42, "received");
+        let _other = log.begin(43, "received");
+
+        let spans = log.by_key(42);
+        assert_eq!(spans.len(), 3);
+        // Completed spans newest-first, then the active one.
+        assert_eq!(spans[0].trace_id, b);
+        assert_eq!(spans[1].trace_id, a);
+        assert_eq!(spans[2].trace_id, live);
+        assert!(log.by_key(99).is_empty());
+        assert!(log.by_key_json(42).starts_with("[{\"trace_id\":"));
     }
 
     #[test]

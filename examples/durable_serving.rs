@@ -53,6 +53,9 @@ fn start(dir: &std::path::Path) -> ErService {
             // `Always`: every record is fsynced before a client sees its
             // answer, so even a power cut loses nothing settled.
             wal: Some(WalConfig { sync: SyncPolicy::Always, ..WalConfig::at(dir) }),
+            // Anomalies (recovery violations, WAL degradation) dump
+            // flight-recorder bundles here for the supervisor to collect.
+            flight_dir: std::env::var("FLIGHT_DIR").map(PathBuf::from).ok(),
             ..ServiceConfig::default()
         },
     )
@@ -118,6 +121,18 @@ fn verify(dir: &std::path::Path) {
     );
     std::fs::write(&out, report).expect("write recovery report");
     println!("recovery report -> {}", out.display());
+
+    // Dump a post-recovery flight bundle: the same artifact an anomaly
+    // trigger would produce, captured while the recovered state is
+    // fresh. Any recovery conservation violation already wrote its own
+    // `bundle-*-recovery_violation.json` next to this one.
+    if service.flight().dir().is_some() {
+        let bundle = service.debug_bundle_json("post_recovery");
+        match service.flight().write_bundle("post_recovery", &bundle) {
+            Some(path) => println!("flight bundle -> {}", path.display()),
+            None => eprintln!("flight bundle write failed"),
+        }
+    }
     println!("restart re-bought zero answers: OK");
 }
 

@@ -205,6 +205,93 @@ fn spans_conserve_under_budget_exhaustion() {
     );
 }
 
+/// Trace propagation under coalescing: two concurrent submits of the
+/// same question share one LLM call. Both spans reach their terminal
+/// stage, but the downstream LLM work is attributed to exactly one
+/// trace — the coalesced span carries an `llm_shared` pointer at the
+/// primary instead of claiming the shared child spans as its own.
+#[test]
+fn coalesced_waiters_share_one_llm_trace_attributed_once() {
+    let service = Arc::new(ErService::start(
+        Arc::new(SimLlm::new()),
+        bootstrap(),
+        ServiceConfig {
+            flush_deadline: Duration::from_millis(50),
+            batch_size: 8,
+            workers: 1,
+            cache_enabled: false, // both submits must exercise the queue
+            ..ServiceConfig::default()
+        },
+    ));
+    let bank = Arc::new(questions(1));
+    let pair = &bank[0];
+    let (first, second) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| service.submit(pair));
+        let b = scope.spawn(|| service.submit(pair));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.coalesced_duplicates, 1, "{stats:?}");
+    assert_eq!(stats.llm_answered, 1, "one shared LLM answer: {stats:?}");
+    assert_eq!(first.label, second.label, "coalesced answers must agree");
+
+    let trace = service.telemetry().trace();
+    let spans = [
+        trace.find(first.trace_id).expect("first span retained"),
+        trace.find(second.trace_id).expect("second span retained"),
+    ];
+    for span in &spans {
+        assert_eq!(
+            span.events.last().unwrap().stage,
+            "answered",
+            "span {} not terminal: {:?}",
+            span.trace_id,
+            span.events
+        );
+    }
+
+    // Exactly one of the two spans rode the other's LLM call, and its
+    // `llm_shared` stamp names the primary precisely.
+    let shared: Vec<_> = spans
+        .iter()
+        .filter(|s| s.events.iter().any(|e| e.stage == "llm_shared"))
+        .collect();
+    assert_eq!(
+        shared.len(),
+        1,
+        "shared-LLM attribution not exactly-once: {spans:?}"
+    );
+    let shared_id = shared[0].trace_id;
+    let primary_id = if shared_id == first.trace_id {
+        second.trace_id
+    } else {
+        first.trace_id
+    };
+    let pointer = shared[0]
+        .events
+        .iter()
+        .find(|e| e.stage == "llm_shared")
+        .and_then(|e| e.detail.clone())
+        .expect("llm_shared carries the primary id");
+    assert_eq!(pointer, primary_id.to_string());
+
+    // The tree views agree: the coalesced span's tree points at the
+    // primary with no children of its own; the primary's tree never
+    // carries a shared reference.
+    let shared_tree = service.trace_tree_json(shared_id).expect("shared tree");
+    assert!(
+        shared_tree.contains(&format!("\"shared_llm_trace\":{primary_id}")),
+        "{shared_tree}"
+    );
+    assert!(shared_tree.contains("\"children\":[]"), "{shared_tree}");
+    let primary_tree = service.trace_tree_json(primary_id).expect("primary tree");
+    assert!(
+        !primary_tree.contains("shared_llm_trace"),
+        "primary must own its children: {primary_tree}"
+    );
+}
+
 /// Scrapers hammering the registry, stats view and trace log in a tight
 /// loop do not stall or corrupt concurrent submits: every submit still
 /// completes and the answer-conservation identity holds exactly.
