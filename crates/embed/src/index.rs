@@ -404,7 +404,13 @@ pub struct PivotIndex {
     // Measured usefulness of the extra-pivot checks (performance hint
     // only; see [`GateHint`]).
     extra_hint: GateHint,
+
+    // Times the tail was merged back into the sorted segment.
+    resorts: u64,
 }
+
+/// Tail length below which a re-sort is never worth the copy.
+const RESORT_MIN_TAIL: usize = 16;
 
 impl PivotIndex {
     /// Builds with [`auto_pivots`] pivots.
@@ -442,6 +448,7 @@ impl PivotIndex {
             over_ids: Vec::new(),
             over_rows: Vec::new(),
             over_sqn: Vec::new(),
+            resorts: 0,
         };
 
         // Rows whose own geometry is finite are candidates for the
@@ -558,6 +565,90 @@ impl PivotIndex {
     /// degenerate inputs).
     pub fn n_pivots(&self) -> usize {
         self.n_pivots
+    }
+
+    /// Times the unsorted tail has been merged back into the sorted
+    /// segment (see [`PivotIndex::resort_tail`]).
+    pub fn resorts(&self) -> u64 {
+        self.resorts
+    }
+
+    /// Current unsorted-tail length (0 right after a re-sort).
+    pub fn tail_len(&self) -> usize {
+        self.tail_ids.len()
+    }
+
+    /// Merges the unsorted tail into the sorted segment, restoring the
+    /// pivot-0 window over every appended row. The tail has no key
+    /// window — each query pays one pruning check per tail row — so
+    /// sustained append churn degrades pruning toward a linear scan of
+    /// the churned rows; the merge re-sorts everything by `(d₀, id)`
+    /// and rebuilds the gathered layouts. Dead rows are kept (their
+    /// `loc` entries stay valid and queries skip them via `dead`), and
+    /// all stored geometry is reused verbatim, so query results are
+    /// unchanged — this is purely a layout move. O(total) copies plus
+    /// the sort; amortized against the churn that triggered it.
+    fn resort_tail(&mut self) {
+        let seg = self.order.len();
+        let tail = self.tail_ids.len();
+        let total = seg + tail;
+        // (key, id, tail?, source position) for every indexed row.
+        let mut merged: Vec<(f64, u32, bool, usize)> = Vec::with_capacity(total);
+        for pos in 0..seg {
+            merged.push((self.keys[pos], self.order[pos], false, pos));
+        }
+        for ti in 0..tail {
+            merged.push((
+                self.tail_piv[ti * self.n_pivots],
+                self.tail_ids[ti],
+                true,
+                ti,
+            ));
+        }
+        merged.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut order = Vec::with_capacity(total);
+        let mut keys = Vec::with_capacity(total);
+        let mut extra = vec![0.0f64; total * (self.n_pivots - 1)];
+        let mut perm = Vec::with_capacity(total * self.dim);
+        let mut seg_sqn = Vec::with_capacity(total);
+        for (new_pos, &(key, id, from_tail, src)) in merged.iter().enumerate() {
+            order.push(id);
+            keys.push(key);
+            for p in 1..self.n_pivots {
+                extra[(p - 1) * total + new_pos] = if from_tail {
+                    self.tail_piv[src * self.n_pivots + p]
+                } else {
+                    self.extra[(p - 1) * seg + src]
+                };
+            }
+            perm.extend_from_slice(if from_tail {
+                self.tail_row(src)
+            } else {
+                self.seg_row(src)
+            });
+            seg_sqn.push(if from_tail {
+                self.tail_sqn[src]
+            } else {
+                self.seg_sqn[src]
+            });
+            self.loc[id as usize] = pack_loc(TAG_SEG, new_pos);
+        }
+        self.order = order;
+        self.keys = keys;
+        self.extra = extra;
+        self.perm = perm;
+        self.seg_sqn = seg_sqn;
+        self.tail_ids.clear();
+        self.tail_rows.clear();
+        self.tail_piv.clear();
+        self.tail_sqn.clear();
+        // The merged keys never exceed what append already scaled the
+        // slack to, but keep the invariant explicit.
+        self.slack = self
+            .slack
+            .max(1e-9 + 1e-12 * self.keys.last().copied().unwrap_or(0.0));
+        self.resorts += 1;
     }
 
     fn pivot_row(&self, p: usize) -> &[f64] {
@@ -783,6 +874,12 @@ impl MetricIndex for PivotIndex {
             // Appends can sit beyond the build-time key range; keep the
             // slack scaled to the largest distance the bound compares.
             self.slack = self.slack.max(1e-9 + 1e-12 * piv[0]);
+            // Once the tail outgrows a quarter of the sorted segment the
+            // per-query tail scan rivals the windowed one: fold it in.
+            if self.tail_ids.len() >= RESORT_MIN_TAIL && self.tail_ids.len() * 4 >= self.order.len()
+            {
+                self.resort_tail();
+            }
         } else {
             self.loc.push(pack_loc(TAG_OVER, self.over_ids.len()));
             self.over_ids.push(id);
@@ -1523,6 +1620,69 @@ mod tests {
         }
         assert_eq!(pairs, expect);
         assert_eq!(index.n_active(), all_rows.len() - dead.len());
+    }
+
+    #[test]
+    fn tail_resort_fires_under_churn_and_stays_exact() {
+        let m = scattered(40, 5, 13);
+        let extra = scattered(120, 5, 101);
+        let mut index = PivotIndex::with_pivots(&m, 3);
+        let mut all_rows = m.to_rows();
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, r) in extra.rows().enumerate() {
+            index.append(r);
+            all_rows.push(r.to_vec());
+            // Interleave tombstones (some landing on tail rows) so the
+            // merge must carry dead rows without dangling any loc entry.
+            if i % 7 == 3 {
+                let id = (all_rows.len() - 2) as u32;
+                if index.tombstone(id) {
+                    dead.push(id as usize);
+                }
+            }
+        }
+        // 120 appends over a 40-row segment must have folded the tail
+        // in at least once, and the tail shrinks back below threshold.
+        assert!(index.resorts() >= 1, "churn never triggered a re-sort");
+        assert!(index.tail_len() < 120);
+        let full = FeatureMatrix::from_rows(all_rows.clone());
+        let mut got = Vec::new();
+        for (q, row) in all_rows.iter().enumerate() {
+            for strict in [false, true] {
+                index.within_row_into(q as u32, 0.9, strict, &mut got);
+                let expect: Vec<u32> = brute_within(&full, row, 0.9, strict)
+                    .into_iter()
+                    .filter(|i| !dead.contains(&(*i as usize)))
+                    .collect();
+                assert_eq!(got, expect, "row {q} strict {strict}");
+            }
+        }
+        let mut near = Vec::new();
+        index.nearest_into(all_rows[0].as_slice(), 5, &mut near);
+        let expect: Vec<(f64, u32)> = brute_nearest(&full, &all_rows[0], full.len())
+            .into_iter()
+            .filter(|&(_, i)| !dead.contains(&(i as usize)))
+            .take(5)
+            .collect();
+        assert_eq!(near, expect);
+        // Pair sweep + replay on the re-sorted layout.
+        let mut degrees = vec![0u32; index.len()];
+        let sweep = index.close_pairs(0.8, &mut degrees);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        index.replay_close_pairs(&sweep, &mut |a, b| pairs.push((a, b)));
+        pairs.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = Vec::new();
+        for a in 0..all_rows.len() {
+            for b in a + 1..all_rows.len() {
+                if dead.contains(&a) || dead.contains(&b) {
+                    continue;
+                }
+                if row_within(full.dim(), &all_rows[a], &all_rows[b], 0.64, false) {
+                    expect.push((a as u32, b as u32));
+                }
+            }
+        }
+        assert_eq!(pairs, expect);
     }
 
     #[test]

@@ -356,6 +356,64 @@ proptest! {
     }
 }
 
+/// Append churn heavy enough to trigger the tail re-sort (the tail is
+/// folded back into the sorted segment once it outgrows a quarter of
+/// it): the merge must fire, must not leave the tail at full churn
+/// length, and parity with brute force must hold across the re-sorted
+/// layout — including tombstones landing on both segment and tail rows
+/// between merges.
+#[test]
+fn tail_resort_churn_matches_brute() {
+    let mut state = 0xC0FF_EE00_u64 | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let dim = 5;
+    let gen_row = |next: &mut dyn FnMut() -> u64| -> Vec<f64> {
+        (0..dim)
+            .map(|_| (next() % 4000) as f64 / 500.0 - 4.0)
+            .collect()
+    };
+    let mut rows: Vec<Vec<f64>> = (0..64).map(|_| gen_row(&mut next)).collect();
+    let m = FeatureMatrix::from_rows(rows.clone());
+    let mut index = PivotIndex::with_pivots(&m, 4);
+    let mut active = vec![true; rows.len()];
+    // 4× the original segment in appends, interleaved with tombstones:
+    // enough churn that the quarter-of-segment trigger must fire.
+    for i in 0..256 {
+        let row = gen_row(&mut next);
+        index.append(&row);
+        rows.push(row);
+        active.push(true);
+        if i % 5 == 2 {
+            let slot = (next() as usize) % rows.len();
+            if active[slot] {
+                index.tombstone(slot as u32);
+                active[slot] = false;
+            }
+        }
+    }
+    assert!(
+        index.resorts() >= 1,
+        "256 appends over a 64-row segment must re-sort the tail"
+    );
+    assert!(
+        index.tail_len() < 256,
+        "tail must shrink when merges fire (len {})",
+        index.tail_len()
+    );
+    let all = FeatureMatrix::from_rows(rows.clone());
+    for q in (0..rows.len()).step_by(13) {
+        for eps in [0.4, 1.3, 2.9] {
+            assert_query_parity(&index, &all, Some(&active), &rows[q], eps)
+                .unwrap_or_else(|e| panic!("q={q} eps={eps}: {e}"));
+        }
+    }
+}
+
 /// Rebuilding from scratch over the mutated row set (minus tombstones)
 /// gives the same answers as the churned index — the append/tombstone
 /// path introduces no drift relative to a fresh build.

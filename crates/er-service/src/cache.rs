@@ -8,75 +8,149 @@
 //! savings are measurable: the integration tests run the same workload
 //! with the cache off and compare ledgers.
 //!
-//! **Eviction** is generational: entries insert into a *hot* map; when it
-//! reaches half the configured capacity the hot map becomes the *cold*
-//! map (dropping the previous cold generation) and a fresh hot map takes
-//! over. Lookups consult both. An entry therefore survives between one
-//! and two generations — recently used pairs stay cached, a stream of
-//! mostly-unique questions (the normal ER workload) cannot grow memory
-//! without bound, and every operation stays O(1).
+//! **Eviction** is exact LRU over a slab-backed intrusive list: every
+//! `get` promotes its entry to the front, inserts past capacity evict
+//! the back, and each eviction is counted (`er_cache_evictions_total`).
+//! All operations are O(1); the capacity is a hard bound, not the
+//! high-water mark the previous generational scheme allowed — which is
+//! what lets the sharded service split one budget into exact per-shard
+//! partitions. Durable replay fills through the same `insert`, so a
+//! recovered history larger than the bound retains its most recent
+//! answers, exactly as the live path would have.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
 use er_core::MatchLabel;
 use obs::{Counter, Gauge};
 
 use crate::fingerprint::PairFingerprint;
-use crate::sync::{read, write};
+use crate::sync::lock;
+
+/// Slab-list null: no neighbor / no entry.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    fp: PairFingerprint,
+    label: MatchLabel,
+    prev: usize,
+    next: usize,
+}
 
 #[derive(Debug, Default)]
-struct Generations {
-    hot: HashMap<PairFingerprint, MatchLabel>,
-    cold: HashMap<PairFingerprint, MatchLabel>,
+struct LruState {
+    map: HashMap<PairFingerprint, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (the eviction end).
+    tail: usize,
+}
+
+impl LruState {
+    fn new() -> Self {
+        Self { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// Unlinks `slot` from the recency list (it stays in the slab).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` in as the most recently used entry.
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.nodes[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn promote(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
 }
 
 /// Concurrent, capacity-bounded fingerprint-keyed answer store.
 #[derive(Debug)]
 pub struct AnswerCache {
     enabled: bool,
-    /// Hot-generation size that triggers rotation (half the capacity).
-    rotate_at: usize,
-    generations: RwLock<Generations>,
+    /// Hard entry bound (LRU eviction past this).
+    capacity: usize,
+    state: Mutex<LruState>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
-    /// Live-entry mirror, maintained under the write lock, so `/stats`
-    /// and `/metrics` read a plain atomic instead of the `RwLock`.
+    evictions: Arc<Counter>,
+    /// Live-entry mirror, maintained by add-deltas under the lock, so
+    /// `/stats` and `/metrics` read a plain atomic — and so shard
+    /// partitions sharing one gauge sum instead of clobbering each other.
     entries: Arc<Gauge>,
 }
 
 impl AnswerCache {
-    /// A cache holding at most ~`capacity` entries. When `enabled` is
-    /// false every lookup misses and inserts are dropped (the counters
-    /// still run, so `/stats` stays honest).
+    /// A cache holding at most `capacity` entries (at least one). When
+    /// `enabled` is false every lookup misses and inserts are dropped
+    /// (the counters still run, so `/stats` stays honest).
     pub fn new(enabled: bool, capacity: usize) -> Self {
         Self {
             enabled,
-            rotate_at: (capacity / 2).max(1),
-            generations: RwLock::new(Generations::default()),
+            capacity: capacity.max(1),
+            state: Mutex::new(LruState::new()),
             hits: Counter::detached(),
             misses: Counter::detached(),
+            evictions: Counter::detached(),
             entries: Gauge::detached(),
         }
     }
 
-    /// Swaps in registry-backed metric handles: hit/miss counters and
-    /// the live-entry gauge.
+    /// Swaps in registry-backed metric handles: hit/miss/eviction
+    /// counters and the live-entry gauge.
     pub fn with_metrics(
         mut self,
         hits: Arc<Counter>,
         misses: Arc<Counter>,
         entries: Arc<Gauge>,
+        evictions: Arc<Counter>,
     ) -> Self {
         self.hits = hits;
         self.misses = misses;
         self.entries = entries;
+        self.evictions = evictions;
         self
     }
 
-    /// Looks up a fingerprint, counting the hit or miss.
+    /// Looks up a fingerprint, counting the hit or miss. A hit promotes
+    /// the entry to most-recently-used.
     pub fn get(&self, fp: PairFingerprint) -> Option<MatchLabel> {
-        let found = self.peek(fp);
+        if !self.enabled {
+            self.misses.inc();
+            return None;
+        }
+        let found = {
+            let mut state = lock(&self.state);
+            match state.map.get(&fp).copied() {
+                Some(slot) => {
+                    state.promote(slot);
+                    Some(state.nodes[slot].label)
+                }
+                None => None,
+            }
+        };
         match found {
             Some(_) => self.hits.inc(),
             None => self.misses.inc(),
@@ -84,32 +158,53 @@ impl AnswerCache {
         found
     }
 
-    /// Peeks without touching the counters (used by the flush path to
-    /// filter questions answered while they sat in the queue).
+    /// Peeks without touching the counters or the recency order (used by
+    /// the flush path to filter questions answered while they sat in the
+    /// queue — a scan that must not perturb what stays resident).
     pub fn peek(&self, fp: PairFingerprint) -> Option<MatchLabel> {
         if !self.enabled {
             return None;
         }
-        let generations = read(&self.generations);
-        generations
-            .hot
-            .get(&fp)
-            .or_else(|| generations.cold.get(&fp))
-            .copied()
+        let state = lock(&self.state);
+        state.map.get(&fp).map(|&slot| state.nodes[slot].label)
     }
 
-    /// Stores a verdict, rotating generations at capacity.
+    /// Stores a verdict, evicting the least recently used entry when the
+    /// bound is reached. Re-inserting an existing fingerprint updates it
+    /// in place (and promotes it).
     pub fn insert(&self, fp: PairFingerprint, label: MatchLabel) {
         if !self.enabled {
             return;
         }
-        let mut generations = write(&self.generations);
-        generations.hot.insert(fp, label);
-        if generations.hot.len() >= self.rotate_at {
-            generations.cold = std::mem::take(&mut generations.hot);
+        let mut state = lock(&self.state);
+        if let Some(&slot) = state.map.get(&fp) {
+            state.nodes[slot].label = label;
+            state.promote(slot);
+            return;
         }
-        self.entries
-            .set((generations.hot.len() + generations.cold.len()) as i64);
+        if state.map.len() >= self.capacity {
+            let victim = state.tail;
+            debug_assert_ne!(victim, NIL, "full cache must have a tail");
+            state.unlink(victim);
+            let old_fp = state.nodes[victim].fp;
+            state.map.remove(&old_fp);
+            state.free.push(victim);
+            self.evictions.inc();
+            self.entries.add(-1);
+        }
+        let slot = match state.free.pop() {
+            Some(slot) => {
+                state.nodes[slot] = Node { fp, label, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                state.nodes.push(Node { fp, label, prev: NIL, next: NIL });
+                state.nodes.len() - 1
+            }
+        };
+        state.map.insert(fp, slot);
+        state.push_front(slot);
+        self.entries.add(1);
     }
 
     /// Lookup hits so far.
@@ -122,11 +217,14 @@ impl AnswerCache {
         self.misses.get()
     }
 
-    /// Live entries across both generations (an upper bound: a
-    /// fingerprint re-inserted after rotation counts in each).
+    /// Entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Live entries.
     pub fn len(&self) -> usize {
-        let generations = read(&self.generations);
-        generations.hot.len() + generations.cold.len()
+        lock(&self.state).map.len()
     }
 
     /// True when nothing is cached.
@@ -173,32 +271,59 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_bounded_and_recent_entries_survive() {
+    fn capacity_is_a_hard_bound_and_recent_entries_survive() {
         let cache = AnswerCache::new(true, 100);
         // A stream of 10k unique fingerprints — far beyond capacity.
         for i in 0..10_000u64 {
             cache.insert(PairFingerprint(i), MatchLabel::from_bool(i % 2 == 0));
         }
-        assert!(cache.len() <= 100, "cache grew to {}", cache.len());
-        // The most recent insert is always still present.
-        assert_eq!(
-            cache.peek(PairFingerprint(9_999)),
-            Some(MatchLabel::NonMatching)
-        );
+        assert_eq!(cache.len(), 100, "LRU keeps exactly the bound");
+        assert_eq!(cache.evictions(), 9_900);
+        // The most recent 100 inserts are all still present.
+        for i in 9_900..10_000u64 {
+            assert!(cache.peek(PairFingerprint(i)).is_some(), "missing {i}");
+        }
         // Ancient entries were evicted.
         assert_eq!(cache.peek(PairFingerprint(0)), None);
     }
 
     #[test]
-    fn entries_survive_one_rotation() {
-        let cache = AnswerCache::new(true, 8); // rotate_at = 4
+    fn entries_survive_subsequent_inserts_within_capacity() {
+        let cache = AnswerCache::new(true, 8);
         cache.insert(PairFingerprint(1), MatchLabel::Matching);
-        // Force one rotation with three more inserts.
         for i in 2..=4u64 {
             cache.insert(PairFingerprint(i), MatchLabel::NonMatching);
         }
-        // Entry 1 moved to the cold generation but is still served.
+        // Under capacity nothing is evicted, ever.
         assert_eq!(cache.peek(PairFingerprint(1)), Some(MatchLabel::Matching));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn get_promotes_against_eviction() {
+        let cache = AnswerCache::new(true, 2);
+        cache.insert(PairFingerprint(1), MatchLabel::Matching);
+        cache.insert(PairFingerprint(2), MatchLabel::NonMatching);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(PairFingerprint(1)).is_some());
+        cache.insert(PairFingerprint(3), MatchLabel::Matching);
+        assert_eq!(cache.peek(PairFingerprint(1)), Some(MatchLabel::Matching));
+        assert_eq!(cache.peek(PairFingerprint(2)), None);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let cache = AnswerCache::new(true, 2);
+        cache.insert(PairFingerprint(1), MatchLabel::Matching);
+        cache.insert(PairFingerprint(2), MatchLabel::Matching);
+        cache.insert(PairFingerprint(1), MatchLabel::NonMatching);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(
+            cache.peek(PairFingerprint(1)),
+            Some(MatchLabel::NonMatching)
+        );
     }
 
     #[test]

@@ -93,6 +93,20 @@ pub enum DurableRecord {
     },
     /// The reservation was released without spend (abort or drop guard).
     Refund { run: u64, id: u64, micros: i64 },
+    /// [`DurableRecord::Answer`] plus the shard that bought it. Replay
+    /// treats both identically — recovery re-routes by fingerprint
+    /// through the *current* router, so the stored shard is forensic
+    /// (which partition wrote the record), not authoritative.
+    AnswerSharded {
+        /// [`FINGERPRINT_VERSION`] at write time; replay skips others.
+        version: u32,
+        fp: PairFingerprint,
+        label: MatchLabel,
+        /// This answer's attributed share of its batch's settled cost.
+        cost_micros: i64,
+        /// The shard that planned and executed the batch.
+        shard: u32,
+    },
 }
 
 const TAG_RUN_START: u8 = 0;
@@ -100,6 +114,7 @@ const TAG_ANSWER: u8 = 1;
 const TAG_RESERVE: u8 = 2;
 const TAG_SETTLE: u8 = 3;
 const TAG_REFUND: u8 = 4;
+const TAG_ANSWER_SHARDED: u8 = 5;
 
 /// Encodes one record to its wire bytes.
 pub fn encode(record: &DurableRecord) -> Vec<u8> {
@@ -147,6 +162,14 @@ pub fn encode(record: &DurableRecord) -> Vec<u8> {
             out.extend_from_slice(&run.to_le_bytes());
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&micros.to_le_bytes());
+        }
+        DurableRecord::AnswerSharded { version, fp, label, cost_micros, shard } => {
+            out.push(TAG_ANSWER_SHARDED);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&fp.0.to_le_bytes());
+            out.push(label.is_match() as u8);
+            out.extend_from_slice(&cost_micros.to_le_bytes());
+            out.extend_from_slice(&shard.to_le_bytes());
         }
     }
     out
@@ -212,6 +235,16 @@ pub fn decode(bytes: &[u8]) -> Result<DurableRecord, String> {
                 run: u64_at(body, 0),
                 id: u64_at(body, 8),
                 micros: i64_at(body, 16),
+            })
+        }
+        TAG_ANSWER_SHARDED => {
+            want(4 + 8 + 1 + 8 + 4)?;
+            Ok(DurableRecord::AnswerSharded {
+                version: u32::from_le_bytes(body[0..4].try_into().unwrap()),
+                fp: PairFingerprint(u64_at(body, 4)),
+                label: MatchLabel::from_bool(body[12] != 0),
+                cost_micros: i64_at(body, 13),
+                shard: u32::from_le_bytes(body[21..25].try_into().unwrap()),
             })
         }
         other => Err(format!("unknown record tag {other}")),
@@ -316,7 +349,12 @@ pub fn replay(config: &WalConfig) -> Result<(Wal, Replay), WalError> {
                 report.runs += 1;
                 max_run = max_run.max(run);
             }
-            DurableRecord::Answer { version, fp, label, .. } => {
+            // Both answer shapes replay identically; the sharded record's
+            // shard id is forensic, not routing state (the service
+            // re-routes every restored answer through its current
+            // router, so restarts may change the shard count freely).
+            DurableRecord::Answer { version, fp, label, .. }
+            | DurableRecord::AnswerSharded { version, fp, label, .. } => {
                 if version == FINGERPRINT_VERSION {
                     if answers.insert(fp, label).is_none() {
                         order.push(fp);
@@ -499,6 +537,83 @@ mod tests {
             pairs_labeled: 4,
         });
         roundtrip(DurableRecord::Refund { run: 1, id: 43, micros: 99_000 });
+        roundtrip(DurableRecord::AnswerSharded {
+            version: FINGERPRINT_VERSION,
+            fp: PairFingerprint(0x1234_5678_9abc_def0),
+            label: MatchLabel::Matching,
+            cost_micros: 777,
+            shard: 6,
+        });
+        roundtrip(DurableRecord::AnswerSharded {
+            version: 0,
+            fp: PairFingerprint(2),
+            label: MatchLabel::NonMatching,
+            cost_micros: 0,
+            shard: 0,
+        });
+    }
+
+    #[test]
+    fn sharded_answers_replay_like_unsharded_ones() {
+        let dir = std::env::temp_dir().join(format!(
+            "er-durable-sharded-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = WalConfig::at(&dir);
+        {
+            let (wal, _) = replay(&config).unwrap();
+            let history = [
+                // A log mixing pre-shard and sharded answer records —
+                // exactly what an upgraded service's directory contains.
+                DurableRecord::Answer {
+                    version: FINGERPRINT_VERSION,
+                    fp: PairFingerprint(21),
+                    label: MatchLabel::Matching,
+                    cost_micros: 5,
+                },
+                DurableRecord::AnswerSharded {
+                    version: FINGERPRINT_VERSION,
+                    fp: PairFingerprint(22),
+                    label: MatchLabel::NonMatching,
+                    cost_micros: 5,
+                    shard: 3,
+                },
+                // Sharded re-answer of the unsharded fingerprint: last
+                // answer wins regardless of record shape.
+                DurableRecord::AnswerSharded {
+                    version: FINGERPRINT_VERSION,
+                    fp: PairFingerprint(21),
+                    label: MatchLabel::NonMatching,
+                    cost_micros: 5,
+                    shard: 1,
+                },
+                // Stale-version sharded answers are skipped like any
+                // other stale answer.
+                DurableRecord::AnswerSharded {
+                    version: FINGERPRINT_VERSION + 1,
+                    fp: PairFingerprint(23),
+                    label: MatchLabel::Matching,
+                    cost_micros: 5,
+                    shard: 0,
+                },
+            ];
+            for r in &history {
+                wal.append(&encode(r)).unwrap();
+            }
+        }
+        let (_wal, replayed) = replay(&config).unwrap();
+        assert_eq!(replayed.report.answers_restored, 2);
+        assert_eq!(replayed.report.answers_stale, 1);
+        assert_eq!(
+            replayed.answers,
+            vec![
+                (PairFingerprint(21), MatchLabel::NonMatching),
+                (PairFingerprint(22), MatchLabel::NonMatching),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

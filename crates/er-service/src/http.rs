@@ -6,6 +6,9 @@
 //! * `POST /match` — body `{"schema": [...], "left": [...], "right": [...]}`;
 //!   answers `{"label": "matching"|"non_matching", "source":
 //!   "cache"|"llm"|"fallback", "fingerprint": "<hex>", "trace_id": n}`.
+//!   When the owning shard's admission queue is full the request is shed
+//!   with `429` + a JSON error body and a `Retry-After` header (seconds)
+//!   instead of queueing without bound.
 //! * `GET /stats` — the [`ServiceStats`] snapshot as JSON.
 //! * `GET /metrics` — Prometheus text exposition of every metric family.
 //! * `GET /trace?n=K` — the `K` most recent completed lifecycle spans as
@@ -30,6 +33,7 @@ use llm_service::serve::{spawn_http_server, HttpServerHandle, ServeOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::service::{ErService, MatchDecision};
+use crate::shard::SubmitOutcome;
 use crate::stats::ServiceStats;
 
 /// `POST /match` request body.
@@ -129,8 +133,16 @@ fn route(service: &ErService, request: HttpRequest) -> HttpResponse {
                 Ok(p) => p,
                 Err(message) => return error(400, &message),
             };
-            let decision = service.submit(&pair);
-            json(200, &MatchResponseWire::from_decision(&decision))
+            match service.try_submit(&pair) {
+                SubmitOutcome::Decided(decision) => {
+                    json(200, &MatchResponseWire::from_decision(&decision))
+                }
+                SubmitOutcome::Shed { retry_after_ms } => {
+                    let retry_secs = retry_after_ms.div_ceil(1000).max(1);
+                    error(429, "shard queue full; retry later")
+                        .with_header("Retry-After", retry_secs.to_string())
+                }
+            }
         }
         ("GET", "/stats") => {
             let stats: ServiceStats = service.stats();

@@ -49,10 +49,11 @@ use crate::cache::AnswerCache;
 use crate::durable::{DurableLog, DurableRecord, RecoveryReport, WalConfig};
 use crate::fingerprint::{pair_fingerprint, PairFingerprint, FINGERPRINT_VERSION};
 use crate::flight::FlightRecorder;
-use crate::governor::CostGovernor;
+use crate::governor::{CostGovernor, ShardLease};
+use crate::shard::{ShardRouter, SubmitOutcome};
 use crate::stats::{HealthReport, ServiceStats};
 use crate::sync::lock;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{ShardTelemetry, Telemetry};
 
 /// Who produced a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +150,26 @@ pub struct ServiceConfig {
     /// keeps bundles in memory only (still fetchable at
     /// `GET /debug/bundle`).
     pub flight_dir: Option<std::path::PathBuf>,
+    /// Independent serving shards (must be a power of two). Each shard
+    /// owns its own coalescing queue, epoch-tracked incremental planner,
+    /// answer-cache partition and governor lease, keyed by the symmetric
+    /// answer fingerprint — so duplicates and mirrored pairs always land
+    /// on the owning shard and the exactly-once guarantees hold without
+    /// cross-shard coordination. `1` is the unsharded layout.
+    pub shards: usize,
+    /// Admission bound per shard: submits arriving while this many
+    /// questions are already pending on the owning shard are shed
+    /// (`try_submit` returns [`SubmitOutcome::Shed`]; the HTTP front end
+    /// maps it to `429` + `Retry-After`; blocking `submit` degrades to
+    /// the local fallback). `0` disables shedding (unbounded queues).
+    pub queue_capacity: usize,
+    /// Governor-lease refill granularity per shard. [`Money::ZERO`]
+    /// (the default) reserves exactly per batch against the global pool
+    /// — byte-identical budget accounting to the unsharded service.
+    /// A positive chunk buffers budget shard-locally, trading exact
+    /// quiesce conservation (until the lease is returned) for fewer
+    /// global reserve-lock acquisitions under contention.
+    pub lease_chunk: Money,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +194,9 @@ impl Default for ServiceConfig {
             breaker_cooldown: Duration::from_millis(250),
             slo_latency_us: 250_000,
             flight_dir: None,
+            shards: 1,
+            queue_capacity: 4096,
+            lease_chunk: Money::ZERO,
         }
     }
 }
@@ -235,6 +259,8 @@ struct Planner {
 
 /// One planned batch handed to the worker pool.
 struct BatchJob {
+    /// The shard that planned (and owns) this batch.
+    shard: usize,
     /// `(fingerprint, pair, waiters)` per question.
     questions: Vec<(PairFingerprint, EntityPair, Vec<Waiter>)>,
     /// Demonstration indices into the shared pool.
@@ -245,18 +271,50 @@ struct BatchJob {
 
 /// Work processed by the pool. Planning runs on the pool too — clustering
 /// and demonstration selection are O(flush²) and would otherwise
-/// serialize every flush behind the single dispatcher thread, stalling
-/// the queue past its deadline under sustained load.
+/// serialize every flush behind the per-shard dispatcher threads,
+/// stalling the queues past their deadline under sustained load.
 enum WorkItem {
-    /// A drained queue generation to dedupe, plan and split into batches.
-    /// `urgent` marks deadline- or shutdown-triggered flushes: every
-    /// planned batch dispatches, including partial ones (a size-triggered
-    /// flush may instead hold partial batches for the next epoch).
-    Plan { drained: Vec<Pending>, urgent: bool },
+    /// A drained queue generation of one shard to dedupe, plan and split
+    /// into batches. `urgent` marks deadline- or shutdown-triggered
+    /// flushes: every planned batch dispatches, including partial ones (a
+    /// size-triggered flush may instead hold partial batches for the next
+    /// epoch).
+    Plan {
+        shard: usize,
+        drained: Vec<Pending>,
+        urgent: bool,
+    },
     /// One planned batch to execute against the LLM.
     Batch(BatchJob),
-    /// Terminate one worker (the dispatcher sends one per worker).
+    /// Terminate one worker (the last dispatcher sends one per worker).
     Shutdown,
+}
+
+/// One serving shard: everything that used to be the service's single
+/// coalescing/planning core, now owned per fingerprint partition. The
+/// LLM worker pool, the breaker, the cost ledger and the durable log
+/// stay global — contention lives in the queue and the planner lock,
+/// and those are what sharding splits.
+struct ShardState {
+    queue: Mutex<QueueState>,
+    queue_cond: Condvar,
+    /// The epoch-tracked incremental planner (see [`Planner`]).
+    planner: Mutex<Planner>,
+    /// Questions currently being asked by an executing batch. Later
+    /// arrivals for the same fingerprint attach here instead of paying
+    /// for a second LLM slot (and risking a contradictory answer).
+    /// Fingerprint routing makes this naturally shard-local.
+    in_flight: Mutex<HashMap<PairFingerprint, Vec<Waiter>>>,
+    /// This shard's answer-cache partition (LRU-bounded to its share of
+    /// the configured capacity).
+    cache: AnswerCache,
+    /// This shard's slice of the budget (pass-through by default).
+    lease: ShardLease,
+    /// High-water mark of the pending queue this run (`/stats` reports
+    /// the max across shards — the admission controller's key signal).
+    depth_peak: AtomicU64,
+    /// Per-shard metric handles (`er_shard_*` families).
+    tel: ShardTelemetry,
 }
 
 struct Inner {
@@ -270,12 +328,7 @@ struct Inner {
     prepared_pool: PreparedPool,
     /// Pool indices already human-labeled (labeling is paid once).
     labeled: Mutex<HashSet<usize>>,
-    /// Questions currently being asked by an executing batch. Later
-    /// arrivals for the same fingerprint attach here instead of paying
-    /// for a second LLM slot (and risking a contradictory answer).
-    in_flight: Mutex<HashMap<PairFingerprint, Vec<Waiter>>>,
     fallback: LogisticModel,
-    cache: AnswerCache,
     governor: CostGovernor,
     /// The durable journal (answers + governor events), when configured.
     durable: Option<Arc<DurableLog>>,
@@ -283,26 +336,29 @@ struct Inner {
     recovery: Option<RecoveryReport>,
     /// LLM-endpoint circuit breaker (outage → logistic degradation).
     breaker: Breaker,
-    queue: Mutex<QueueState>,
-    queue_cond: Condvar,
-    /// The epoch-tracked incremental planner (see [`Planner`]).
-    planner: Mutex<Planner>,
+    /// Fingerprint → shard map.
+    router: ShardRouter,
+    /// The serving shards (`config.shards` of them).
+    shards: Vec<ShardState>,
     /// Workers still running. The last worker out drains any questions
-    /// the planner still holds, so a straggler planned *after* the
-    /// dispatcher's shutdown drain can never strand its waiters — their
+    /// the planners still hold, so a straggler planned *after* the
+    /// dispatchers' shutdown drains can never strand its waiters — their
     /// dropped senders disconnect the receivers, which degrade to the
     /// local fallback.
     live_workers: AtomicU64,
+    /// Dispatchers still running; the last one out sends the worker
+    /// shutdown sentinels (after every shard's final drain is enqueued).
+    live_dispatchers: AtomicU64,
     telemetry: Telemetry,
     /// The anomaly flight recorder (events, snapshots, bundle triggers).
     flight: FlightRecorder,
 }
 
 /// The running service. Cloneable via `Arc`; dropping the last handle
-/// flushes the queue and joins every thread.
+/// flushes the queues and joins every thread.
 pub struct ErService {
     inner: Arc<Inner>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -360,11 +416,6 @@ impl ErService {
             PreparedPool::prepare(&pool_refs, ExtractorKind::Semantic, DistanceKind::Euclidean);
         drop(pool_refs);
 
-        let planner = Planner {
-            state: PlanState::from_prepared(prepared_pool.clone(), plan_template)
-                .with_max_delta_fraction(config.max_plan_delta_fraction),
-            queued: HashMap::new(),
-        };
         let telemetry = Telemetry::new(config.telemetry, config.trace_capacity);
         let flight = FlightRecorder::new(config.telemetry, config.flight_dir.clone());
 
@@ -410,13 +461,44 @@ impl ErService {
             None => (None, None, Vec::new()),
         };
 
-        let cache = AnswerCache::new(config.cache_enabled, config.cache_capacity).with_metrics(
-            Arc::clone(&telemetry.cache_hits),
-            Arc::clone(&telemetry.cache_misses),
-            Arc::clone(&telemetry.cache_entries),
-        );
+        // Per-shard serving state. Each shard gets an equal slice of the
+        // cache budget (the LRU bound — at least one entry each), its own
+        // planner seeded from the shared prepared pool, and a budget
+        // lease (pass-through unless `lease_chunk` is set).
+        let router = ShardRouter::new(config.shards);
+        let per_shard_cap = (config.cache_capacity / config.shards).max(1);
+        let shards: Vec<ShardState> = (0..config.shards)
+            .map(|i| ShardState {
+                queue: Mutex::new(QueueState {
+                    pending: Vec::new(),
+                    oldest: None,
+                    straggler_deadline: None,
+                    stopping: false,
+                }),
+                queue_cond: Condvar::new(),
+                planner: Mutex::new(Planner {
+                    state: PlanState::from_prepared(prepared_pool.clone(), plan_template)
+                        .with_max_delta_fraction(config.max_plan_delta_fraction),
+                    queued: HashMap::new(),
+                }),
+                in_flight: Mutex::new(HashMap::new()),
+                cache: AnswerCache::new(config.cache_enabled, per_shard_cap).with_metrics(
+                    Arc::clone(&telemetry.cache_hits),
+                    Arc::clone(&telemetry.cache_misses),
+                    Arc::clone(&telemetry.cache_entries),
+                    Arc::clone(&telemetry.cache_evictions),
+                ),
+                lease: ShardLease::new(config.lease_chunk),
+                depth_peak: AtomicU64::new(0),
+                tel: telemetry.shard_handles(i),
+            })
+            .collect();
+        // Replay fans each recovered answer out to its *current* owner:
+        // routing is a pure repartition across power-of-two counts, so a
+        // log written under 8 shards restores cleanly into 2. The LRU cap
+        // applies during the fill exactly as it does online.
         for (fp, label) in recovered_answers {
-            cache.insert(fp, label);
+            shards[router.route(fp)].cache.insert(fp, label);
         }
         let ledger = SharedCostLedger::new();
         if let Some(report) = &recovery {
@@ -445,23 +527,16 @@ impl ErService {
             pool: bootstrap,
             labeled: Mutex::new(HashSet::new()),
             fallback,
-            cache,
             governor,
             durable,
             recovery,
             breaker,
-            queue: Mutex::new(QueueState {
-                pending: Vec::new(),
-                oldest: None,
-                straggler_deadline: None,
-                stopping: false,
-            }),
-            queue_cond: Condvar::new(),
-            in_flight: Mutex::new(HashMap::new()),
-            planner: Mutex::new(planner),
+            router,
             telemetry,
             flight,
             live_workers: AtomicU64::new(config.workers as u64),
+            live_dispatchers: AtomicU64::new(shards.len() as u64),
+            shards,
             config,
         });
 
@@ -477,10 +552,15 @@ impl ErService {
             })
             .collect();
 
-        let dispatcher_inner = Arc::clone(&inner);
-        let dispatcher = std::thread::spawn(move || dispatcher_loop(&dispatcher_inner, work_tx));
+        let dispatchers = (0..inner.config.shards)
+            .map(|si| {
+                let inner = Arc::clone(&inner);
+                let work_tx = work_tx.clone();
+                std::thread::spawn(move || dispatcher_loop(&inner, si, work_tx))
+            })
+            .collect();
 
-        Self { inner, dispatcher: Some(dispatcher), workers }
+        Self { inner, dispatchers, workers }
     }
 
     /// Resolves one pair question, blocking until a decision is available
@@ -491,75 +571,21 @@ impl ErService {
     /// so every span reaches a terminal stage exactly once, on every
     /// path a decision can take.
     pub fn submit(&self, pair: &EntityPair) -> MatchDecision {
-        let inner = &*self.inner;
-        let tel = &inner.telemetry;
-        tel.submitted.inc();
-        let started = Instant::now();
-        let fp = pair_fingerprint(pair);
-        let trace = tel.trace.begin(fp.0, "submitted");
-        if let Some(label) = inner.cache.get(fp) {
-            let latency = started.elapsed();
-            tel.answer_cache_us
-                .record_duration_us_with_exemplar(latency, trace);
-            record_answer_slos(inner, latency, DecisionSource::Cache);
-            tel.trace
-                .finish(trace, "answered", Some("cache".to_owned()));
-            return MatchDecision {
-                label,
-                source: DecisionSource::Cache,
-                fingerprint: fp,
-                trace_id: trace,
-            };
+        match submit_inner(&self.inner, pair, true) {
+            SubmitOutcome::Decided(decision) => decision,
+            // Blocking admission never sheds: a full queue degrades to the
+            // local fallback inside `submit_inner` instead.
+            SubmitOutcome::Shed { .. } => unreachable!("blocking submit cannot shed"),
         }
+    }
 
-        let (tx, rx): (Sender<MatchDecision>, Receiver<MatchDecision>) = channel();
-        {
-            let mut queue = lock(&inner.queue);
-            if queue.stopping {
-                drop(queue);
-                let decision = fallback_decision(inner, fp, pair);
-                let latency = started.elapsed();
-                tel.answer_fallback_us
-                    .record_duration_us_with_exemplar(latency, trace);
-                record_answer_slos(inner, latency, DecisionSource::Fallback);
-                tel.trace
-                    .finish(trace, "answered", Some("fallback".to_owned()));
-                return MatchDecision { trace_id: trace, ..decision };
-            }
-            if queue.pending.is_empty() {
-                queue.oldest = Some(Instant::now());
-            }
-            queue.pending.push(Pending {
-                fp,
-                pair: pair.clone(),
-                waiter: Waiter { tx, trace },
-                enqueued: Instant::now(),
-            });
-            tel.queue_depth.set(queue.pending.len() as i64);
-            inner.queue_cond.notify_all();
-        }
-        tel.trace.stamp(trace, "enqueued");
-        // A dead dispatcher/worker (disconnected sender) degrades to the
-        // fallback instead of hanging the caller.
-        let decision = rx
-            .recv()
-            .unwrap_or_else(|_| fallback_decision(inner, fp, pair));
-        let latency = started.elapsed();
-        match decision.source {
-            DecisionSource::Cache => tel
-                .answer_cache_us
-                .record_duration_us_with_exemplar(latency, trace),
-            DecisionSource::Llm => tel
-                .answer_llm_us
-                .record_duration_us_with_exemplar(latency, trace),
-            DecisionSource::Fallback => tel
-                .answer_fallback_us
-                .record_duration_us_with_exemplar(latency, trace),
-        }
-        record_answer_slos(inner, latency, decision.source);
-        tel.trace
-            .finish(trace, "answered", Some(decision.source.name().to_owned()));
-        MatchDecision { trace_id: trace, ..decision }
+    /// Non-blocking admission: like [`ErService::submit`] but when the
+    /// owning shard's pending queue is at `queue_capacity` the question
+    /// is *shed* — the caller gets [`SubmitOutcome::Shed`] with a retry
+    /// hint instead of a decision, and no queue slot is consumed. The
+    /// HTTP front end maps this to `429` + `Retry-After`.
+    pub fn try_submit(&self, pair: &EntityPair) -> SubmitOutcome {
+        submit_inner(&self.inner, pair, false)
     }
 
     /// A point-in-time statistics snapshot (the `/stats` payload).
@@ -655,6 +681,20 @@ impl ErService {
     pub fn ledger(&self) -> &SharedCostLedger {
         self.inner.governor.ledger()
     }
+
+    /// Hands every shard's unspent lease balance back to the global pool.
+    ///
+    /// A no-op in pass-through mode (`lease_chunk == 0`, the default,
+    /// where leases never hold budget). With chunked leases, quiesce-time
+    /// conservation (`remaining + spent == budget`) only holds after this
+    /// runs — buffered-but-unspent budget otherwise still counts as
+    /// reserved. Safe to call at any time: a racing batch that finds its
+    /// lease drained simply refills on its next reserve.
+    pub fn return_leases(&self) {
+        for shard in &self.inner.shards {
+            self.inner.governor.return_lease(&shard.lease);
+        }
+    }
 }
 
 /// The `/stats` snapshot, assembled from `inner` so worker threads (the
@@ -676,6 +716,15 @@ fn stats_of(inner: &Inner) -> ServiceStats {
     // (not gauge reads), so they stay visible with telemetry off.
     let index = embed::index::stats();
     let index_query = tel.index_query_us.snapshot();
+    let lock_hold = tel.planner_lock_hold_us.snapshot();
+    let shed_total: u64 = inner.shards.iter().map(|s| s.tel.shed.get()).sum();
+    let queue_depth_peak = inner
+        .shards
+        .iter()
+        .map(|s| s.depth_peak.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0);
+    let lease_refills: u64 = inner.shards.iter().map(|s| s.lease.refills()).sum();
     ServiceStats {
         submitted: tel.submitted.get(),
         plans: plan_full + plan_incremental,
@@ -722,6 +771,13 @@ fn stats_of(inner: &Inner) -> ServiceStats {
         index_pruned_bp: (index.pruned_fraction() * 10_000.0) as u64,
         index_query_p50_us: index_query.quantile(0.5),
         index_query_p99_us: index_query.quantile(0.99),
+        shards: inner.config.shards as u64,
+        shed_total,
+        queue_depth_peak,
+        planner_lock_hold_p50_us: lock_hold.quantile(0.5),
+        planner_lock_hold_p99_us: lock_hold.quantile(0.99),
+        cache_evictions: tel.cache_evictions.get(),
+        lease_refills,
     }
 }
 
@@ -742,6 +798,15 @@ fn health_of(inner: &Inner) -> HealthReport {
         }
         None => ("serving", -1, 0, 0),
     };
+    // Backpressure: any shard's pending queue at or past half its
+    // admission bound. A cheap peek per shard — scrapers polling
+    // `/healthz` learn the service is near shedding before 429s start.
+    let capacity = inner.config.queue_capacity;
+    let backpressure = capacity > 0
+        && inner
+            .shards
+            .iter()
+            .any(|s| lock(&s.queue).pending.len() >= (capacity / 2).max(1));
     HealthReport {
         status: status.to_owned(),
         wal_enabled: inner.durable.is_some(),
@@ -753,6 +818,9 @@ fn health_of(inner: &Inner) -> HealthReport {
         recovery_truncated_bytes: recovery.truncated_bytes,
         recovery_answers_restored: recovery.answers_restored,
         recovery_open_reservations: recovery.open_reservations,
+        shards: inner.config.shards as u64,
+        shed_total: inner.shards.iter().map(|s| s.tel.shed.get()).sum(),
+        backpressure,
     }
 }
 
@@ -818,16 +886,16 @@ fn trigger_bundle(inner: &Inner, reason: &'static str, detail: String) {
 
 impl Drop for ErService {
     fn drop(&mut self) {
-        {
-            let mut queue = lock(&self.inner.queue);
+        for shard in &self.inner.shards {
+            let mut queue = lock(&shard.queue);
             queue.stopping = true;
-            self.inner.queue_cond.notify_all();
+            shard.queue_cond.notify_all();
         }
-        if let Some(handle) = self.dispatcher.take() {
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
-        // The dispatcher flushed what was pending and sent one shutdown
-        // sentinel per worker on exit.
+        // Every dispatcher flushed what its shard still held; the last
+        // one out sent one shutdown sentinel per worker.
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -854,20 +922,133 @@ fn fallback_decision(inner: &Inner, fp: PairFingerprint, pair: &EntityPair) -> M
     MatchDecision { label, source: DecisionSource::Fallback, fingerprint: fp, trace_id: 0 }
 }
 
+/// One pair question end to end: route to the owning shard, try its
+/// cache, then enqueue (or shed) and wait for the decision.
+///
+/// This is the only submit path. It owns the question's lifecycle span:
+/// it opens it, and it is the only place that finishes it — terminal
+/// stage `answered` on every decision path, `shed` when non-blocking
+/// admission rejects the question outright.
+///
+/// `block_on_shed` selects the admission policy for a full queue:
+/// `true` (the blocking [`ErService::submit`]) degrades to the local
+/// fallback so the caller always gets *an* answer; `false`
+/// ([`ErService::try_submit`]) returns [`SubmitOutcome::Shed`] and lets
+/// the client retry — the load-shedding contract the HTTP front end
+/// exposes as `429`.
+fn submit_inner(inner: &Inner, pair: &EntityPair, block_on_shed: bool) -> SubmitOutcome {
+    let tel = &inner.telemetry;
+    tel.submitted.inc();
+    let started = Instant::now();
+    let fp = pair_fingerprint(pair);
+    let shard = &inner.shards[inner.router.route(fp)];
+    let trace = tel.trace.begin(fp.0, "submitted");
+    if let Some(label) = shard.cache.get(fp) {
+        let latency = started.elapsed();
+        tel.answer_cache_us
+            .record_duration_us_with_exemplar(latency, trace);
+        record_answer_slos(inner, latency, DecisionSource::Cache);
+        tel.trace
+            .finish(trace, "answered", Some("cache".to_owned()));
+        return SubmitOutcome::Decided(MatchDecision {
+            label,
+            source: DecisionSource::Cache,
+            fingerprint: fp,
+            trace_id: trace,
+        });
+    }
+
+    let answer_via_local = |detail: &str| {
+        let decision = fallback_decision(inner, fp, pair);
+        let latency = started.elapsed();
+        tel.answer_fallback_us
+            .record_duration_us_with_exemplar(latency, trace);
+        record_answer_slos(inner, latency, DecisionSource::Fallback);
+        tel.trace.finish(trace, "answered", Some(detail.to_owned()));
+        SubmitOutcome::Decided(MatchDecision { trace_id: trace, ..decision })
+    };
+
+    let (tx, rx): (Sender<MatchDecision>, Receiver<MatchDecision>) = channel();
+    {
+        let mut queue = lock(&shard.queue);
+        if queue.stopping {
+            drop(queue);
+            return answer_via_local("fallback");
+        }
+        let capacity = inner.config.queue_capacity;
+        if capacity > 0 && queue.pending.len() >= capacity {
+            // Admission control: the shard is saturated. Shedding here —
+            // before the question consumes a queue slot, a planner epoch
+            // or budget — is what keeps the queue bounded under overload.
+            drop(queue);
+            shard.tel.shed.inc();
+            if block_on_shed {
+                return answer_via_local("fallback_shed");
+            }
+            // One flush deadline is how long the shard needs to drain a
+            // generation — the honest retry hint.
+            let retry_after_ms =
+                u64::try_from(inner.config.flush_deadline.as_millis().max(1)).unwrap_or(u64::MAX);
+            tel.trace
+                .finish(trace, "shed", Some("queue_full".to_owned()));
+            return SubmitOutcome::Shed { retry_after_ms };
+        }
+        if queue.pending.is_empty() {
+            queue.oldest = Some(Instant::now());
+        }
+        queue.pending.push(Pending {
+            fp,
+            pair: pair.clone(),
+            waiter: Waiter { tx, trace },
+            enqueued: Instant::now(),
+        });
+        let depth = queue.pending.len() as u64;
+        // The global gauge sums shards (add-deltas: every push is +1,
+        // every drain is -n); the per-shard gauge is exact.
+        tel.queue_depth.add(1);
+        shard.tel.queue_depth.set(depth as i64);
+        shard.depth_peak.fetch_max(depth, Ordering::Relaxed);
+        shard.queue_cond.notify_all();
+    }
+    tel.trace.stamp(trace, "enqueued");
+    // A dead dispatcher/worker (disconnected sender) degrades to the
+    // fallback instead of hanging the caller.
+    let decision = rx
+        .recv()
+        .unwrap_or_else(|_| fallback_decision(inner, fp, pair));
+    let latency = started.elapsed();
+    match decision.source {
+        DecisionSource::Cache => tel
+            .answer_cache_us
+            .record_duration_us_with_exemplar(latency, trace),
+        DecisionSource::Llm => tel
+            .answer_llm_us
+            .record_duration_us_with_exemplar(latency, trace),
+        DecisionSource::Fallback => tel
+            .answer_fallback_us
+            .record_duration_us_with_exemplar(latency, trace),
+    }
+    record_answer_slos(inner, latency, decision.source);
+    tel.trace
+        .finish(trace, "answered", Some(decision.source.name().to_owned()));
+    SubmitOutcome::Decided(MatchDecision { trace_id: trace, ..decision })
+}
+
 // ---------------------------------------------------------------------
-// Dispatcher: the coalescing queue's flush loop
+// Dispatchers: one coalescing-queue flush loop per shard
 // ---------------------------------------------------------------------
 
-fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
+fn dispatcher_loop(inner: &Inner, si: usize, work_tx: Sender<WorkItem>) {
     let batch_size = inner.config.batch_size;
     let deadline = inner.config.flush_deadline;
+    let shard = &inner.shards[si];
     loop {
         // A drain is *urgent* when a deadline forced it (oldest pending
         // question, oldest planner-held straggler, or shutdown): the plan
         // must then dispatch every batch, partial or not. A size-triggered
         // drain may instead hold partial batches for the next epoch.
         let (drained, urgent, flush_stragglers): (Vec<Pending>, bool, bool) = {
-            let mut queue = lock(&inner.queue);
+            let mut queue = lock(&shard.queue);
             let urgent = loop {
                 if queue.stopping {
                     break true;
@@ -888,13 +1069,13 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
                 };
                 match next {
                     None => {
-                        queue = inner
+                        queue = shard
                             .queue_cond
                             .wait(queue)
                             .unwrap_or_else(PoisonError::into_inner);
                     }
                     Some(t) => {
-                        let (q, _) = inner
+                        let (q, _) = shard
                             .queue_cond
                             .wait_timeout(queue, t - now)
                             .unwrap_or_else(PoisonError::into_inner);
@@ -904,10 +1085,17 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
             };
             let flush_stragglers = urgent && queue.straggler_deadline.is_some();
             if queue.stopping && queue.pending.is_empty() && queue.straggler_deadline.is_none() {
-                // One sentinel per worker; each worker consumes exactly
-                // one and exits.
-                for _ in 0..inner.config.workers {
-                    let _ = work_tx.send(WorkItem::Shutdown);
+                drop(queue);
+                // The *last* dispatcher out sends the worker sentinels:
+                // every shard's final drain is already in the channel by
+                // then (each dispatcher enqueues its last Plan before
+                // reaching this decrement), and channel order puts the
+                // sentinels after them. One sentinel per worker; each
+                // worker consumes exactly one and exits.
+                if inner.live_dispatchers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for _ in 0..inner.config.workers {
+                        let _ = work_tx.send(WorkItem::Shutdown);
+                    }
                 }
                 return;
             }
@@ -915,14 +1103,20 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
             // Disarm the straggler timer before handing off; the planner
             // re-arms it (under this lock) if held questions remain.
             queue.straggler_deadline = None;
-            inner.telemetry.queue_depth.set(0);
+            inner
+                .telemetry
+                .queue_depth
+                .add(-(queue.pending.len() as i64));
+            shard.tel.queue_depth.set(0);
             (std::mem::take(&mut queue.pending), urgent, flush_stragglers)
         };
         // Planning is O(flush²); it runs on the worker pool so the
         // dispatcher returns to its wait loop immediately and later
         // arrivals are not stalled past their deadline.
         if (!drained.is_empty() || flush_stragglers)
-            && work_tx.send(WorkItem::Plan { drained, urgent }).is_err()
+            && work_tx
+                .send(WorkItem::Plan { shard: si, drained, urgent })
+                .is_err()
         {
             return; // workers gone
         }
@@ -937,8 +1131,32 @@ fn dispatcher_loop(inner: &Inner, work_tx: Sender<WorkItem>) {
 /// otherwise *held* in the planner as next epoch's standing pool — the
 /// paper's batch economics improve when a straggler waits (bounded by the
 /// flush deadline) for co-batched traffic instead of flying alone.
-fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<WorkItem>) {
+/// Drop-guard that records how long one flush held a shard's planner
+/// lock, into both the service-wide histogram (the bench's headline
+/// contention metric) and the shard's own `er_shard_lock_hold_us`.
+struct HoldTimer<'a> {
+    started: Instant,
+    global: &'a obs::Histogram,
+    shard: &'a obs::Histogram,
+}
+
+impl Drop for HoldTimer<'_> {
+    fn drop(&mut self) {
+        let us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.global.record(us);
+        self.shard.record(us);
+    }
+}
+
+fn flush(
+    inner: &Inner,
+    si: usize,
+    drained: Vec<Pending>,
+    urgent: bool,
+    work_tx: &Sender<WorkItem>,
+) {
     let tel = &inner.telemetry;
+    let shard = &inner.shards[si];
     // Flight recorder heartbeat: at most once a second (while traffic
     // flows) snapshot the stats into the bounded ring and check the SLO
     // windows — a fast burn on both windows dumps a bundle.
@@ -959,14 +1177,19 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
     // to a question an executing batch is already asking (attach to its
     // in-flight entry), identical to another question in this flush, or
     // identical to a question the planner already holds (attach below).
+    // Each coalesce is counted *before* its waiter can observe a
+    // decision (before the send / before attaching to an entry another
+    // thread may resolve), so the accounting identity `submitted =
+    // hits + coalesced + answered` holds at any quiesce point — a
+    // deferred bulk add here used to lose counts to a stats read racing
+    // the tail of the flush.
     let mut waiters: HashMap<PairFingerprint, Vec<Waiter>> = HashMap::new();
     let mut unique: Vec<(PairFingerprint, EntityPair, Instant)> = Vec::new();
-    let mut coalesced = 0u64;
     for item in drained {
         tel.queue_wait_us
             .record_duration_us(item.enqueued.elapsed());
-        if let Some(label) = inner.cache.peek(item.fp) {
-            coalesced += 1;
+        if let Some(label) = shard.cache.peek(item.fp) {
+            tel.coalesced.inc();
             tel.trace
                 .stamp_with(item.waiter.trace, "coalesced", "cache".to_owned());
             let _ = item.waiter.tx.send(MatchDecision {
@@ -978,9 +1201,9 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             continue;
         }
         {
-            let mut in_flight = lock(&inner.in_flight);
+            let mut in_flight = lock(&shard.in_flight);
             if let Some(attached) = in_flight.get_mut(&item.fp) {
-                coalesced += 1;
+                tel.coalesced.inc();
                 tel.trace
                     .stamp_with(item.waiter.trace, "coalesced", "in_flight".to_owned());
                 attached.push(item.waiter);
@@ -989,7 +1212,7 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         }
         match waiters.entry(item.fp) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                coalesced += 1;
+                tel.coalesced.inc();
                 tel.trace
                     .stamp_with(item.waiter.trace, "coalesced", "duplicate".to_owned());
                 e.get_mut().push(item.waiter);
@@ -1003,10 +1226,16 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         }
     }
 
-    let mut planner = lock(&inner.planner);
+    let mut planner = lock(&shard.planner);
     // Measures how long this flush keeps every other flush (and the
     // dispatch path) waiting; drop-guard so early returns count too.
-    let _lock_hold = tel.planner_lock_hold_us.start_timer();
+    // Recorded both service-wide and per shard: the bench's contention
+    // story is exactly this histogram shrinking as shards increase.
+    let _lock_hold = HoldTimer {
+        started: Instant::now(),
+        global: &tel.planner_lock_hold_us,
+        shard: &shard.tel.lock_hold_us,
+    };
     // The plan timer covers delta application too (per-insert feature
     // extraction and cache-extension scans are planning work the old
     // from-scratch path paid inside plan_with_prepared_pool), so the
@@ -1029,7 +1258,7 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         if let Some(held) = planner.queued.get_mut(&fp) {
             // Only the primary item coalesces here; its within-flush
             // duplicates were already counted in the dedupe loop.
-            coalesced += 1;
+            tel.coalesced.inc();
             for w in &senders {
                 tel.trace
                     .stamp_with(w.trace, "coalesced", "held".to_owned());
@@ -1038,9 +1267,9 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             continue;
         }
         {
-            let mut in_flight = lock(&inner.in_flight);
+            let mut in_flight = lock(&shard.in_flight);
             if let Some(attached) = in_flight.get_mut(&fp) {
-                coalesced += 1;
+                tel.coalesced.inc();
                 for w in &senders {
                     tel.trace
                         .stamp_with(w.trace, "coalesced", "in_flight".to_owned());
@@ -1055,7 +1284,6 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             QueuedQuestion { pair, waiters: senders, since: enqueued },
         );
     }
-    tel.coalesced.add(coalesced);
     if planner.queued.is_empty() {
         return;
     }
@@ -1121,13 +1349,14 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         // re-asking. Completion (or panic cleanup) removes the entries.
         let fps: Vec<PairFingerprint> = questions.iter().map(|(fp, _, _)| *fp).collect();
         {
-            let mut in_flight = lock(&inner.in_flight);
+            let mut in_flight = lock(&shard.in_flight);
             for fp in &fps {
                 in_flight.entry(*fp).or_default();
             }
         }
         tel.batches_flushed.inc();
         let job = BatchJob {
+            shard: si,
             questions,
             demo_indices: epoch.plan.demos_per_batch[bi].clone(),
             seed: flush_seed ^ ((bi as u64) << 16),
@@ -1136,7 +1365,7 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
             // Workers gone (shutdown): unregister and let the dropped
             // senders push the waiters onto the local fallback. Held
             // waiters drop with the planner when the service tears down.
-            clear_in_flight(inner, &fps);
+            clear_in_flight(shard, &fps);
             return;
         }
     }
@@ -1152,10 +1381,10 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
         .map(|q| q.since + inner.config.flush_deadline)
         .min();
     {
-        let mut queue = lock(&inner.queue);
+        let mut queue = lock(&shard.queue);
         queue.straggler_deadline = straggler_deadline;
         if straggler_deadline.is_some() {
-            inner.queue_cond.notify_all();
+            shard.queue_cond.notify_all();
         }
     }
     drop(planner);
@@ -1163,8 +1392,8 @@ fn flush(inner: &Inner, drained: Vec<Pending>, urgent: bool, work_tx: &Sender<Wo
 
 /// Removes in-flight registrations, dropping any attached waiters (their
 /// disconnected receivers degrade to the local fallback).
-fn clear_in_flight(inner: &Inner, fps: &[PairFingerprint]) {
-    let mut in_flight = lock(&inner.in_flight);
+fn clear_in_flight(shard: &ShardState, fps: &[PairFingerprint]) {
+    let mut in_flight = lock(&shard.in_flight);
     for fp in fps {
         in_flight.remove(fp);
     }
@@ -1181,20 +1410,23 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
             rx.recv()
         };
         match item {
-            Ok(WorkItem::Plan { drained, urgent }) => {
+            Ok(WorkItem::Plan { shard: si, drained, urgent }) => {
                 // A panicking plan (e.g. a poisoned question) must not
                 // take the worker down: containment drops the drained
                 // senders, their waiters observe the disconnect and fall
                 // back locally, and the pool keeps serving.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    flush(inner, drained, urgent, work_tx);
+                    flush(inner, si, drained, urgent, work_tx);
                 }));
                 if result.is_err() {
-                    // The planner may hold half-applied state and waiters
-                    // whose questions will never dispatch: reset it.
-                    // Dropping the held waiters disconnects their
-                    // receivers, which degrade to the local fallback.
-                    let mut planner = lock(&inner.planner);
+                    // The shard's planner may hold half-applied state and
+                    // waiters whose questions will never dispatch: reset
+                    // it (the other shards are untouched — containment is
+                    // now per shard). Dropping the held waiters
+                    // disconnects their receivers, which degrade to the
+                    // local fallback.
+                    let shard = &inner.shards[si];
+                    let mut planner = lock(&shard.planner);
                     planner.queued.clear();
                     planner.state =
                         PlanState::from_prepared(inner.prepared_pool.clone(), inner.plan_template)
@@ -1203,7 +1435,7 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
                     // planner lock — the same ordering the flush path's
                     // re-arm uses — so this None cannot overwrite a
                     // deadline a concurrent healthy flush just armed.
-                    lock(&inner.queue).straggler_deadline = None;
+                    lock(&shard.queue).straggler_deadline = None;
                     drop(planner);
                     eprintln!("er-service: flush planning panicked; affected requests fall back");
                 }
@@ -1214,13 +1446,14 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
                 // (and fall back) instead of hanging; a reservation held
                 // at the panic point is refunded by its drop guard as the
                 // panic unwinds, so a dead worker cannot strand budget.
+                let si = job.shard;
                 let fps: Vec<PairFingerprint> =
                     job.questions.iter().map(|(fp, _, _)| *fp).collect();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     execute_job(inner, job);
                 }));
                 if result.is_err() {
-                    clear_in_flight(inner, &fps);
+                    clear_in_flight(&inner.shards[si], &fps);
                     eprintln!("er-service: batch execution panicked; affected requests fall back");
                 }
             }
@@ -1228,13 +1461,15 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
                 // Plan items always precede the shutdown sentinels in the
                 // channel, and a worker busy planning holds its sentinel
                 // slot until it finishes — so when the *last* worker
-                // exits, no flush can run anymore and whatever the
-                // planner still holds (partial batches planned after the
-                // dispatcher's final drain) would wait forever. Drop
-                // those waiters now; their receivers disconnect and the
-                // blocked submits degrade to the local fallback.
+                // exits, no flush can run anymore and whatever any
+                // shard's planner still holds (partial batches planned
+                // after that shard's final drain) would wait forever.
+                // Drop those waiters now; their receivers disconnect and
+                // the blocked submits degrade to the local fallback.
                 if inner.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    lock(&inner.planner).queued.clear();
+                    for shard in &inner.shards {
+                        lock(&shard.planner).queued.clear();
+                    }
                 }
                 return;
             }
@@ -1245,6 +1480,7 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>, work_tx: &Sen
 fn execute_job(inner: &Inner, job: BatchJob) {
     let config = &inner.config;
     let tel = &inner.telemetry;
+    let shard = &inner.shards[job.shard];
     // Circuit breaker: during an LLM outage every batch would burn its
     // full retry schedule before degrading. Once the breaker opens,
     // batches short-circuit straight to the logistic fallback — no
@@ -1307,10 +1543,17 @@ fn execute_job(inner: &Inner, job: BatchJob) {
             .filter(|d| !labeled.contains(d))
             .collect();
         let projected = api_projection + LABEL_COST_PER_PAIR * newly.len() as u64;
-        inner.governor.try_reserve_guarded(projected).map(|guard| {
-            labeled.extend(&newly);
-            (guard, newly, projected)
-        })
+        // Reserve against this shard's lease: pass-through to the global
+        // pool by default, chunk-buffered when `lease_chunk` is set —
+        // either way conservation holds globally (the lease is carved
+        // out of the same reserved headroom).
+        inner
+            .governor
+            .try_reserve_leased(&shard.lease, projected)
+            .map(|guard| {
+                labeled.extend(&newly);
+                (guard, newly, projected)
+            })
     };
     if tel.is_enabled() {
         tel.slo_budget.record(granted.is_some());
@@ -1395,11 +1638,16 @@ fn execute_job(inner: &Inner, job: BatchJob) {
                 .enumerate()
                 .filter_map(|(slot, (fp, _, _))| {
                     outcome.answers.get(slot).copied().flatten().map(|label| {
-                        DurableRecord::Answer {
+                        // The owning shard rides the record for forensic
+                        // replay; recovery re-routes by fingerprint, so a
+                        // restart under a different shard count still
+                        // fans every answer out to its current owner.
+                        DurableRecord::AnswerSharded {
                             version: FINGERPRINT_VERSION,
                             fp: *fp,
                             label,
                             cost_micros: per_answer,
+                            shard: job.shard as u32,
                         }
                     })
                 })
@@ -1419,13 +1667,13 @@ fn execute_job(inner: &Inner, job: BatchJob) {
         let decision = match outcome.answers.get(slot).copied().flatten() {
             Some(label) => {
                 tel.llm_answered.inc();
-                inner.cache.insert(*fp, label);
+                shard.cache.insert(*fp, label);
                 MatchDecision { label, source: DecisionSource::Llm, fingerprint: *fp, trace_id: 0 }
             }
             // No parseable answer after retries: conservative local call.
             None => fallback_decision(inner, *fp, pair),
         };
-        resolve_question(inner, *fp, decision, senders, primary_trace);
+        resolve_question(inner, shard, *fp, decision, senders, primary_trace);
     }
 }
 
@@ -1439,6 +1687,7 @@ fn ledger_within(actual: &CostLedger, projected: Money) -> bool {
 /// produced and its settlement; the terminal stage stays with `submit`.
 fn resolve_question(
     inner: &Inner,
+    shard: &ShardState,
     fp: PairFingerprint,
     decision: MatchDecision,
     senders: &[Waiter],
@@ -1449,7 +1698,7 @@ fn resolve_question(
         DecisionSource::Fallback => "fallback",
         DecisionSource::Cache => "cache_filled",
     };
-    let attached = lock(&inner.in_flight).remove(&fp).unwrap_or_default();
+    let attached = lock(&shard.in_flight).remove(&fp).unwrap_or_default();
     for waiter in senders.iter().chain(&attached) {
         inner.telemetry.trace.stamp(waiter.trace, stage);
         // Coalesced waiters rode an LLM call another trace paid for:
@@ -1471,8 +1720,9 @@ fn resolve_question(
 
 /// Answers every question of a batch with the logistic fallback.
 fn answer_via_fallback(inner: &Inner, job: &BatchJob) {
+    let shard = &inner.shards[job.shard];
     for (fp, pair, senders) in &job.questions {
         let decision = fallback_decision(inner, *fp, pair);
-        resolve_question(inner, *fp, decision, senders, 0);
+        resolve_question(inner, shard, *fp, decision, senders, 0);
     }
 }

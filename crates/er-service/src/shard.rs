@@ -1,0 +1,128 @@
+//! Fingerprint sharding: the router that partitions the serving core.
+//!
+//! One coalescing queue and one planner lock are the scalability ceiling
+//! of the unsharded service: every flush serializes behind one mutex, so
+//! lock hold time — not CPU — bounds throughput, and a burst on any pair
+//! backs up every other pair. The [`ShardRouter`] splits the service into
+//! `N` independent shards keyed by the *symmetric answer fingerprint*
+//! ([`crate::fingerprint::pair_fingerprint`]): the same canonical hash
+//! the answer cache dedupes on, so a question, its mirrored twin, and
+//! every later duplicate all land on the same shard and keep the
+//! exactly-once answer guarantees without any cross-shard coordination.
+//!
+//! Each shard owns its own coalescing queue, epoch-tracked incremental
+//! planner, answer-cache partition and governor lease; only the cost
+//! ledger, the LLM worker pool and the durable log stay global. Routing
+//! is a mask over the fingerprint's low bits — `N` must be a power of
+//! two so the mask is exact and resharding across restarts is a pure
+//! re-partition (durable replay re-routes every recovered answer through
+//! the *current* router, so a log written under 8 shards restores
+//! cleanly into 2, and vice versa).
+
+use crate::fingerprint::PairFingerprint;
+
+/// Maps fingerprints to shard indices. Cheap to copy; the mask is the
+/// whole state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    mask: u64,
+}
+
+impl ShardRouter {
+    /// A router over `shards` partitions.
+    ///
+    /// # Panics
+    /// Panics unless `shards` is a nonzero power of two — a configuration
+    /// bug, not a runtime condition (the mask routing below is only
+    /// uniform for exact powers of two).
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a nonzero power of two, got {shards}"
+        );
+        Self { mask: shards as u64 - 1 }
+    }
+
+    /// Number of shards this router partitions into.
+    pub fn shards(&self) -> usize {
+        (self.mask + 1) as usize
+    }
+
+    /// The shard owning `fp`. Symmetric by construction: the fingerprint
+    /// is already canonical over `(a,b)`/`(b,a)`, so mirrored questions
+    /// route identically.
+    pub fn route(&self, fp: PairFingerprint) -> usize {
+        (fp.0 & self.mask) as usize
+    }
+}
+
+/// Outcome of a non-blocking admission attempt ([`crate::ErService::try_submit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted and answered.
+    Decided(crate::service::MatchDecision),
+    /// Shed: the owning shard's queue was at capacity. The caller should
+    /// retry after roughly `retry_after_ms` (one flush deadline — the
+    /// time for the queue to drain a generation).
+    Shed {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_stable_and_in_range() {
+        let router = ShardRouter::new(8);
+        assert_eq!(router.shards(), 8);
+        for i in 0..1_000u64 {
+            let fp = PairFingerprint(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let shard = router.route(fp);
+            assert!(shard < 8);
+            assert_eq!(shard, router.route(fp), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let router = ShardRouter::new(1);
+        for i in 0..64u64 {
+            assert_eq!(router.route(PairFingerprint(i)), 0);
+        }
+    }
+
+    #[test]
+    fn low_bits_spread_across_shards() {
+        let router = ShardRouter::new(4);
+        let mut seen = [false; 4];
+        for i in 0..16u64 {
+            seen[router.route(PairFingerprint(i))] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "mask routing must cover all shards"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_is_rejected() {
+        let _ = ShardRouter::new(6);
+    }
+
+    #[test]
+    fn resharding_is_a_pure_repartition() {
+        // A fingerprint's 2-shard route is its 8-shard route modulo 2:
+        // restart under a different power-of-two count re-partitions
+        // cleanly (what durable replay relies on).
+        let eight = ShardRouter::new(8);
+        let two = ShardRouter::new(2);
+        for i in 0..256u64 {
+            let fp = PairFingerprint(i.wrapping_mul(0x517c_c1b7_2722_0a95));
+            assert_eq!(eight.route(fp) % 2, two.route(fp));
+        }
+    }
+}

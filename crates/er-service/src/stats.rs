@@ -132,6 +132,30 @@ pub struct ServiceStats {
     /// microseconds.
     #[serde(default)]
     pub index_query_p99_us: u64,
+    /// Configured serving shards (1 = unsharded layout).
+    #[serde(default)]
+    pub shards: u64,
+    /// Questions shed by the admission bound, summed across shards.
+    #[serde(default)]
+    pub shed_total: u64,
+    /// High-water pending-queue depth this run (max across shards) — the
+    /// backpressure headline the traffic-replay bench tracks.
+    #[serde(default)]
+    pub queue_depth_peak: u64,
+    /// Median planner-lock hold time, microseconds (service-wide
+    /// histogram; shrinks as shards split the flush path's contention).
+    #[serde(default)]
+    pub planner_lock_hold_p50_us: u64,
+    /// 99th-percentile planner-lock hold time, microseconds.
+    #[serde(default)]
+    pub planner_lock_hold_p99_us: u64,
+    /// Answer-cache entries evicted by the LRU bound.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Governor-lease refills, summed across shards (0 in pass-through
+    /// mode, where every batch reserves globally).
+    #[serde(default)]
+    pub lease_refills: u64,
 }
 
 /// The `GET /healthz` payload: readiness plus the durability and
@@ -165,6 +189,16 @@ pub struct HealthReport {
     pub recovery_answers_restored: u64,
     /// Crash-evidence reservations found at startup.
     pub recovery_open_reservations: u64,
+    /// Configured serving shards (1 = unsharded layout).
+    #[serde(default)]
+    pub shards: u64,
+    /// Questions shed by the admission bound, summed across shards.
+    #[serde(default)]
+    pub shed_total: u64,
+    /// True when any shard's pending queue is at or past half its
+    /// admission bound — the "near shedding" early-warning signal.
+    #[serde(default)]
+    pub backpressure: bool,
 }
 
 impl ServiceStats {
@@ -245,6 +279,13 @@ mod tests {
             index_pruned_bp: 9_870,
             index_query_p50_us: 45,
             index_query_p99_us: 160,
+            shards: 4,
+            shed_total: 2,
+            queue_depth_peak: 11,
+            planner_lock_hold_p50_us: 35,
+            planner_lock_hold_p99_us: 140,
+            cache_evictions: 9,
+            lease_refills: 3,
         }
     }
 
@@ -339,6 +380,32 @@ mod tests {
     }
 
     #[test]
+    fn pre_shard_wire_payload_still_parses() {
+        // Scrapers from before the sharded serving core sent none of the
+        // shard/admission fields; `#[serde(default)]` keeps their
+        // payloads readable (the "additive fields only" contract).
+        let mut json = String::from_utf8(serde_json::to_vec(&sample()).unwrap()).unwrap();
+        for field in [
+            "\"shards\":4,",
+            "\"shed_total\":2,",
+            "\"queue_depth_peak\":11,",
+            "\"planner_lock_hold_p50_us\":35,",
+            "\"planner_lock_hold_p99_us\":140,",
+            "\"cache_evictions\":9,",
+            ",\"lease_refills\":3", // last field: leading comma instead
+        ] {
+            let stripped = json.replace(field, "");
+            assert_ne!(stripped, json, "field pattern `{field}` did not match");
+            json = stripped;
+        }
+        let back: ServiceStats = serde_json::from_slice(json.as_bytes()).unwrap();
+        assert_eq!(back.shards, 0);
+        assert_eq!(back.shed_total, 0);
+        assert_eq!(back.lease_refills, 0);
+        assert_eq!(back.submitted, sample().submitted);
+    }
+
+    #[test]
     fn health_report_roundtrips() {
         let health = HealthReport {
             status: "serving".to_owned(),
@@ -351,9 +418,22 @@ mod tests {
             recovery_truncated_bytes: 0,
             recovery_answers_restored: 5,
             recovery_open_reservations: 0,
+            shards: 2,
+            shed_total: 1,
+            backpressure: false,
         };
         let json = serde_json::to_vec(&health).unwrap();
         let back: HealthReport = serde_json::from_slice(&json).unwrap();
         assert_eq!(back, health);
+
+        // Pre-shard health payloads (no shard fields) still parse.
+        let stripped = String::from_utf8(serde_json::to_vec(&health).unwrap())
+            .unwrap()
+            .replace("\"shards\":2,", "")
+            .replace("\"shed_total\":1,", "")
+            .replace(",\"backpressure\":false", "");
+        let old: HealthReport = serde_json::from_slice(stripped.as_bytes()).unwrap();
+        assert_eq!(old.shards, 0);
+        assert!(!old.backpressure);
     }
 }

@@ -6,19 +6,9 @@
 //! rather than poison every later request. Centralized here so the
 //! policy lives in one place.
 
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Locks a mutex, ignoring poisoning.
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Read-locks an rw-lock, ignoring poisoning.
-pub(crate) fn read<T>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    rwlock.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Write-locks an rw-lock, ignoring poisoning.
-pub(crate) fn write<T>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    rwlock.write().unwrap_or_else(PoisonError::into_inner)
 }

@@ -42,6 +42,7 @@ pub struct Telemetry {
     pub(crate) plans_incremental: Arc<Counter>,
     pub(crate) cache_hits: Arc<Counter>,
     pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) cache_evictions: Arc<Counter>,
     pub(crate) budget_denials: Arc<Counter>,
     pub(crate) governor_refunds: Arc<Counter>,
     pub(crate) wal_appends: Arc<Counter>,
@@ -152,6 +153,11 @@ impl Telemetry {
             "er_cache_lookups_total",
             "Answer-cache lookups, by result.",
             &[("result", "miss")],
+        );
+        let cache_evictions = registry.counter(
+            "er_cache_evictions_total",
+            "Answer-cache entries evicted by the LRU bound.",
+            &[],
         );
         let budget_denials = registry.counter(
             "er_budget_denials_total",
@@ -353,6 +359,7 @@ impl Telemetry {
             plans_incremental,
             cache_hits,
             cache_misses,
+            cache_evictions,
             budget_denials,
             governor_refunds,
             wal_appends,
@@ -390,6 +397,32 @@ impl Telemetry {
             slo_latency: Slo::new("answer_latency", SLO_LATENCY_OBJECTIVE),
             slo_availability: Slo::new("availability", SLO_AVAILABILITY_OBJECTIVE),
             slo_budget: Slo::new("budget", SLO_BUDGET_OBJECTIVE),
+        }
+    }
+
+    /// Registers one shard's metric handles: the `er_shard_*` families,
+    /// labeled by shard index. Called once per shard at startup; the
+    /// handles live on the shard and record lock-free like every other
+    /// handle here.
+    pub(crate) fn shard_handles(&self, shard: usize) -> ShardTelemetry {
+        let idx = shard.to_string();
+        let labels: [(&str, &str); 1] = [("shard", idx.as_str())];
+        ShardTelemetry {
+            queue_depth: self.registry.gauge(
+                "er_shard_queue_depth",
+                "Questions currently waiting in this shard's coalescing queue.",
+                &labels,
+            ),
+            shed: self.registry.counter(
+                "er_shard_shed_total",
+                "Questions shed by this shard's admission bound.",
+                &labels,
+            ),
+            lock_hold_us: self.registry.histogram(
+                "er_shard_lock_hold_us",
+                "Time the flush path holds this shard's planner lock, microseconds.",
+                &labels,
+            ),
         }
     }
 
@@ -462,6 +495,15 @@ impl Telemetry {
     pub fn is_enabled(&self) -> bool {
         self.registry.is_enabled()
     }
+}
+
+/// One shard's metric handles: the per-shard views of queue depth, shed
+/// count and planner-lock hold time. The admission controller's signals.
+#[derive(Debug)]
+pub(crate) struct ShardTelemetry {
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) shed: Arc<Counter>,
+    pub(crate) lock_hold_us: Arc<Histogram>,
 }
 
 fn window_json(w: &obs::WindowBurn) -> String {

@@ -37,17 +37,31 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers, emitted verbatim after `Content-Type`
+    /// (e.g. `Retry-After` on load-shedding 429s).
+    pub headers: Vec<(String, String)>,
 }
 
 impl HttpResponse {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Self { status, body: body.into(), content_type: "application/json" }
+        Self { status, body: body.into(), content_type: "application/json", headers: Vec::new() }
     }
 
     /// A plain-text response (Prometheus scrapes, human-readable pages).
     pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Self { status, body: body.into(), content_type: "text/plain; version=0.0.4" }
+        Self {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 }
 
@@ -111,12 +125,16 @@ pub fn write_response<W: Write>(mut stream: W, response: &HttpResponse) -> std::
     };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         reason,
         response.content_type,
         response.body.len()
     )?;
+    for (name, value) in &response.headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(&response.body)?;
     stream.flush()
 }
@@ -230,6 +248,22 @@ mod tests {
             "{text}"
         );
         assert!(text.ends_with("a 1\n"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_body() {
+        let mut buf = Vec::new();
+        let response = HttpResponse::json(429, b"{}".to_vec()).with_header("Retry-After", "2");
+        write_response(&mut buf, &response).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        let header_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..header_end].contains("Retry-After"), "{text}");
+        assert!(text.ends_with("{}"));
+        // Still parses on the client side.
+        let (status, body) = read_response(text.as_bytes()).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(body, b"{}");
     }
 
     #[test]
